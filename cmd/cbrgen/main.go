@@ -1,0 +1,99 @@
+// Command cbrgen generates and inspects case bases.
+//
+// Usage:
+//
+//	cbrgen -types 15 -impls 10 -attrs 10            # summary to stdout
+//	cbrgen -types 15 -impls 10 -attrs 10 -dump      # full tree listing
+//	cbrgen -paper -dump                             # the paper's §3 example
+//	cbrgen -types 15 -impls 10 -attrs 10 -image cb.bin  # BRAM image file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qosalloc"
+)
+
+func main() {
+	types := flag.Int("types", 15, "number of function types")
+	impls := flag.Int("impls", 10, "implementations per type")
+	attrs := flag.Int("attrs", 10, "attributes per implementation")
+	universe := flag.Int("universe", 10, "distinct attribute types")
+	seed := flag.Int64("seed", 1, "generator seed")
+	paper := flag.Bool("paper", false, "use the paper's §3 example instead of generating")
+	dump := flag.Bool("dump", false, "print the full implementation tree")
+	image := flag.String("image", "", "write the fig. 5 memory image to this file")
+	jsonOut := flag.String("json", "", "write the case base as JSON to this file")
+	flag.Parse()
+
+	var cb *qosalloc.CaseBase
+	var err error
+	if *paper {
+		cb, err = qosalloc.PaperCaseBase()
+	} else {
+		cb, _, err = qosalloc.GenCaseBase(qosalloc.CaseBaseSpec{
+			Types: *types, ImplsPerType: *impls, AttrsPerImpl: *attrs,
+			AttrUniverse: *universe, Seed: *seed,
+		})
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	s := cb.Stats()
+	fmt.Printf("case base: %d types, %d implementations, %d attribute instances\n",
+		s.Types, s.Impls, s.Attrs)
+	tree, err := qosalloc.EncodeTree(cb)
+	if err != nil {
+		fatal(err)
+	}
+	supp := qosalloc.EncodeSupplemental(cb.Registry())
+	fmt.Printf("memory image: tree %d bytes, supplemental %d bytes\n",
+		tree.Size(), supp.Size())
+
+	if *dump {
+		for _, ft := range cb.Types() {
+			fmt.Printf("\ntype %d %q\n", ft.ID, ft.Name)
+			for i := range ft.Impls {
+				im := &ft.Impls[i]
+				fmt.Printf("  impl %d %q on %s\n", im.ID, im.Name, im.Target)
+				for _, p := range im.Attrs {
+					d, _ := cb.Registry().Lookup(p.ID)
+					fmt.Printf("    attr %d (%s) = %s\n", p.ID, d.Name, d.SymbolFor(p.Value))
+				}
+			}
+		}
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := qosalloc.SaveCaseBase(f, cb); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote JSON case base to %s\n", *jsonOut)
+	}
+
+	if *image != "" {
+		// Concatenate tree ++ supplemental, the CB-MEM layout the
+		// hardware unit expects.
+		data := append(tree.Bytes(), supp.Bytes()...)
+		if err := os.WriteFile(*image, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d bytes to %s (tree at 0, supplemental at word %d)\n",
+			len(data), *image, tree.Size()/2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "cbrgen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,108 @@
+// Command mbrun assembles and executes programs for the MicroBlaze-class
+// soft-core model — the standalone front end to the mb32 substrate.
+//
+// Usage:
+//
+//	mbrun prog.s                       # assemble and run
+//	mbrun -list prog.s                 # print the labeled listing only
+//	mbrun -mem 4096 -steps 100000 prog.s
+//	mbrun -reg 20=0x100 -reg 21=256 prog.s   # preset registers
+//	mbrun -retrieval                   # run the built-in QoS retrieval kernel listing
+//
+// After a run, the register file, cycle count and instruction-mix
+// profile are printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"qosalloc/internal/mb32"
+	"qosalloc/internal/swret"
+)
+
+// regFlags collects repeated -reg n=value presets.
+type regFlags map[int]int32
+
+func (r regFlags) String() string { return fmt.Sprintf("%d presets", len(r)) }
+
+func (r regFlags) Set(s string) error {
+	idx, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want n=value, got %q", s)
+	}
+	n, err := strconv.Atoi(idx)
+	if err != nil || n < 1 || n > 31 {
+		return fmt.Errorf("bad register number %q", idx)
+	}
+	v, err := strconv.ParseInt(val, 0, 32)
+	if err != nil {
+		return fmt.Errorf("bad value %q", val)
+	}
+	r[n] = int32(v)
+	return nil
+}
+
+func main() {
+	mem := flag.Int("mem", 4096, "data memory size in bytes")
+	steps := flag.Uint64("steps", 1_000_000, "instruction budget")
+	list := flag.Bool("list", false, "print the labeled listing instead of running")
+	retrieval := flag.Bool("retrieval", false, "use the built-in QoS retrieval kernel")
+	barrel := flag.Bool("barrel", false, "cost model with barrel shifter")
+	regs := regFlags{}
+	flag.Var(&regs, "reg", "preset register n=value, repeatable")
+	flag.Parse()
+
+	var src string
+	switch {
+	case *retrieval:
+		src = swret.Source
+	case flag.NArg() == 1:
+		b, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		src = string(b)
+	default:
+		fatal(fmt.Errorf("exactly one source file required (or -retrieval)"))
+	}
+
+	prog, err := mb32.Assemble(src)
+	if err != nil {
+		fatal(err)
+	}
+	if *list {
+		fmt.Print(mb32.Listing(prog))
+		return
+	}
+
+	cpu := mb32.New(prog, *mem)
+	if *barrel {
+		cpu.Cost = mb32.MicroBlazeCosts()
+	} else {
+		cpu.Cost = mb32.MicroBlazeBaseCosts()
+	}
+	for n, v := range regs {
+		cpu.Regs[n] = v
+	}
+	cycles, err := cpu.Run(*steps)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("halted after %d cycles (%.2f us at 66 MHz)\n\n", cycles, float64(cycles)/66)
+	fmt.Print(cpu.Profile())
+	fmt.Println("\nnon-zero registers:")
+	for i, v := range cpu.Regs {
+		if v != 0 {
+			fmt.Printf("  r%-2d = %11d  (0x%08x)\n", i, v, uint32(v))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "mbrun: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,49 @@
+// Command repro regenerates every quantitative table and figure of the
+// paper. Run it with no flags for the full report, with -list to see the
+// experiment index, or with -exp <id> for a single experiment.
+//
+// Usage:
+//
+//	repro               # run everything
+//	repro -list         # list experiments with their paper claims
+//	repro -exp table1   # reproduce one table/figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qosalloc"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	exp := flag.String("exp", "", "run a single experiment by ID (default: all)")
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-12s %-55s %s\n", "ID", "TITLE", "PAPER RESULT")
+		for _, e := range qosalloc.Experiments() {
+			fmt.Printf("%-12s %-55s %s\n", e.ID, e.Title, e.Paper)
+		}
+		return
+	}
+	if *exp != "" {
+		e, ok := qosalloc.ExperimentByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "repro: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s — %s ===\n    paper: %s\n\n", e.ID, e.Title, e.Paper)
+		if err := e.Run(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := qosalloc.RunAllExperiments(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,106 @@
+// Command sysim runs the end-to-end multi-device allocation simulation:
+// the fig. 1 application mix (MP3 player, video, automotive ECU, cruise
+// control) negotiating QoS function calls against a platform of two
+// FPGAs, a DSP and a GP processor.
+//
+// Usage:
+//
+//	sysim                 # the fig. 1 scenario timeline
+//	sysim -stream 500     # additionally replay a 500-request synthetic stream
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qosalloc"
+)
+
+func main() {
+	stream := flag.Int("stream", 0, "also replay N generated requests through the manager")
+	seed := flag.Int64("seed", 42, "stream generator seed")
+	repeat := flag.Float64("repeat", 0.5, "stream repeat fraction (bypass-token hits)")
+	flag.Parse()
+
+	e, ok := qosalloc.ExperimentByID("system")
+	if !ok {
+		fatal(fmt.Errorf("system experiment missing"))
+	}
+	fmt.Println("=== fig. 1 application-mix scenario ===")
+	if err := e.Run(os.Stdout); err != nil {
+		fatal(err)
+	}
+
+	if *stream > 0 {
+		fmt.Printf("\n=== synthetic stream: %d requests, repeat %.2f ===\n", *stream, *repeat)
+		if err := replayStream(*stream, *seed, *repeat); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// replayStream pushes a generated request stream through a fresh
+// platform and reports manager statistics.
+func replayStream(n int, seed int64, repeat float64) error {
+	cb, reg, err := qosalloc.GenCaseBase(qosalloc.PaperScaleSpec())
+	if err != nil {
+		return err
+	}
+	reqs, err := qosalloc.GenRequests(cb, reg, qosalloc.RequestStreamSpec{
+		N: n, ConstraintsPer: 4, RepeatFraction: repeat, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	repo := qosalloc.NewRepository(20)
+	if err := repo.PopulateFromCaseBase(cb); err != nil {
+		return err
+	}
+	rt := qosalloc.NewRuntime(repo,
+		qosalloc.NewFPGADevice("fpga0", []qosalloc.FPGASlot{
+			{Slices: 1500, BRAMs: 8, Multipliers: 16},
+			{Slices: 1500, BRAMs: 8, Multipliers: 16},
+			{Slices: 1500, BRAMs: 8, Multipliers: 16},
+		}, 66),
+		qosalloc.NewProcessorDevice("dsp0", qosalloc.TargetDSP, 2000, 1<<20),
+		qosalloc.NewProcessorDevice("gpp0", qosalloc.TargetGPP, 2000, 1<<21),
+	)
+	m := qosalloc.NewManager(cb, rt, qosalloc.ManagerOptions{
+		NBest: 3, AllowPreemption: true, UseBypassTokens: true,
+	})
+
+	var ok, fail int
+	var live []qosalloc.TaskID
+	for i, req := range reqs {
+		// Advance 1 ms per request; hold each allocation for 10
+		// requests' worth of time by releasing the oldest.
+		if err := rt.Advance(1000); err != nil {
+			return err
+		}
+		if len(live) >= 10 {
+			_ = m.Release(live[0])
+			live = live[1:]
+			m.ReplacePending()
+		}
+		d, err := m.Request(fmt.Sprintf("app%d", i%8), req, 1+i%9)
+		if err != nil {
+			fail++
+			continue
+		}
+		ok++
+		live = append(live, d.Task.ID)
+	}
+	st := m.Stats()
+	fmt.Printf("requests:    %d\n", st.Requests)
+	fmt.Printf("placed:      %d (failed %d)\n", ok, fail)
+	fmt.Printf("retrievals:  %d (saved by bypass tokens: %d)\n", st.Retrievals, st.TokenHits)
+	fmt.Printf("preemptions: %d\n", st.Preemptions)
+	fmt.Printf("final power: %d mW across %d devices\n", rt.PowerMW(), len(rt.Devices()))
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "sysim: %v\n", err)
+	os.Exit(1)
+}

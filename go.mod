@@ -1,0 +1,3 @@
+module qosalloc
+
+go 1.22

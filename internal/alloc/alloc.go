@@ -1,0 +1,359 @@
+// Package alloc implements the paper's Function-Allocation-Management
+// layer (fig. 1): the component between the Application-API and the
+// HW-Layer API that, for each QoS-constrained function call, retrieves
+// the best-matching implementation variants from the case base, checks
+// their feasibility against the current system load, places the chosen
+// variant on a device (possibly preempting lower-priority work), offers
+// alternatives when the best match is not feasible, and hands out bypass
+// tokens so repeated calls skip the retrieval (§2–§3).
+package alloc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"qosalloc/internal/casebase"
+	"qosalloc/internal/device"
+	"qosalloc/internal/retrieval"
+	"qosalloc/internal/rtsys"
+)
+
+// Options tune the manager's policy.
+type Options struct {
+	// Threshold rejects retrieval results below this global
+	// similarity ("it's conceivable to reject all results below a
+	// given threshold similarity", §3).
+	Threshold float64
+	// NBest bounds how many retrieval candidates are checked for
+	// feasibility, the §5 n-most-similar extension. Zero means 3.
+	NBest int
+	// AllowPreemption permits evicting strictly lower-priority tasks
+	// when the best match has no free capacity.
+	AllowPreemption bool
+	// UseBypassTokens enables the repeated-call shortcut.
+	UseBypassTokens bool
+	// PowerWeight trades QoS similarity against power (the §1
+	// "energy/power-efficiency" goal): candidates are ranked by
+	// S - PowerWeight·(PowerMW/1000) instead of S alone. Zero keeps
+	// the paper's pure-similarity ranking.
+	PowerWeight float64
+}
+
+// Decision reports a successful allocation.
+type Decision struct {
+	Task       *rtsys.Task
+	Impl       casebase.ImplID
+	Target     casebase.Target
+	Device     device.ID
+	Similarity float64
+	ReadyAt    device.Micros
+	ViaToken   bool
+	Preempted  []rtsys.TaskID
+}
+
+// ErrNoFeasible is returned when retrieval produced matches but none
+// could be placed; Alternatives carries the scored candidates so the
+// calling application can decide ("an alternative implementation can be
+// offered to the calling application which has to decide on it", §2).
+type ErrNoFeasible struct {
+	Alternatives []retrieval.Result
+}
+
+func (e *ErrNoFeasible) Error() string {
+	return fmt.Sprintf("alloc: no feasible implementation (%d matching variants, all without capacity)",
+		len(e.Alternatives))
+}
+
+// Stats counts manager activity.
+type Stats struct {
+	Requests    int
+	TokenHits   int
+	Retrievals  int
+	Placed      int
+	Preemptions int
+	Rejected    int // threshold rejections (whole requests)
+	Infeasible  int
+}
+
+// Manager is the function-allocation manager.
+type Manager struct {
+	cb     *casebase.CaseBase
+	engine *retrieval.Engine
+	sys    *rtsys.System
+	tokens *retrieval.TokenCache
+	opt    Options
+	stats  Stats
+}
+
+// New builds a manager over a case base and run-time system.
+func New(cb *casebase.CaseBase, sys *rtsys.System, opt Options) *Manager {
+	if opt.NBest <= 0 {
+		opt.NBest = 3
+	}
+	return &Manager{
+		cb:     cb,
+		engine: retrieval.NewEngine(cb, retrieval.Options{Threshold: opt.Threshold}),
+		sys:    sys,
+		tokens: retrieval.NewTokenCache(),
+		opt:    opt,
+	}
+}
+
+// Stats returns a copy of the counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// System returns the underlying run-time system.
+func (m *Manager) System() *rtsys.System { return m.sys }
+
+// Engine returns the retrieval engine (for inspection in reports).
+func (m *Manager) Engine() *retrieval.Engine { return m.engine }
+
+// TokenCache returns the bypass-token cache.
+func (m *Manager) TokenCache() *retrieval.TokenCache { return m.tokens }
+
+// Request allocates an implementation for a QoS function request on
+// behalf of app with the given base priority. On success the chosen
+// variant is placed and a task handle returned; the application still
+// has to advance the run-time clock past Decision.ReadyAt before the
+// function is usable.
+func (m *Manager) Request(app string, req casebase.Request, basePrio int) (*Decision, error) {
+	m.stats.Requests++
+
+	// Bypass-token shortcut: a repeated call with the same signature
+	// skips retrieval; "only an availability check on the function and
+	// its allocated resources has to be done" (§3).
+	if m.opt.UseBypassTokens {
+		if tok, ok := m.tokens.Lookup(req); ok {
+			if d, err := m.tryPlace(app, req, tok.Impl, tok.Similarity, basePrio); err == nil {
+				m.stats.TokenHits++
+				d.ViaToken = true
+				return d, nil
+			}
+			// Token's variant is momentarily infeasible; fall
+			// through to full retrieval.
+		}
+	}
+
+	m.stats.Retrievals++
+	candidates, err := m.engine.RetrieveN(req, m.opt.NBest)
+	if err != nil {
+		var nm *retrieval.ErrNoMatch
+		if errors.As(err, &nm) {
+			m.stats.Rejected++
+		}
+		return nil, err
+	}
+	m.rankForPower(req.Type, candidates)
+
+	// Feasibility check, best candidate first.
+	for _, cand := range candidates {
+		d, err := m.tryPlace(app, req, cand.Impl, cand.Similarity, basePrio)
+		if err == nil {
+			m.tokens.Store(req, retrieval.Token{
+				Type: req.Type, Impl: cand.Impl, Similarity: cand.Similarity,
+			})
+			return d, nil
+		}
+	}
+
+	// Nothing placeable without preemption; try evicting strictly
+	// lower-priority work for the best candidate.
+	if m.opt.AllowPreemption {
+		if d, err := m.tryPreemptivePlace(app, req, candidates, basePrio); err == nil {
+			return d, nil
+		}
+	}
+
+	m.stats.Infeasible++
+	return nil, &ErrNoFeasible{Alternatives: candidates}
+}
+
+// rankForPower re-sorts the candidate list by the power-discounted
+// score S - PowerWeight·(PowerMW/1000). A no-op when PowerWeight is 0.
+func (m *Manager) rankForPower(ty casebase.TypeID, candidates []retrieval.Result) {
+	if m.opt.PowerWeight == 0 {
+		return
+	}
+	score := func(r retrieval.Result) float64 {
+		im, err := m.implOf(ty, r.Impl)
+		if err != nil {
+			return r.Similarity
+		}
+		return r.Similarity - m.opt.PowerWeight*float64(im.Foot.PowerMW)/1000
+	}
+	sort.SliceStable(candidates, func(i, j int) bool {
+		return score(candidates[i]) > score(candidates[j])
+	})
+}
+
+// implOf resolves an implementation record.
+func (m *Manager) implOf(ty casebase.TypeID, id casebase.ImplID) (*casebase.Implementation, error) {
+	ft, ok := m.cb.Type(ty)
+	if !ok {
+		return nil, fmt.Errorf("alloc: unknown function type %d", ty)
+	}
+	im, ok := ft.Impl(id)
+	if !ok {
+		return nil, fmt.Errorf("alloc: type %d has no implementation %d", ty, id)
+	}
+	return im, nil
+}
+
+// tryPlace attempts to place an implementation on any device of its
+// target class with free capacity.
+func (m *Manager) tryPlace(app string, req casebase.Request, id casebase.ImplID, sim float64, basePrio int) (*Decision, error) {
+	im, err := m.implOf(req.Type, id)
+	if err != nil {
+		return nil, err
+	}
+	for _, dev := range m.sys.DevicesByKind(im.Target) {
+		if !dev.CanPlace(im.Foot) {
+			continue
+		}
+		task := m.sys.CreateTask(app, req.Type, basePrio)
+		if err := m.sys.Place(task, dev, im); err != nil {
+			// Capacity raced away or repository miss: finish the
+			// tentative task and keep looking.
+			_ = m.sys.Complete(task)
+			continue
+		}
+		m.stats.Placed++
+		return &Decision{
+			Task: task, Impl: id, Target: im.Target, Device: dev.Name(),
+			Similarity: sim, ReadyAt: task.ReadyAt,
+		}, nil
+	}
+	return nil, fmt.Errorf("alloc: no %v device has capacity for impl %d", im.Target, id)
+}
+
+// tryPreemptivePlace evicts the lowest-priority strictly-lower-priority
+// victim that frees enough capacity for the best-ranked candidate.
+func (m *Manager) tryPreemptivePlace(app string, req casebase.Request, candidates []retrieval.Result, basePrio int) (*Decision, error) {
+	for _, cand := range candidates {
+		im, err := m.implOf(req.Type, cand.Impl)
+		if err != nil {
+			continue
+		}
+		for _, dev := range m.sys.DevicesByKind(im.Target) {
+			victim := m.lowestVictim(dev, basePrio)
+			if victim == nil {
+				continue
+			}
+			if err := m.sys.Preempt(victim); err != nil {
+				continue
+			}
+			m.stats.Preemptions++
+			if !dev.CanPlace(im.Foot) {
+				// Even the freed capacity is not enough; the
+				// victim stays preempted and will re-bid with
+				// aged priority via ReplacePending.
+				continue
+			}
+			d, err := m.tryPlace(app, req, cand.Impl, cand.Similarity, basePrio)
+			if err != nil {
+				continue
+			}
+			d.Preempted = append(d.Preempted, victim.ID)
+			m.tokens.Store(req, retrieval.Token{
+				Type: req.Type, Impl: cand.Impl, Similarity: cand.Similarity,
+			})
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("alloc: preemption found no viable victim")
+}
+
+// lowestVictim returns the running/configuring task with the lowest
+// effective priority on dev, provided it is strictly below prio.
+func (m *Manager) lowestVictim(dev device.Device, prio int) *rtsys.Task {
+	var victim *rtsys.Task
+	victimPrio := prio // must be strictly below the requester
+	for _, pl := range dev.Placements() {
+		t, ok := m.sys.Task(rtsys.TaskID(pl.Task))
+		if !ok || (t.State != rtsys.Running && t.State != rtsys.Configuring) {
+			continue
+		}
+		p := m.sys.EffectivePriority(t)
+		if p < victimPrio {
+			victim = t
+			victimPrio = p
+		}
+	}
+	return victim
+}
+
+// Release completes a task and invalidates nothing: bypass tokens stay
+// valid because the variant choice is still correct for the signature.
+func (m *Manager) Release(id rtsys.TaskID) error {
+	t, ok := m.sys.Task(id)
+	if !ok {
+		return fmt.Errorf("alloc: unknown task %d", id)
+	}
+	return m.sys.Complete(t)
+}
+
+// ReplacePending sweeps preempted tasks in descending aged priority and
+// tries to re-place them on their previously chosen implementation —
+// the recovery half of the preemption story. It returns how many tasks
+// came back.
+func (m *Manager) ReplacePending() int {
+	placed := 0
+	for {
+		best := m.bestWaiting()
+		if best == nil {
+			return placed
+		}
+		im, err := m.implOf(best.Type, best.Impl)
+		if err != nil {
+			return placed
+		}
+		replaced := false
+		for _, dev := range m.sys.DevicesByKind(im.Target) {
+			if !dev.CanPlace(im.Foot) {
+				continue
+			}
+			if err := m.sys.Place(best, dev, im); err == nil {
+				placed++
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			return placed
+		}
+	}
+}
+
+// bestWaiting returns the preempted task with the highest aged priority.
+func (m *Manager) bestWaiting() *rtsys.Task {
+	var best *rtsys.Task
+	bestPrio := 0
+	for _, t := range m.sys.Tasks() {
+		if t.State != rtsys.Preempted {
+			continue
+		}
+		p := m.sys.EffectivePriority(t)
+		if best == nil || p > bestPrio {
+			best, bestPrio = t, p
+		}
+	}
+	return best
+}
+
+// InvalidateCaseBase drops all bypass tokens for a function type, the
+// hook a dynamic case-base update (the paper's future work) must call.
+func (m *Manager) InvalidateCaseBase(ty casebase.TypeID) int {
+	return m.tokens.InvalidateType(ty)
+}
+
+// UpdateCaseBase swaps in a revised case base — the §5 dynamic update,
+// produced by the learn package's Rebuild. The retrieval engine is
+// rebuilt over the new tree and every bypass token is invalidated, since
+// pinned selections may no longer be the best match. Tasks already
+// placed keep running; only future requests see the new tree.
+func (m *Manager) UpdateCaseBase(cb *casebase.CaseBase) {
+	m.cb = cb
+	m.engine = retrieval.NewEngine(cb, retrieval.Options{Threshold: m.opt.Threshold})
+	m.tokens.InvalidateAll()
+}

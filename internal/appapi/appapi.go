@@ -1,0 +1,189 @@
+// Package appapi is the paper's Application-API level (fig. 1): it
+// "offers services for communication, sub-function calls and quality of
+// service (QoS) negotiation" (§1). Applications open a session and issue
+// QoS function calls; the session drives the §3 negotiation protocol
+// against the allocation manager on their behalf:
+//
+//  1. request the function with the full constraint set;
+//  2. if nothing clears the similarity threshold, or nothing feasible
+//     remains, "repeat its request with rather relaxed constraints" —
+//     dropping attributes in the application's declared order of
+//     dispensability;
+//  3. if relaxations are exhausted, "the application can not call the
+//     function" and the call fails with the full negotiation trail
+//     attached.
+package appapi
+
+import (
+	"errors"
+	"fmt"
+
+	"qosalloc/internal/alloc"
+	"qosalloc/internal/attr"
+	"qosalloc/internal/casebase"
+	"qosalloc/internal/retrieval"
+	"qosalloc/internal/rtsys"
+)
+
+// Outcome classifies one negotiation step.
+type Outcome string
+
+// Negotiation step outcomes.
+const (
+	OutcomePlaced         Outcome = "placed"
+	OutcomeBelowThreshold Outcome = "below-threshold"
+	OutcomeInfeasible     Outcome = "infeasible"
+)
+
+// Step is one round of the negotiation trail.
+type Step struct {
+	Request casebase.Request
+	Outcome Outcome
+	// Relaxed is the attribute dropped before the next round (0 when
+	// this was the final round).
+	Relaxed attr.ID
+	// Alternatives carries the manager's counter-offers on an
+	// infeasible round.
+	Alternatives []retrieval.Result
+}
+
+// Call is one sub-function call made through the API.
+type Call struct {
+	Seq         int
+	Type        casebase.TypeID
+	Task        rtsys.TaskID
+	Impl        casebase.ImplID
+	Device      string
+	Similarity  float64
+	Relaxations int
+	Trail       []Step
+	released    bool
+}
+
+// ErrNegotiationFailed reports an exhausted negotiation with its trail.
+type ErrNegotiationFailed struct {
+	Type  casebase.TypeID
+	Trail []Step
+}
+
+func (e *ErrNegotiationFailed) Error() string {
+	return fmt.Sprintf("appapi: negotiation for function type %d failed after %d rounds",
+		e.Type, len(e.Trail))
+}
+
+// Options configure a session's negotiation behavior.
+type Options struct {
+	// RelaxOrder lists constraint attributes in the order the
+	// application is willing to give them up (most dispensable
+	// first). Attributes not listed are never relaxed.
+	RelaxOrder []attr.ID
+	// MaxRelaxations bounds the negotiation rounds beyond the first;
+	// zero means len(RelaxOrder).
+	MaxRelaxations int
+}
+
+// Session is an application's connection to the allocation layer.
+type Session struct {
+	app  string
+	prio int
+	mgr  *alloc.Manager
+	opt  Options
+	seq  int
+	live map[int]*Call
+}
+
+// NewSession opens a session for app at the given base priority.
+func NewSession(mgr *alloc.Manager, app string, prio int, opt Options) *Session {
+	if opt.MaxRelaxations <= 0 {
+		opt.MaxRelaxations = len(opt.RelaxOrder)
+	}
+	return &Session{app: app, prio: prio, mgr: mgr, opt: opt, live: make(map[int]*Call)}
+}
+
+// App returns the session's application name.
+func (s *Session) App() string { return s.app }
+
+// Live returns the number of unreleased calls.
+func (s *Session) Live() int { return len(s.live) }
+
+// Call requests a sub-function under QoS constraints, negotiating
+// relaxations as configured. On success the function is allocated and a
+// Call handle returned; the trail records every round either way.
+func (s *Session) Call(req casebase.Request) (*Call, error) {
+	c := &Call{Seq: s.seq, Type: req.Type}
+	s.seq++
+
+	current := req
+	relaxIdx := 0
+	for round := 0; ; round++ {
+		d, err := s.mgr.Request(s.app, current, s.prio)
+		if err == nil {
+			c.Trail = append(c.Trail, Step{Request: current, Outcome: OutcomePlaced})
+			c.Task = d.Task.ID
+			c.Impl = d.Impl
+			c.Device = string(d.Device)
+			c.Similarity = d.Similarity
+			c.Relaxations = round
+			s.live[c.Seq] = c
+			return c, nil
+		}
+
+		step := Step{Request: current}
+		var nm *retrieval.ErrNoMatch
+		var nf *alloc.ErrNoFeasible
+		switch {
+		case errors.As(err, &nm):
+			step.Outcome = OutcomeBelowThreshold
+		case errors.As(err, &nf):
+			step.Outcome = OutcomeInfeasible
+			step.Alternatives = nf.Alternatives
+		default:
+			// Validation errors etc. are not negotiable.
+			return nil, err
+		}
+
+		// Pick the next relaxable attribute actually present in the
+		// current constraint set.
+		relaxed := attr.ID(0)
+		for relaxIdx < len(s.opt.RelaxOrder) && round < s.opt.MaxRelaxations {
+			cand := s.opt.RelaxOrder[relaxIdx]
+			relaxIdx++
+			if next, ok := current.Relax(cand); ok {
+				relaxed = cand
+				current = next
+				break
+			}
+		}
+		step.Relaxed = relaxed
+		c.Trail = append(c.Trail, step)
+		if relaxed == 0 {
+			return nil, &ErrNegotiationFailed{Type: req.Type, Trail: c.Trail}
+		}
+	}
+}
+
+// Release finishes a call's function allocation.
+func (s *Session) Release(c *Call) error {
+	if c.released {
+		return fmt.Errorf("appapi: call %d already released", c.Seq)
+	}
+	if _, ok := s.live[c.Seq]; !ok {
+		return fmt.Errorf("appapi: call %d does not belong to this session", c.Seq)
+	}
+	if err := s.mgr.Release(c.Task); err != nil {
+		return err
+	}
+	c.released = true
+	delete(s.live, c.Seq)
+	return nil
+}
+
+// Close releases every live call of the session.
+func (s *Session) Close() error {
+	for _, c := range s.live {
+		if err := s.Release(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}

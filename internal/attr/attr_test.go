@@ -1,0 +1,207 @@
+package attr
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func paperRegistry(t *testing.T) *Registry {
+	t.Helper()
+	r := NewRegistry()
+	// The §3 FIR-equalizer attribute vocabulary with the Table 1 dmax
+	// values: bitwidth dmax=8, output-mode dmax=2, sample-rate dmax=36.
+	r.MustDefine(Def{ID: 1, Name: "bitwidth", Unit: "bits", Kind: Numeric, Lo: 8, Hi: 16})
+	r.MustDefine(Def{ID: 2, Name: "proc-mode", Kind: Flag, Lo: 0, Hi: 1, Symbols: []string{"integer", "float"}})
+	r.MustDefine(Def{ID: 3, Name: "output-mode", Kind: Ordinal, Lo: 0, Hi: 2, Symbols: []string{"mono", "stereo", "surround"}})
+	r.MustDefine(Def{ID: 4, Name: "sample-rate", Unit: "kS/s", Kind: Numeric, Lo: 8, Hi: 44})
+	return r
+}
+
+func TestPaperDMaxValues(t *testing.T) {
+	r := paperRegistry(t)
+	want := map[ID]uint16{1: 8, 2: 1, 3: 2, 4: 36}
+	for id, dm := range want {
+		got, err := r.DMax(id)
+		if err != nil {
+			t.Fatalf("DMax(%d): %v", id, err)
+		}
+		if got != dm {
+			t.Errorf("DMax(%d) = %d, want %d (Table 1)", id, got, dm)
+		}
+	}
+}
+
+func TestDefineRejectsReservedIDs(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Define(Def{ID: 0, Name: "bad"}); err == nil {
+		t.Error("ID 0 must be rejected (list terminator)")
+	}
+	if err := r.Define(Def{ID: 0xFFFF, Name: "bad"}); err == nil {
+		t.Error("ID 0xFFFF must be rejected (list terminator)")
+	}
+}
+
+func TestDefineRejectsDuplicates(t *testing.T) {
+	r := NewRegistry()
+	r.MustDefine(Def{ID: 7, Name: "a", Lo: 0, Hi: 1})
+	if err := r.Define(Def{ID: 7, Name: "b", Lo: 0, Hi: 1}); err == nil {
+		t.Error("duplicate ID must be rejected")
+	}
+}
+
+func TestDefineRejectsInvertedBounds(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Define(Def{ID: 3, Name: "x", Lo: 10, Hi: 2}); err == nil {
+		t.Error("inverted bounds must be rejected")
+	}
+}
+
+func TestDefineRejectsBadSymbolCount(t *testing.T) {
+	r := NewRegistry()
+	err := r.Define(Def{ID: 3, Name: "x", Lo: 0, Hi: 2, Symbols: []string{"only-one"}})
+	if err == nil {
+		t.Error("mismatched symbol table must be rejected")
+	}
+}
+
+func TestSealPreventsDefine(t *testing.T) {
+	r := NewRegistry()
+	r.MustDefine(Def{ID: 1, Name: "a", Lo: 0, Hi: 1})
+	r.Seal()
+	if !r.Sealed() {
+		t.Error("Sealed() should be true")
+	}
+	if err := r.Define(Def{ID: 2, Name: "b", Lo: 0, Hi: 1}); err == nil {
+		t.Error("Define after Seal must fail")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	r := paperRegistry(t)
+	if err := r.Validate(Pair{ID: 1, Value: 16}); err != nil {
+		t.Errorf("valid pair rejected: %v", err)
+	}
+	if err := r.Validate(Pair{ID: 1, Value: 32}); err == nil {
+		t.Error("out-of-bounds value must be rejected")
+	}
+	if err := r.Validate(Pair{ID: 99, Value: 0}); err == nil {
+		t.Error("unknown ID must be rejected")
+	}
+}
+
+func TestIDsAscending(t *testing.T) {
+	r := NewRegistry()
+	for _, id := range []ID{40, 3, 17, 9} {
+		r.MustDefine(Def{ID: id, Name: "x", Lo: 0, Hi: 1})
+	}
+	ids := r.IDs()
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Fatalf("IDs() not ascending: %v", ids)
+		}
+	}
+	if len(ids) != 4 {
+		t.Fatalf("len(IDs()) = %d", len(ids))
+	}
+}
+
+func TestSymbolFor(t *testing.T) {
+	r := paperRegistry(t)
+	d, _ := r.Lookup(3)
+	if got := d.SymbolFor(1); got != "stereo" {
+		t.Errorf("SymbolFor(1) = %q, want stereo", got)
+	}
+	d, _ = r.Lookup(4)
+	if got := d.SymbolFor(44); !strings.Contains(got, "44") || !strings.Contains(got, "kS/s") {
+		t.Errorf("SymbolFor(44) = %q", got)
+	}
+	d, _ = r.Lookup(3)
+	if got := d.SymbolFor(9); got != "9" {
+		t.Errorf("out-of-table symbol = %q, want numeric fallback", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Numeric.String() != "numeric" || Ordinal.String() != "ordinal" || Flag.String() != "flag" {
+		t.Error("Kind.String basic names wrong")
+	}
+	if !strings.Contains(Kind(9).String(), "9") {
+		t.Error("unknown Kind should render its number")
+	}
+}
+
+func TestSortPairsAndCheckSorted(t *testing.T) {
+	ps := []Pair{{ID: 4, Value: 40}, {ID: 1, Value: 16}, {ID: 3, Value: 1}}
+	if err := CheckSorted(ps); err == nil {
+		t.Error("unsorted pairs must fail CheckSorted")
+	}
+	SortPairs(ps)
+	if err := CheckSorted(ps); err != nil {
+		t.Errorf("sorted pairs rejected: %v", err)
+	}
+	if ps[0].ID != 1 || ps[2].ID != 4 {
+		t.Errorf("SortPairs order wrong: %v", ps)
+	}
+	// Duplicates rejected.
+	dup := []Pair{{ID: 2, Value: 0}, {ID: 2, Value: 1}}
+	if err := CheckSorted(dup); err == nil {
+		t.Error("duplicate IDs must fail CheckSorted")
+	}
+}
+
+// Property: SortPairs output always passes CheckSorted when IDs are unique.
+func TestSortPairsProperty(t *testing.T) {
+	f := func(ids []uint16) bool {
+		seen := map[uint16]bool{}
+		var ps []Pair
+		for _, id := range ids {
+			if id == 0 || seen[id] {
+				continue
+			}
+			seen[id] = true
+			ps = append(ps, Pair{ID: ID(id), Value: Value(id)})
+		}
+		SortPairs(ps)
+		return CheckSorted(ps) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestByName(t *testing.T) {
+	r := paperRegistry(t)
+	d, ok := r.ByName("sample-rate")
+	if !ok || d.ID != 4 {
+		t.Errorf("ByName = %+v, %v", d, ok)
+	}
+	if _, ok := r.ByName("nope"); ok {
+		t.Error("unknown name must miss")
+	}
+	// Duplicate names resolve to the lowest ID.
+	dup := NewRegistry()
+	dup.MustDefine(Def{ID: 9, Name: "x", Lo: 0, Hi: 1})
+	dup.MustDefine(Def{ID: 3, Name: "x", Lo: 0, Hi: 1})
+	if d, _ := dup.ByName("x"); d.ID != 3 {
+		t.Errorf("duplicate name resolved to %d, want 3", d.ID)
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	r := paperRegistry(t)
+	om, _ := r.Lookup(3)
+	if v, err := om.ParseValue("stereo"); err != nil || v != 1 {
+		t.Errorf("ParseValue(stereo) = %d, %v", v, err)
+	}
+	if v, err := om.ParseValue("2"); err != nil || v != 2 {
+		t.Errorf("ParseValue(2) = %d, %v", v, err)
+	}
+	sr, _ := r.Lookup(4)
+	if v, err := sr.ParseValue("0x2C"); err != nil || v != 44 {
+		t.Errorf("ParseValue(0x2C) = %d, %v", v, err)
+	}
+	if _, err := sr.ParseValue("fast"); err == nil {
+		t.Error("non-symbol non-number must fail")
+	}
+}

@@ -1,0 +1,282 @@
+// Package casebase models the function implementation tree of the paper
+// (fig. 3 / fig. 5): a hierarchy whose top level enumerates the offered
+// basic function types and whose lower levels describe, per type, the
+// available implementation variants with their QoS attribute sets.
+//
+// The case base is a design-time artifact: "such metrics which characterize
+// a functionality on QoS-aspects have to be pre-defined by the designer as
+// a set of attributes whose values are derived from simulations and tests
+// of the function's model" (§3). At run time it is read-only for
+// retrieval; dynamic update is the paper's future work and is supported
+// here through the Builder so a self-learning layer can regenerate it.
+package casebase
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"qosalloc/internal/attr"
+)
+
+// TypeID identifies a basic function type system-wide ("global
+// function-ID", §3). 0 and 0xFFFF are reserved as list terminators.
+type TypeID uint16
+
+// ImplID identifies one implementation variant. The paper allows "a unique
+// system-global or a local ID value"; we use values unique within their
+// function type, which is what the memory image encodes.
+type ImplID uint16
+
+// Target names the execution resource class of an implementation variant,
+// matching the paper's example targets (FPGA, DSP, general-purpose
+// processor).
+type Target uint8
+
+const (
+	// TargetFPGA marks a partial bitstream for a reconfigurable device.
+	TargetFPGA Target = iota
+	// TargetDSP marks a DSP binary.
+	TargetDSP
+	// TargetGPP marks a software task for a general-purpose processor
+	// (including soft cores like the MicroBlaze).
+	TargetGPP
+)
+
+// String returns the conventional short target name.
+func (t Target) String() string {
+	switch t {
+	case TargetFPGA:
+		return "FPGA"
+	case TargetDSP:
+		return "DSP"
+	case TargetGPP:
+		return "GP-Proc"
+	default:
+		return fmt.Sprintf("Target(%d)", uint8(t))
+	}
+}
+
+// Footprint describes what an implementation consumes when instantiated.
+// The retrieval step ignores it; the allocation manager uses it for the
+// feasibility check against current system load (§2, §3). ConfigBytes is
+// the size of the configuration data (CPU opcode / FPGA bitstream) held in
+// the global function repository.
+type Footprint struct {
+	Slices      int // CLB slices on FPGA targets
+	BRAMs       int // block RAMs on FPGA targets
+	Multipliers int // dedicated multipliers on FPGA targets
+	CPULoad     int // permille of a processor for DSP/GPP targets
+	MemBytes    int // working memory for DSP/GPP targets
+	PowerMW     int // estimated power consumption, milliwatts
+	ConfigBytes int // bitstream/opcode size in the repository
+}
+
+// Implementation is one variant of a function type: a target, its QoS
+// attribute set (pre-sorted by attribute ID) and its resource footprint.
+type Implementation struct {
+	ID     ImplID
+	Name   string
+	Target Target
+	Attrs  []attr.Pair
+	Foot   Footprint
+}
+
+// Attr returns the value of attribute id, with ok=false when the variant
+// does not describe that attribute ("a missing attribute can be seen as
+// unsatisfiable requirement", §3).
+func (im *Implementation) Attr(id attr.ID) (attr.Value, bool) {
+	// Attrs is sorted; binary search keeps large attribute sets cheap.
+	i := sort.Search(len(im.Attrs), func(i int) bool { return im.Attrs[i].ID >= id })
+	if i < len(im.Attrs) && im.Attrs[i].ID == id {
+		return im.Attrs[i].Value, true
+	}
+	return 0, false
+}
+
+// FunctionType is one node of the top-level list: a basic function type
+// and its implementation variants, sorted by implementation ID.
+type FunctionType struct {
+	ID    TypeID
+	Name  string
+	Impls []Implementation
+}
+
+// Impl returns the variant with the given ID.
+func (ft *FunctionType) Impl(id ImplID) (*Implementation, bool) {
+	for i := range ft.Impls {
+		if ft.Impls[i].ID == id {
+			return &ft.Impls[i], true
+		}
+	}
+	return nil, false
+}
+
+// CaseBase is the complete, validated implementation tree together with
+// the attribute registry that defines the design-global value bounds.
+type CaseBase struct {
+	registry *attr.Registry
+	types    []FunctionType // sorted by TypeID
+	byID     map[TypeID]int
+}
+
+// Registry returns the attribute registry the case base was built
+// against.
+func (cb *CaseBase) Registry() *attr.Registry { return cb.registry }
+
+// Types returns the function types in ascending TypeID order. The slice
+// is shared; callers must not mutate it.
+func (cb *CaseBase) Types() []FunctionType { return cb.types }
+
+// Type returns the function type entry for id. Retrieval begins with this
+// lookup ("as first step all function type entries have to be checked for
+// finding the required type", §3).
+func (cb *CaseBase) Type(id TypeID) (*FunctionType, bool) {
+	i, ok := cb.byID[id]
+	if !ok {
+		return nil, false
+	}
+	return &cb.types[i], true
+}
+
+// NumTypes returns the number of basic function types offered.
+func (cb *CaseBase) NumTypes() int { return len(cb.types) }
+
+// NumImpls returns the total number of implementation variants.
+func (cb *CaseBase) NumImpls() int {
+	n := 0
+	for i := range cb.types {
+		n += len(cb.types[i].Impls)
+	}
+	return n
+}
+
+// Stats summarizes case-base shape; used for capacity planning against
+// Table 3.
+type Stats struct {
+	Types        int
+	Impls        int
+	Attrs        int
+	MaxImpls     int // max implementations within one type
+	MaxAttrs     int // max attributes within one implementation
+	AttrTypeUniv int // distinct attribute types referenced
+}
+
+// Stats computes summary statistics of the tree.
+func (cb *CaseBase) Stats() Stats {
+	s := Stats{Types: len(cb.types)}
+	universe := map[attr.ID]bool{}
+	for i := range cb.types {
+		ft := &cb.types[i]
+		s.Impls += len(ft.Impls)
+		if len(ft.Impls) > s.MaxImpls {
+			s.MaxImpls = len(ft.Impls)
+		}
+		for j := range ft.Impls {
+			im := &ft.Impls[j]
+			s.Attrs += len(im.Attrs)
+			if len(im.Attrs) > s.MaxAttrs {
+				s.MaxAttrs = len(im.Attrs)
+			}
+			for _, p := range im.Attrs {
+				universe[p.ID] = true
+			}
+		}
+	}
+	s.AttrTypeUniv = len(universe)
+	return s
+}
+
+// Builder accumulates function types and implementations and validates
+// them into an immutable CaseBase.
+type Builder struct {
+	registry *attr.Registry
+	types    map[TypeID]*FunctionType
+	order    []TypeID
+	errs     []error
+}
+
+// NewBuilder returns a Builder validating against reg. The registry
+// should be sealed before Build; Build seals it otherwise.
+func NewBuilder(reg *attr.Registry) *Builder {
+	return &Builder{registry: reg, types: make(map[TypeID]*FunctionType)}
+}
+
+// AddType declares a function type. Duplicate or reserved IDs are
+// recorded as errors reported by Build.
+func (b *Builder) AddType(id TypeID, name string) *Builder {
+	if id == 0 || id == 0xFFFF {
+		b.errs = append(b.errs, fmt.Errorf("casebase: type ID %d is reserved", id))
+		return b
+	}
+	if _, dup := b.types[id]; dup {
+		b.errs = append(b.errs, fmt.Errorf("casebase: duplicate function type %d", id))
+		return b
+	}
+	b.types[id] = &FunctionType{ID: id, Name: name}
+	b.order = append(b.order, id)
+	return b
+}
+
+// AddImpl attaches an implementation variant to a previously declared
+// type. Attribute pairs are sorted by ID here; validation happens in
+// Build.
+func (b *Builder) AddImpl(t TypeID, im Implementation) *Builder {
+	ft, ok := b.types[t]
+	if !ok {
+		b.errs = append(b.errs, fmt.Errorf("casebase: AddImpl for undeclared type %d", t))
+		return b
+	}
+	if im.ID == 0 || im.ID == 0xFFFF {
+		b.errs = append(b.errs, fmt.Errorf("casebase: impl ID %d is reserved (type %d)", im.ID, t))
+		return b
+	}
+	if _, dup := ft.Impl(im.ID); dup {
+		b.errs = append(b.errs, fmt.Errorf("casebase: duplicate impl %d in type %d", im.ID, t))
+		return b
+	}
+	im.Attrs = append([]attr.Pair(nil), im.Attrs...)
+	attr.SortPairs(im.Attrs)
+	ft.Impls = append(ft.Impls, im)
+	return b
+}
+
+// Build validates everything and returns the immutable case base:
+//   - every attribute pair references a defined attribute type and lies
+//     within its design-global bounds;
+//   - attribute lists are strictly ascending (one value per type);
+//   - every function type offers at least one implementation (§3: "it
+//     should not happen that the desired type is not found").
+func (b *Builder) Build() (*CaseBase, error) {
+	errs := append([]error(nil), b.errs...)
+	cb := &CaseBase{registry: b.registry, byID: make(map[TypeID]int)}
+	ids := append([]TypeID(nil), b.order...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		ft := b.types[id]
+		if len(ft.Impls) == 0 {
+			errs = append(errs, fmt.Errorf("casebase: function type %d (%s) has no implementations", ft.ID, ft.Name))
+		}
+		sort.Slice(ft.Impls, func(i, j int) bool { return ft.Impls[i].ID < ft.Impls[j].ID })
+		for i := range ft.Impls {
+			im := &ft.Impls[i]
+			if err := attr.CheckSorted(im.Attrs); err != nil {
+				errs = append(errs, fmt.Errorf("casebase: type %d impl %d: %w", ft.ID, im.ID, err))
+			}
+			for _, p := range im.Attrs {
+				if err := b.registry.Validate(p); err != nil {
+					errs = append(errs, fmt.Errorf("casebase: type %d impl %d: %w", ft.ID, im.ID, err))
+				}
+			}
+		}
+		cb.byID[ft.ID] = len(cb.types)
+		cb.types = append(cb.types, *ft)
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+	if !b.registry.Sealed() {
+		b.registry.Seal()
+	}
+	return cb, nil
+}

@@ -1,0 +1,184 @@
+package casebase
+
+import (
+	"testing"
+
+	"qosalloc/internal/attr"
+)
+
+func TestPaperCaseBaseBuilds(t *testing.T) {
+	cb, err := PaperCaseBase()
+	if err != nil {
+		t.Fatalf("PaperCaseBase: %v", err)
+	}
+	if cb.NumTypes() != 2 {
+		t.Errorf("NumTypes = %d, want 2 (FIR equalizer, 1D-FFT)", cb.NumTypes())
+	}
+	if cb.NumImpls() != 5 {
+		t.Errorf("NumImpls = %d, want 5", cb.NumImpls())
+	}
+	ft, ok := cb.Type(TypeFIREqualizer)
+	if !ok {
+		t.Fatal("FIR equalizer type missing")
+	}
+	if len(ft.Impls) != 3 {
+		t.Fatalf("FIR equalizer has %d impls, want 3", len(ft.Impls))
+	}
+	// Fig. 3 values, spot-checked.
+	dsp, ok := ft.Impl(2)
+	if !ok || dsp.Target != TargetDSP {
+		t.Fatal("impl 2 should be the DSP variant")
+	}
+	if v, ok := dsp.Attr(AttrOutputMode); !ok || v != 1 {
+		t.Errorf("DSP output mode = %d,%v, want 1 (stereo)", v, ok)
+	}
+	gpp, _ := ft.Impl(3)
+	if v, ok := gpp.Attr(AttrSampleRate); !ok || v != 22 {
+		t.Errorf("GPP sample rate = %d,%v, want 22", v, ok)
+	}
+}
+
+func TestImplAttrMissing(t *testing.T) {
+	cb, _ := PaperCaseBase()
+	ft, _ := cb.Type(Type1DFFT)
+	im, _ := ft.Impl(1)
+	if _, ok := im.Attr(AttrOutputMode); ok {
+		t.Error("FFT FPGA variant should not define output-mode")
+	}
+	if v, ok := im.Attr(AttrBitwidth); !ok || v != 16 {
+		t.Errorf("Attr(bitwidth) = %d,%v", v, ok)
+	}
+}
+
+func TestTypeLookupMiss(t *testing.T) {
+	cb, _ := PaperCaseBase()
+	if _, ok := cb.Type(999); ok {
+		t.Error("lookup of unknown type must fail")
+	}
+}
+
+func TestStats(t *testing.T) {
+	cb, _ := PaperCaseBase()
+	s := cb.Stats()
+	if s.Types != 2 || s.Impls != 5 {
+		t.Errorf("Stats = %+v", s)
+	}
+	if s.MaxImpls != 3 {
+		t.Errorf("MaxImpls = %d, want 3", s.MaxImpls)
+	}
+	if s.MaxAttrs != 4 {
+		t.Errorf("MaxAttrs = %d, want 4", s.MaxAttrs)
+	}
+	if s.AttrTypeUniv != 4 {
+		t.Errorf("AttrTypeUniv = %d, want 4", s.AttrTypeUniv)
+	}
+}
+
+func TestBuilderRejectsReservedTypeID(t *testing.T) {
+	for _, id := range []TypeID{0, 0xFFFF} {
+		b := NewBuilder(PaperRegistry())
+		b.AddType(id, "bad")
+		if _, err := b.Build(); err == nil {
+			t.Errorf("type ID %d must be rejected", id)
+		}
+	}
+}
+
+func TestBuilderRejectsDuplicateType(t *testing.T) {
+	b := NewBuilder(PaperRegistry())
+	b.AddType(1, "a").AddType(1, "b")
+	b.AddImpl(1, Implementation{ID: 1})
+	if _, err := b.Build(); err == nil {
+		t.Error("duplicate type must be rejected")
+	}
+}
+
+func TestBuilderRejectsEmptyType(t *testing.T) {
+	b := NewBuilder(PaperRegistry())
+	b.AddType(1, "empty")
+	if _, err := b.Build(); err == nil {
+		t.Error("type without implementations must be rejected")
+	}
+}
+
+func TestBuilderRejectsUndeclaredType(t *testing.T) {
+	b := NewBuilder(PaperRegistry())
+	b.AddImpl(42, Implementation{ID: 1})
+	if _, err := b.Build(); err == nil {
+		t.Error("AddImpl to undeclared type must be rejected")
+	}
+}
+
+func TestBuilderRejectsDuplicateImpl(t *testing.T) {
+	b := NewBuilder(PaperRegistry())
+	b.AddType(1, "t")
+	b.AddImpl(1, Implementation{ID: 5})
+	b.AddImpl(1, Implementation{ID: 5})
+	if _, err := b.Build(); err == nil {
+		t.Error("duplicate impl ID must be rejected")
+	}
+}
+
+func TestBuilderRejectsReservedImplID(t *testing.T) {
+	b := NewBuilder(PaperRegistry())
+	b.AddType(1, "t")
+	b.AddImpl(1, Implementation{ID: 0xFFFF})
+	if _, err := b.Build(); err == nil {
+		t.Error("reserved impl ID must be rejected")
+	}
+}
+
+func TestBuilderRejectsOutOfBoundsAttr(t *testing.T) {
+	b := NewBuilder(PaperRegistry())
+	b.AddType(1, "t")
+	b.AddImpl(1, Implementation{ID: 1, Attrs: []attr.Pair{{ID: AttrBitwidth, Value: 64}}})
+	if _, err := b.Build(); err == nil {
+		t.Error("out-of-bounds attribute must be rejected")
+	}
+}
+
+func TestBuilderRejectsUnknownAttr(t *testing.T) {
+	b := NewBuilder(PaperRegistry())
+	b.AddType(1, "t")
+	b.AddImpl(1, Implementation{ID: 1, Attrs: []attr.Pair{{ID: 99, Value: 1}}})
+	if _, err := b.Build(); err == nil {
+		t.Error("unknown attribute ID must be rejected")
+	}
+}
+
+func TestBuilderSortsImplAttrs(t *testing.T) {
+	b := NewBuilder(PaperRegistry())
+	b.AddType(1, "t")
+	b.AddImpl(1, Implementation{ID: 1, Attrs: []attr.Pair{
+		{ID: AttrSampleRate, Value: 44},
+		{ID: AttrBitwidth, Value: 16},
+	}})
+	cb, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, _ := cb.Type(1)
+	im, _ := ft.Impl(1)
+	if im.Attrs[0].ID != AttrBitwidth {
+		t.Errorf("attrs not sorted: %v", im.Attrs)
+	}
+}
+
+func TestBuildSealsRegistry(t *testing.T) {
+	reg := PaperRegistry()
+	b := NewBuilder(reg)
+	b.AddType(1, "t")
+	b.AddImpl(1, Implementation{ID: 1, Attrs: []attr.Pair{{ID: AttrBitwidth, Value: 8}}})
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if !reg.Sealed() {
+		t.Error("Build must seal the registry")
+	}
+}
+
+func TestTargetString(t *testing.T) {
+	if TargetFPGA.String() != "FPGA" || TargetDSP.String() != "DSP" || TargetGPP.String() != "GP-Proc" {
+		t.Error("Target.String names wrong")
+	}
+}

@@ -1,0 +1,108 @@
+package casebase
+
+import "qosalloc/internal/attr"
+
+// Attribute IDs of the paper's §3 example (fig. 3: ACB_1 ... ACB_4).
+const (
+	AttrBitwidth   attr.ID = 1 // processing bitwidth, bits
+	AttrProcMode   attr.ID = 2 // 0 = integer, 1 = float
+	AttrOutputMode attr.ID = 3 // 0 = mono, 1 = stereo, 2 = surround
+	AttrSampleRate attr.ID = 4 // kSamples/s
+)
+
+// Function type IDs of fig. 3.
+const (
+	TypeFIREqualizer TypeID = 1
+	Type1DFFT        TypeID = 2
+)
+
+// PaperRegistry returns the attribute registry of the §3 example with the
+// design-global bounds that yield the Table 1 dmax values: bitwidth
+// dmax = 16-8 = 8, output mode dmax = 2-0 = 2, sample rate dmax = 44-8 = 36.
+// The processing-mode flag has dmax = 1.
+func PaperRegistry() *attr.Registry {
+	r := attr.NewRegistry()
+	r.MustDefine(attr.Def{ID: AttrBitwidth, Name: "bitwidth", Unit: "bits", Kind: attr.Numeric, Lo: 8, Hi: 16})
+	r.MustDefine(attr.Def{ID: AttrProcMode, Name: "proc-mode", Kind: attr.Flag, Lo: 0, Hi: 1,
+		Symbols: []string{"integer", "float"}})
+	r.MustDefine(attr.Def{ID: AttrOutputMode, Name: "output-mode", Kind: attr.Ordinal, Lo: 0, Hi: 2,
+		Symbols: []string{"mono", "stereo", "surround"}})
+	r.MustDefine(attr.Def{ID: AttrSampleRate, Name: "sample-rate", Unit: "kS/s", Kind: attr.Numeric, Lo: 8, Hi: 44})
+	return r
+}
+
+// PaperCaseBase returns the fig. 3 implementation tree: an FIR-equalizer
+// type with FPGA, DSP and GP-Proc variants (attribute values exactly as
+// printed) plus the 1D-FFT type the figure shows as the next tree entry.
+// Footprints are illustrative values consistent with the paper's system
+// sketch; retrieval ignores them.
+func PaperCaseBase() (*CaseBase, error) {
+	reg := PaperRegistry()
+	b := NewBuilder(reg)
+
+	b.AddType(TypeFIREqualizer, "FIR Equalizer")
+	b.AddImpl(TypeFIREqualizer, Implementation{
+		ID: 1, Name: "fir-eq-fpga", Target: TargetFPGA,
+		Attrs: []attr.Pair{
+			{ID: AttrBitwidth, Value: 16},
+			{ID: AttrProcMode, Value: 0},   // integer mode
+			{ID: AttrOutputMode, Value: 2}, // surround
+			{ID: AttrSampleRate, Value: 44},
+		},
+		Foot: Footprint{Slices: 920, BRAMs: 4, Multipliers: 8, PowerMW: 310, ConfigBytes: 96 * 1024},
+	})
+	b.AddImpl(TypeFIREqualizer, Implementation{
+		ID: 2, Name: "fir-eq-dsp", Target: TargetDSP,
+		Attrs: []attr.Pair{
+			{ID: AttrBitwidth, Value: 16},
+			{ID: AttrProcMode, Value: 0},   // integer mode
+			{ID: AttrOutputMode, Value: 1}, // stereo
+			{ID: AttrSampleRate, Value: 44},
+		},
+		Foot: Footprint{CPULoad: 450, MemBytes: 24 * 1024, PowerMW: 220, ConfigBytes: 18 * 1024},
+	})
+	b.AddImpl(TypeFIREqualizer, Implementation{
+		ID: 3, Name: "fir-eq-gpp", Target: TargetGPP,
+		Attrs: []attr.Pair{
+			{ID: AttrBitwidth, Value: 8},
+			{ID: AttrProcMode, Value: 0},   // integer mode
+			{ID: AttrOutputMode, Value: 0}, // mono
+			{ID: AttrSampleRate, Value: 22},
+		},
+		Foot: Footprint{CPULoad: 700, MemBytes: 8 * 1024, PowerMW: 150, ConfigBytes: 2 * 1024},
+	})
+
+	b.AddType(Type1DFFT, "1D-FFT")
+	b.AddImpl(Type1DFFT, Implementation{
+		ID: 1, Name: "fft-fpga", Target: TargetFPGA,
+		Attrs: []attr.Pair{
+			{ID: AttrBitwidth, Value: 16},
+			{ID: AttrProcMode, Value: 0},
+			{ID: AttrSampleRate, Value: 44},
+		},
+		Foot: Footprint{Slices: 1400, BRAMs: 6, Multipliers: 12, PowerMW: 380, ConfigBytes: 128 * 1024},
+	})
+	b.AddImpl(Type1DFFT, Implementation{
+		ID: 2, Name: "fft-gpp", Target: TargetGPP,
+		Attrs: []attr.Pair{
+			{ID: AttrBitwidth, Value: 16},
+			{ID: AttrProcMode, Value: 1}, // float
+			{ID: AttrSampleRate, Value: 22},
+		},
+		Foot: Footprint{CPULoad: 850, MemBytes: 32 * 1024, PowerMW: 160, ConfigBytes: 6 * 1024},
+	})
+
+	return b.Build()
+}
+
+// PaperRequest returns the fig. 3 function request: an FIR equalizer with
+// bitwidth 16, stereo output and 40 kSamples/s, equally weighted
+// (w_i = 1/3). The processing-mode attribute is deliberately left
+// unconstrained, demonstrating incomplete request subsets.
+func PaperRequest() Request {
+	return NewRequest(TypeFIREqualizer,
+		Constraint{ID: AttrBitwidth, Value: 16},
+		Constraint{ID: AttrOutputMode, Value: 1}, // stereo
+		Constraint{ID: AttrSampleRate, Value: 40},
+	).EqualWeights()
+}

@@ -1,0 +1,121 @@
+package cbjson
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"qosalloc/internal/casebase"
+	"qosalloc/internal/memlist"
+	"qosalloc/internal/retrieval"
+	"qosalloc/internal/workload"
+)
+
+func TestRoundTripPaperCaseBase(t *testing.T) {
+	cb, err := casebase.PaperCaseBase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, cb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structural equality via identical memory images — the strongest
+	// cheap check.
+	a, err := memlist.EncodeTree(cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := memlist.EncodeTree(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Words) != len(b.Words) {
+		t.Fatalf("tree sizes differ: %d vs %d", len(a.Words), len(b.Words))
+	}
+	for i := range a.Words {
+		if a.Words[i] != b.Words[i] {
+			t.Fatalf("tree word %d differs", i)
+		}
+	}
+	sa := memlist.EncodeSupplemental(cb.Registry())
+	sb := memlist.EncodeSupplemental(back.Registry())
+	if len(sa.Words) != len(sb.Words) {
+		t.Fatal("supplemental sizes differ")
+	}
+	// Retrieval equivalence.
+	e1 := retrieval.NewEngine(cb, retrieval.Options{})
+	e2 := retrieval.NewEngine(back, retrieval.Options{})
+	r1, _ := e1.Retrieve(casebase.PaperRequest())
+	r2, _ := e2.Retrieve(casebase.PaperRequest())
+	if r1.Impl != r2.Impl || r1.Similarity != r2.Similarity {
+		t.Errorf("retrieval differs after round trip: %+v vs %+v", r1, r2)
+	}
+	// Footprints survive.
+	ft, _ := back.Type(casebase.TypeFIREqualizer)
+	im, _ := ft.Impl(1)
+	if im.Foot.Slices != 920 || im.Foot.ConfigBytes != 96*1024 {
+		t.Errorf("footprint lost: %+v", im.Foot)
+	}
+	if im.Target != casebase.TargetFPGA {
+		t.Errorf("target lost: %v", im.Target)
+	}
+}
+
+func TestRoundTripGeneratedCaseBase(t *testing.T) {
+	cb, _, err := workload.GenCaseBase(workload.PaperScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, cb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumTypes() != cb.NumTypes() || back.NumImpls() != cb.NumImpls() {
+		t.Errorf("shape lost: %d/%d vs %d/%d",
+			back.NumTypes(), back.NumImpls(), cb.NumTypes(), cb.NumImpls())
+	}
+}
+
+func TestDecodeRejectsBadDocuments(t *testing.T) {
+	cases := map[string]string{
+		"bad json":       `{`,
+		"wrong version":  `{"version": 99, "attributes": [], "types": []}`,
+		"unknown kind":   `{"version": 1, "attributes": [{"id":1,"name":"a","kind":"weird","lo":0,"hi":1}], "types": []}`,
+		"unknown target": `{"version": 1, "attributes": [{"id":1,"name":"a","kind":"numeric","lo":0,"hi":1}], "types": [{"id":1,"name":"t","implementations":[{"id":1,"target":"asic","attributes":[]}]}]}`,
+		"unknown field":  `{"version": 1, "bogus": true, "attributes": [], "types": []}`,
+		"empty type":     `{"version": 1, "attributes": [{"id":1,"name":"a","kind":"numeric","lo":0,"hi":1}], "types": [{"id":1,"name":"t","implementations":[]}]}`,
+		"oob attr value": `{"version": 1, "attributes": [{"id":1,"name":"a","kind":"numeric","lo":0,"hi":1}], "types": [{"id":1,"name":"t","implementations":[{"id":1,"target":"gpp","attributes":[{"id":1,"value":9}]}]}]}`,
+		"dup attribute":  `{"version": 1, "attributes": [{"id":1,"name":"a","kind":"numeric","lo":0,"hi":1},{"id":1,"name":"b","kind":"numeric","lo":0,"hi":1}], "types": []}`,
+	}
+	for name, doc := range cases {
+		if _, err := Decode(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: decode should fail", name)
+		}
+	}
+}
+
+func TestEncodeIsStable(t *testing.T) {
+	cb, _ := casebase.PaperCaseBase()
+	var a, b bytes.Buffer
+	if err := Encode(&a, cb); err != nil {
+		t.Fatal(err)
+	}
+	if err := Encode(&b, cb); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("encoding must be deterministic")
+	}
+	if !strings.Contains(a.String(), `"version": 1`) {
+		t.Error("version missing")
+	}
+}

@@ -1,0 +1,292 @@
+// Package device models the execution resources of the paper's fig. 1
+// platform: run-time reconfigurable FPGAs with partially reconfigurable
+// slots, DSPs, general-purpose processors, and the FLASH
+// "Opcode/Bitstream-Repository" that feeds them. The allocation manager
+// (package alloc) consults these models for its feasibility check —
+// "checking the current system load and resource consumption state
+// concerning the feasibility of a best matching implementation" (§2).
+//
+// Time is modeled in microseconds so reconfiguration latencies (tens of
+// milliseconds for Virtex-II partial bitstreams) and task lifetimes
+// compose in one integer timeline.
+package device
+
+import (
+	"fmt"
+	"sort"
+
+	"qosalloc/internal/casebase"
+)
+
+// Micros is a time quantity in microseconds.
+type Micros uint64
+
+// ID names a device instance.
+type ID string
+
+// Placement is a live occupancy record: which implementation of which
+// function type occupies which capacity, on behalf of which task.
+type Placement struct {
+	Task  int // task handle issued by the run-time system
+	Type  casebase.TypeID
+	Impl  casebase.ImplID
+	Foot  casebase.Footprint
+	Slot  int // FPGA slot index; -1 on processors
+	Since Micros
+	Ready Micros // when configuration completed / will complete
+	Prio  int    // scheduling priority (higher = more important)
+}
+
+// Device is an execution resource that can host function
+// implementations.
+type Device interface {
+	// Name returns the device instance name.
+	Name() ID
+	// Kind returns the implementation target class this device hosts.
+	Kind() casebase.Target
+	// CanPlace reports whether the footprint fits right now, without
+	// preemption.
+	CanPlace(f casebase.Footprint) bool
+	// Place commits the footprint at time now and returns the
+	// placement (with its Ready time). It fails when CanPlace would
+	// be false.
+	Place(task int, ty casebase.TypeID, im casebase.ImplID, f casebase.Footprint, prio int, now Micros) (*Placement, error)
+	// Remove releases a placement by task handle.
+	Remove(task int) error
+	// Placements returns live placements, ordered by task handle.
+	Placements() []*Placement
+	// PowerMW returns current dynamic power: the sum over placements.
+	PowerMW() int
+}
+
+// --- FPGA -------------------------------------------------------------
+
+// Slot is one partially reconfigurable region of an FPGA, the unit of
+// hardware-task placement in the paper's earlier run-time system [7].
+type Slot struct {
+	Slices      int
+	BRAMs       int
+	Multipliers int
+}
+
+// Fits reports whether a footprint fits the slot's resources.
+func (s Slot) Fits(f casebase.Footprint) bool {
+	return f.Slices <= s.Slices && f.BRAMs <= s.BRAMs && f.Multipliers <= s.Multipliers
+}
+
+// FPGA is a run-time reconfigurable device with uniform or heterogeneous
+// slots and a single reconfiguration port: concurrent reconfigurations
+// serialize, as on the Virtex-II ICAP.
+type FPGA struct {
+	name  ID
+	slots []Slot
+	// ConfigBytesPerMicro is the reconfiguration-port bandwidth
+	// (bytes per microsecond; 66 ≈ the 8-bit ICAP at 66 MHz).
+	ConfigBytesPerMicro int
+	// StaticPowerMW is the idle power of the device.
+	StaticPowerMW int
+
+	occupied map[int]*Placement // slot index → placement
+	byTask   map[int]*Placement
+	portBusy Micros // reconfiguration port free-at time
+}
+
+// NewFPGA builds an FPGA with the given slots.
+func NewFPGA(name ID, slots []Slot, configBytesPerMicro int) *FPGA {
+	return &FPGA{
+		name: name, slots: append([]Slot(nil), slots...),
+		ConfigBytesPerMicro: configBytesPerMicro,
+		occupied:            make(map[int]*Placement),
+		byTask:              make(map[int]*Placement),
+	}
+}
+
+// Name implements Device.
+func (f *FPGA) Name() ID { return f.name }
+
+// Kind implements Device.
+func (f *FPGA) Kind() casebase.Target { return casebase.TargetFPGA }
+
+// NumSlots returns the slot count.
+func (f *FPGA) NumSlots() int { return len(f.slots) }
+
+// FreeSlots returns how many slots are unoccupied.
+func (f *FPGA) FreeSlots() int { return len(f.slots) - len(f.occupied) }
+
+// findSlot returns the first free slot fitting the footprint.
+func (f *FPGA) findSlot(fp casebase.Footprint) (int, bool) {
+	for i, s := range f.slots {
+		if _, busy := f.occupied[i]; busy {
+			continue
+		}
+		if s.Fits(fp) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// CanPlace implements Device.
+func (f *FPGA) CanPlace(fp casebase.Footprint) bool {
+	_, ok := f.findSlot(fp)
+	return ok
+}
+
+// ReconfigTime returns the partial-reconfiguration latency for a
+// bitstream of the given size.
+func (f *FPGA) ReconfigTime(configBytes int) Micros {
+	if f.ConfigBytesPerMicro <= 0 {
+		return 0
+	}
+	return Micros((configBytes + f.ConfigBytesPerMicro - 1) / f.ConfigBytesPerMicro)
+}
+
+// Place implements Device. The Ready time accounts for both the
+// bitstream transfer and the port being busy with an earlier
+// reconfiguration.
+func (f *FPGA) Place(task int, ty casebase.TypeID, im casebase.ImplID, fp casebase.Footprint, prio int, now Micros) (*Placement, error) {
+	if _, dup := f.byTask[task]; dup {
+		return nil, fmt.Errorf("device: task %d already placed on %s", task, f.name)
+	}
+	slot, ok := f.findSlot(fp)
+	if !ok {
+		return nil, fmt.Errorf("device: no free slot on %s fits %d slices", f.name, fp.Slices)
+	}
+	start := now
+	if f.portBusy > start {
+		start = f.portBusy
+	}
+	ready := start + f.ReconfigTime(fp.ConfigBytes)
+	f.portBusy = ready
+	p := &Placement{
+		Task: task, Type: ty, Impl: im, Foot: fp, Slot: slot,
+		Since: now, Ready: ready, Prio: prio,
+	}
+	f.occupied[slot] = p
+	f.byTask[task] = p
+	return p, nil
+}
+
+// Remove implements Device.
+func (f *FPGA) Remove(task int) error {
+	p, ok := f.byTask[task]
+	if !ok {
+		return fmt.Errorf("device: task %d not on %s", task, f.name)
+	}
+	delete(f.byTask, task)
+	delete(f.occupied, p.Slot)
+	return nil
+}
+
+// Placements implements Device.
+func (f *FPGA) Placements() []*Placement { return sortedPlacements(f.byTask) }
+
+// PowerMW implements Device.
+func (f *FPGA) PowerMW() int {
+	p := f.StaticPowerMW
+	for _, pl := range f.byTask {
+		p += pl.Foot.PowerMW
+	}
+	return p
+}
+
+// --- Processor (DSP or GPP) -------------------------------------------
+
+// Processor hosts software tasks against a CPU-load budget (permille)
+// and a memory budget (bytes). DSPs and general-purpose processors share
+// the model; Kind distinguishes them for target matching.
+type Processor struct {
+	name ID
+	kind casebase.Target
+	// LoadCapacity is the schedulable budget in permille (1000 = one
+	// fully loaded core).
+	LoadCapacity int
+	// MemCapacity is available working memory in bytes.
+	MemCapacity int
+	// LoadTimePerKB is the task setup cost per KiB of opcode loaded
+	// from the repository into local memory.
+	LoadTimePerKB Micros
+	// StaticPowerMW is the idle power of the device.
+	StaticPowerMW int
+
+	usedLoad int
+	usedMem  int
+	byTask   map[int]*Placement
+}
+
+// NewProcessor builds a processor device.
+func NewProcessor(name ID, kind casebase.Target, loadCapacity, memCapacity int) *Processor {
+	return &Processor{
+		name: name, kind: kind,
+		LoadCapacity: loadCapacity, MemCapacity: memCapacity,
+		LoadTimePerKB: 50,
+		byTask:        make(map[int]*Placement),
+	}
+}
+
+// Name implements Device.
+func (p *Processor) Name() ID { return p.name }
+
+// Kind implements Device.
+func (p *Processor) Kind() casebase.Target { return p.kind }
+
+// Load returns the committed load in permille.
+func (p *Processor) Load() int { return p.usedLoad }
+
+// CanPlace implements Device.
+func (p *Processor) CanPlace(f casebase.Footprint) bool {
+	return p.usedLoad+f.CPULoad <= p.LoadCapacity && p.usedMem+f.MemBytes <= p.MemCapacity
+}
+
+// Place implements Device.
+func (p *Processor) Place(task int, ty casebase.TypeID, im casebase.ImplID, f casebase.Footprint, prio int, now Micros) (*Placement, error) {
+	if _, dup := p.byTask[task]; dup {
+		return nil, fmt.Errorf("device: task %d already placed on %s", task, p.name)
+	}
+	if !p.CanPlace(f) {
+		return nil, fmt.Errorf("device: %s lacks capacity (load %d+%d/%d, mem %d+%d/%d)",
+			p.name, p.usedLoad, f.CPULoad, p.LoadCapacity, p.usedMem, f.MemBytes, p.MemCapacity)
+	}
+	ready := now + p.LoadTimePerKB*Micros((f.ConfigBytes+1023)/1024)
+	pl := &Placement{
+		Task: task, Type: ty, Impl: im, Foot: f, Slot: -1,
+		Since: now, Ready: ready, Prio: prio,
+	}
+	p.usedLoad += f.CPULoad
+	p.usedMem += f.MemBytes
+	p.byTask[task] = pl
+	return pl, nil
+}
+
+// Remove implements Device.
+func (p *Processor) Remove(task int) error {
+	pl, ok := p.byTask[task]
+	if !ok {
+		return fmt.Errorf("device: task %d not on %s", task, p.name)
+	}
+	p.usedLoad -= pl.Foot.CPULoad
+	p.usedMem -= pl.Foot.MemBytes
+	delete(p.byTask, task)
+	return nil
+}
+
+// Placements implements Device.
+func (p *Processor) Placements() []*Placement { return sortedPlacements(p.byTask) }
+
+// PowerMW implements Device.
+func (p *Processor) PowerMW() int {
+	w := p.StaticPowerMW
+	for _, pl := range p.byTask {
+		w += pl.Foot.PowerMW
+	}
+	return w
+}
+
+func sortedPlacements(m map[int]*Placement) []*Placement {
+	out := make([]*Placement, 0, len(m))
+	for _, p := range m {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Task < out[j].Task })
+	return out
+}

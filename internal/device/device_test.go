@@ -1,0 +1,213 @@
+package device
+
+import (
+	"testing"
+
+	"qosalloc/internal/casebase"
+)
+
+func twoSlotFPGA() *FPGA {
+	return NewFPGA("fpga0", []Slot{
+		{Slices: 1500, BRAMs: 8, Multipliers: 16},
+		{Slices: 1500, BRAMs: 8, Multipliers: 16},
+	}, 66)
+}
+
+func TestFPGAPlaceAndRemove(t *testing.T) {
+	f := twoSlotFPGA()
+	fp := casebase.Footprint{Slices: 900, BRAMs: 4, Multipliers: 8, PowerMW: 300, ConfigBytes: 66_000}
+	if !f.CanPlace(fp) {
+		t.Fatal("empty FPGA must accept a fitting footprint")
+	}
+	p, err := f.Place(1, 1, 1, fp, 5, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Slot != 0 {
+		t.Errorf("slot = %d, want 0 (first fit)", p.Slot)
+	}
+	// 66 kB over 66 B/us = 1000 us.
+	if p.Ready != 2000 {
+		t.Errorf("ready = %d, want 2000 (1000 + 1000us reconfig)", p.Ready)
+	}
+	if f.FreeSlots() != 1 {
+		t.Errorf("free slots = %d", f.FreeSlots())
+	}
+	if f.PowerMW() != 300 {
+		t.Errorf("power = %d", f.PowerMW())
+	}
+	if err := f.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if f.FreeSlots() != 2 {
+		t.Error("remove must free the slot")
+	}
+	if err := f.Remove(1); err == nil {
+		t.Error("double remove must fail")
+	}
+}
+
+func TestFPGARejectsOversizeAndFull(t *testing.T) {
+	f := twoSlotFPGA()
+	big := casebase.Footprint{Slices: 99999}
+	if f.CanPlace(big) {
+		t.Error("oversize footprint must not fit")
+	}
+	if _, err := f.Place(1, 1, 1, big, 0, 0); err == nil {
+		t.Error("oversize place must fail")
+	}
+	small := casebase.Footprint{Slices: 100}
+	mustPlace(t, f, 1, small, 0)
+	mustPlace(t, f, 2, small, 0)
+	if f.CanPlace(small) {
+		t.Error("full FPGA must reject")
+	}
+	if _, err := f.Place(3, 1, 1, small, 0, 0); err == nil {
+		t.Error("placing on a full FPGA must fail")
+	}
+	if _, err := f.Place(2, 1, 1, small, 0, 0); err == nil {
+		t.Error("duplicate task placement must fail")
+	}
+}
+
+func mustPlace(t *testing.T, d Device, task int, fp casebase.Footprint, now Micros) *Placement {
+	t.Helper()
+	p, err := d.Place(task, 1, casebase.ImplID(task), fp, 0, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFPGAReconfigPortSerializes(t *testing.T) {
+	f := twoSlotFPGA()
+	fp := casebase.Footprint{Slices: 100, ConfigBytes: 6600} // 100 us
+	a := mustPlace(t, f, 1, fp, 0)
+	b := mustPlace(t, f, 2, fp, 0)
+	if a.Ready != 100 {
+		t.Errorf("first ready = %d", a.Ready)
+	}
+	if b.Ready != 200 {
+		t.Errorf("second ready = %d, want 200 (port busy until 100)", b.Ready)
+	}
+}
+
+func TestFPGAHeterogeneousSlots(t *testing.T) {
+	f := NewFPGA("f", []Slot{
+		{Slices: 200, BRAMs: 1, Multipliers: 0},
+		{Slices: 2000, BRAMs: 8, Multipliers: 8},
+	}, 66)
+	needsMult := casebase.Footprint{Slices: 150, Multipliers: 2}
+	p := mustPlace(t, f, 1, needsMult, 0)
+	if p.Slot != 1 {
+		t.Errorf("multiplier-hungry footprint landed in slot %d, want 1", p.Slot)
+	}
+}
+
+func TestProcessorCapacity(t *testing.T) {
+	p := NewProcessor("dsp0", casebase.TargetDSP, 1000, 64*1024)
+	fp := casebase.Footprint{CPULoad: 450, MemBytes: 24 * 1024, PowerMW: 220, ConfigBytes: 2048}
+	pl := mustPlace(t, p, 1, fp, 0)
+	if pl.Slot != -1 {
+		t.Error("processors have no slots")
+	}
+	if pl.Ready != 100 { // 2 KiB × 50us
+		t.Errorf("ready = %d, want 100", pl.Ready)
+	}
+	if p.Load() != 450 {
+		t.Errorf("load = %d", p.Load())
+	}
+	mustPlace(t, p, 2, fp, 0)
+	if p.CanPlace(fp) {
+		t.Error("third 450-permille task must not fit a 1000-permille budget")
+	}
+	if _, err := p.Place(3, 1, 3, fp, 0, 0); err == nil {
+		t.Error("over-capacity place must fail")
+	}
+	if err := p.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if !p.CanPlace(fp) {
+		t.Error("capacity must return after removal")
+	}
+	if err := p.Remove(99); err == nil {
+		t.Error("removing unknown task must fail")
+	}
+}
+
+func TestProcessorMemoryBound(t *testing.T) {
+	p := NewProcessor("gpp0", casebase.TargetGPP, 1000, 16*1024)
+	fat := casebase.Footprint{CPULoad: 10, MemBytes: 32 * 1024}
+	if p.CanPlace(fat) {
+		t.Error("memory-bound footprint must be rejected")
+	}
+}
+
+func TestPlacementsSortedAndPower(t *testing.T) {
+	p := NewProcessor("gpp0", casebase.TargetGPP, 1000, 1<<20)
+	p.StaticPowerMW = 50
+	mustPlace(t, p, 3, casebase.Footprint{CPULoad: 1, PowerMW: 10}, 0)
+	mustPlace(t, p, 1, casebase.Footprint{CPULoad: 1, PowerMW: 20}, 0)
+	pls := p.Placements()
+	if len(pls) != 2 || pls[0].Task != 1 || pls[1].Task != 3 {
+		t.Errorf("placements = %+v", pls)
+	}
+	if p.PowerMW() != 80 {
+		t.Errorf("power = %d, want 80", p.PowerMW())
+	}
+}
+
+func TestDeviceKinds(t *testing.T) {
+	if twoSlotFPGA().Kind() != casebase.TargetFPGA {
+		t.Error("FPGA kind")
+	}
+	if NewProcessor("d", casebase.TargetDSP, 1, 1).Kind() != casebase.TargetDSP {
+		t.Error("DSP kind")
+	}
+}
+
+func TestRepository(t *testing.T) {
+	r := NewRepository(20)
+	if err := r.Store(1, 1, Blob{Target: casebase.TargetFPGA, Bytes: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Store(1, 1, Blob{Bytes: 5}); err == nil {
+		t.Error("duplicate store must fail")
+	}
+	if err := r.Store(1, 2, Blob{Bytes: 3, Data: []byte{1, 2}}); err == nil {
+		t.Error("size/data mismatch must fail")
+	}
+	b, ok := r.Lookup(1, 1)
+	if !ok || b.Bytes != 2000 {
+		t.Errorf("lookup = %+v, %v", b, ok)
+	}
+	ft, err := r.FetchTime(1, 1)
+	if err != nil || ft != 100 {
+		t.Errorf("fetch time = %d, %v (want 100us)", ft, err)
+	}
+	if _, err := r.FetchTime(9, 9); err == nil {
+		t.Error("fetch of missing blob must fail")
+	}
+	if r.Len() != 1 || r.TotalBytes() != 2000 {
+		t.Errorf("len=%d total=%d", r.Len(), r.TotalBytes())
+	}
+}
+
+func TestRepositoryFromCaseBase(t *testing.T) {
+	cb, err := casebase.PaperCaseBase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRepository(20)
+	if err := r.PopulateFromCaseBase(cb); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != cb.NumImpls() {
+		t.Errorf("repository holds %d blobs, want %d", r.Len(), cb.NumImpls())
+	}
+	// The paper's FPGA FIR equalizer is a 96 kB bitstream.
+	b, ok := r.Lookup(casebase.TypeFIREqualizer, 1)
+	if !ok || b.Bytes != 96*1024 {
+		t.Errorf("FIR FPGA blob = %+v, %v", b, ok)
+	}
+}

@@ -1,0 +1,98 @@
+package device
+
+import (
+	"fmt"
+
+	"qosalloc/internal/casebase"
+)
+
+// Repository models the fig. 1 "Opcode/Bitstream-Repository (FLASH)":
+// every available function realization, addressed by its unique
+// (function type, implementation) identifier, stores its configuration
+// data — "since every available function realization has a unique
+// identifier it will be possible to retrieve the function's corresponding
+// configuration data (CPU opcode / FPGA bitstream) from a global function
+// repository for reconfiguration" (§3).
+type Repository struct {
+	// BytesPerMicro is the FLASH streaming bandwidth (bytes per
+	// microsecond; 20 ≈ a 20 MB/s parallel NOR FLASH).
+	BytesPerMicro int
+
+	blobs map[repoKey]Blob
+}
+
+type repoKey struct {
+	Type casebase.TypeID
+	Impl casebase.ImplID
+}
+
+// Blob is one stored configuration image. Data may be nil when only the
+// size matters (capacity planning and timing).
+type Blob struct {
+	Target casebase.Target
+	Bytes  int
+	Data   []byte
+}
+
+// NewRepository returns an empty repository with the given bandwidth.
+func NewRepository(bytesPerMicro int) *Repository {
+	return &Repository{BytesPerMicro: bytesPerMicro, blobs: make(map[repoKey]Blob)}
+}
+
+// Store registers configuration data for an implementation.
+func (r *Repository) Store(ty casebase.TypeID, im casebase.ImplID, b Blob) error {
+	k := repoKey{ty, im}
+	if _, dup := r.blobs[k]; dup {
+		return fmt.Errorf("device: repository already holds (%d, %d)", ty, im)
+	}
+	if b.Data != nil && b.Bytes != len(b.Data) {
+		return fmt.Errorf("device: blob size %d disagrees with data length %d", b.Bytes, len(b.Data))
+	}
+	r.blobs[k] = b
+	return nil
+}
+
+// Lookup returns the blob for an implementation.
+func (r *Repository) Lookup(ty casebase.TypeID, im casebase.ImplID) (Blob, bool) {
+	b, ok := r.blobs[repoKey{ty, im}]
+	return b, ok
+}
+
+// FetchTime returns how long streaming the blob out of FLASH takes.
+func (r *Repository) FetchTime(ty casebase.TypeID, im casebase.ImplID) (Micros, error) {
+	b, ok := r.blobs[repoKey{ty, im}]
+	if !ok {
+		return 0, fmt.Errorf("device: repository has no entry (%d, %d)", ty, im)
+	}
+	if r.BytesPerMicro <= 0 {
+		return 0, nil
+	}
+	return Micros((b.Bytes + r.BytesPerMicro - 1) / r.BytesPerMicro), nil
+}
+
+// Len returns the number of stored blobs.
+func (r *Repository) Len() int { return len(r.blobs) }
+
+// TotalBytes returns the repository's total storage demand.
+func (r *Repository) TotalBytes() int {
+	n := 0
+	for _, b := range r.blobs {
+		n += b.Bytes
+	}
+	return n
+}
+
+// PopulateFromCaseBase registers a blob for every implementation in the
+// case base, sized by its footprint's ConfigBytes — the design-time step
+// that fills the FLASH with bitstreams and opcode images.
+func (r *Repository) PopulateFromCaseBase(cb *casebase.CaseBase) error {
+	for _, ft := range cb.Types() {
+		for i := range ft.Impls {
+			im := &ft.Impls[i]
+			if err := r.Store(ft.ID, im.ID, Blob{Target: im.Target, Bytes: im.Foot.ConfigBytes}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"qosalloc/internal/alloc"
+	"qosalloc/internal/casebase"
+	"qosalloc/internal/device"
+	"qosalloc/internal/rtsys"
+	"qosalloc/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "capacity",
+		Title: "Platform sizing: allocation success vs reconfigurable capacity",
+		Paper: "fig. 1: \"one or several low-cost reconfigurable devices plus dedicated hardware\" — how many are enough?",
+		Run:   Capacity,
+	})
+}
+
+// CapacityPoint is one sweep sample.
+type CapacityPoint struct {
+	FPGASlots   int
+	Placed      int
+	Failed      int
+	Preemptions int
+	FallbackPct float64 // share of placements not on the best-ranked variant's target
+	MeanSim     float64
+}
+
+// CapacitySweep replays one fixed request stream against platforms with
+// a growing number of FPGA slots and reports how allocation quality
+// scales — the sizing question an adopter of the fig. 1 architecture
+// faces.
+func CapacitySweep() ([]CapacityPoint, error) {
+	cb, reg, err := workload.GenCaseBase(workload.PaperScale())
+	if err != nil {
+		return nil, err
+	}
+	reqs, err := workload.GenRequests(cb, reg, workload.RequestStreamSpec{
+		N: 200, ConstraintsPer: 4, Seed: 424,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var out []CapacityPoint
+	for slots := 1; slots <= 5; slots++ {
+		repo := device.NewRepository(20)
+		if err := repo.PopulateFromCaseBase(cb); err != nil {
+			return nil, err
+		}
+		fslots := make([]device.Slot, slots)
+		for i := range fslots {
+			fslots[i] = device.Slot{Slices: 1500, BRAMs: 8, Multipliers: 16}
+		}
+		sys := rtsys.NewSystem(repo,
+			device.NewFPGA("fpga0", fslots, 66),
+			device.NewProcessor("dsp0", casebase.TargetDSP, 1500, 1<<20),
+			device.NewProcessor("gpp0", casebase.TargetGPP, 1500, 1<<21),
+		)
+		m := alloc.New(cb, sys, alloc.Options{NBest: 3, AllowPreemption: true})
+
+		pt := CapacityPoint{FPGASlots: slots}
+		var simSum float64
+		fallbacks := 0
+		var live []rtsys.TaskID
+		for i, req := range reqs {
+			_ = sys.Advance(1000)
+			if len(live) >= 12 {
+				_ = m.Release(live[0])
+				live = live[1:]
+				m.ReplacePending()
+			}
+			// What would the unconstrained best have been?
+			ranked, err := m.Engine().RetrieveAll(req)
+			if err != nil {
+				return nil, err
+			}
+			d, err := m.Request(fmt.Sprintf("a%d", i), req, 1+i%9)
+			if err != nil {
+				pt.Failed++
+				continue
+			}
+			pt.Placed++
+			simSum += d.Similarity
+			if d.Impl != ranked[0].Impl {
+				fallbacks++
+			}
+			live = append(live, d.Task.ID)
+		}
+		pt.Preemptions = m.Stats().Preemptions
+		if pt.Placed > 0 {
+			pt.MeanSim = simSum / float64(pt.Placed)
+			pt.FallbackPct = 100 * float64(fallbacks) / float64(pt.Placed)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// Capacity renders the sweep.
+func Capacity(w io.Writer) error {
+	pts, err := CapacitySweep()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-10s %8s %8s %12s %10s %9s\n",
+		"FPGA slots", "placed", "failed", "preemptions", "fallback", "mean S")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-10d %8d %8d %12d %9.1f%% %9.3f\n",
+			p.FPGASlots, p.Placed, p.Failed, p.Preemptions, p.FallbackPct, p.MeanSim)
+	}
+	fmt.Fprintf(w, "\nMore reconfigurable capacity converts fallbacks and failures into\n")
+	fmt.Fprintf(w, "best-variant placements; the curve flattens once the FPGA stops\n")
+	fmt.Fprintf(w, "being the bottleneck — the sizing signal for a fig. 1 platform.\n")
+	return nil
+}

@@ -1,0 +1,54 @@
+// Package experiments regenerates every quantitative table and figure of
+// the paper (DESIGN.md §4, experiments E1–E10). Each experiment is a
+// function from parameters to a data struct plus a formatter, so the
+// same code backs the cmd/repro CLI, the test suite's assertions and the
+// root-level benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Experiment is one registered reproduction driver.
+type Experiment struct {
+	ID    string
+	Title string
+	Paper string // what the paper reports, for side-by-side reading
+	Run   func(w io.Writer) error
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns the registered experiments sorted by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID returns one experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll executes every experiment in ID order, writing a header per
+// experiment.
+func RunAll(w io.Writer) error {
+	for _, e := range All() {
+		fmt.Fprintf(w, "\n=== %s — %s ===\n", e.ID, e.Title)
+		fmt.Fprintf(w, "    paper: %s\n\n", e.Paper)
+		if err := e.Run(w); err != nil {
+			return fmt.Errorf("experiment %s: %w", e.ID, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package hwapi
+
+import (
+	"strings"
+	"testing"
+
+	"qosalloc/internal/casebase"
+	"qosalloc/internal/device"
+	"qosalloc/internal/rtsys"
+)
+
+func testSystem(t *testing.T) (*rtsys.System, *casebase.CaseBase) {
+	t.Helper()
+	cb, err := casebase.PaperCaseBase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo := device.NewRepository(20)
+	if err := repo.PopulateFromCaseBase(cb); err != nil {
+		t.Fatal(err)
+	}
+	fpga := device.NewFPGA("fpga0", []device.Slot{
+		{Slices: 1500, BRAMs: 8, Multipliers: 16},
+		{Slices: 1500, BRAMs: 8, Multipliers: 16},
+	}, 66)
+	fpga.StaticPowerMW = 100
+	dsp := device.NewProcessor("dsp0", casebase.TargetDSP, 1000, 128*1024)
+	return rtsys.NewSystem(repo, fpga, dsp), cb
+}
+
+func place(t *testing.T, sys *rtsys.System, cb *casebase.CaseBase, implID casebase.ImplID) *rtsys.Task {
+	t.Helper()
+	ft, _ := cb.Type(casebase.TypeFIREqualizer)
+	im, _ := ft.Impl(implID)
+	task := sys.CreateTask("app", casebase.TypeFIREqualizer, 5)
+	var dev device.Device
+	for _, d := range sys.Devices() {
+		if d.Kind() == im.Target {
+			dev = d
+		}
+	}
+	if err := sys.Place(task, dev, im); err != nil {
+		t.Fatal(err)
+	}
+	return task
+}
+
+func TestSnapshotIdle(t *testing.T) {
+	sys, _ := testSystem(t)
+	s := Snapshot(sys)
+	if len(s.Devices) != 2 {
+		t.Fatalf("devices = %d", len(s.Devices))
+	}
+	if s.TotalPowerMW != 100 {
+		t.Errorf("idle power = %d, want the FPGA's static 100", s.TotalPowerMW)
+	}
+	for _, d := range s.Devices {
+		if d.Utilization != 0 || d.Tasks != 0 {
+			t.Errorf("idle device %s reports %+v", d.Name, d)
+		}
+	}
+	if s.Pending != 0 {
+		t.Error("no pending tasks expected")
+	}
+}
+
+func TestSnapshotUnderLoad(t *testing.T) {
+	sys, cb := testSystem(t)
+	place(t, sys, cb, 1) // FPGA variant, 310 mW
+	place(t, sys, cb, 2) // DSP variant, 220 mW, 450 permille
+	waiting := sys.CreateTask("bg", casebase.TypeFIREqualizer, 1)
+	_ = waiting
+
+	s := Snapshot(sys)
+	if s.TotalPowerMW != 100+310+220 {
+		t.Errorf("power = %d", s.TotalPowerMW)
+	}
+	if s.Pending != 1 {
+		t.Errorf("pending = %d", s.Pending)
+	}
+	byName := map[device.ID]DeviceStatus{}
+	for _, d := range s.Devices {
+		byName[d.Name] = d
+	}
+	if byName["fpga0"].Utilization != 500 {
+		t.Errorf("fpga util = %d, want 500 (1 of 2 slots)", byName["fpga0"].Utilization)
+	}
+	if byName["dsp0"].Utilization != 450 {
+		t.Errorf("dsp util = %d, want 450 permille", byName["dsp0"].Utilization)
+	}
+	if byName["fpga0"].Tasks != 1 || byName["dsp0"].Tasks != 1 {
+		t.Error("task counts wrong")
+	}
+	out := s.String()
+	for _, want := range []string{"fpga0", "dsp0", "power=630mW", "pending=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("status render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMonitorHistoryAndStats(t *testing.T) {
+	sys, cb := testSystem(t)
+	m := NewMonitor(sys, 3)
+	m.Sample() // idle: 100 mW
+	place(t, sys, cb, 1)
+	m.Sample() // 410 mW
+	task := place(t, sys, cb, 2)
+	m.Sample() // 630 mW
+	if err := sys.Complete(task); err != nil {
+		t.Fatal(err)
+	}
+	m.Sample() // 410 mW — history capacity 3 drops the idle sample
+
+	if len(m.History()) != 3 {
+		t.Fatalf("history = %d, want capacity 3", len(m.History()))
+	}
+	if m.PeakPowerMW() != 630 {
+		t.Errorf("peak = %d", m.PeakPowerMW())
+	}
+	mean := m.MeanPowerMW()
+	if mean < 410 || mean > 630 {
+		t.Errorf("mean = %v", mean)
+	}
+	if m.MaxUtilization() != 500 {
+		t.Errorf("max utilization = %d, want 500 (FPGA half full)", m.MaxUtilization())
+	}
+}
+
+func TestMonitorEmpty(t *testing.T) {
+	sys, _ := testSystem(t)
+	m := NewMonitor(sys, 0) // default capacity
+	if m.Capacity != 64 {
+		t.Errorf("default capacity = %d", m.Capacity)
+	}
+	if m.PeakPowerMW() != 0 || m.MeanPowerMW() != 0 || m.MaxUtilization() != 0 {
+		t.Error("empty monitor must report zeros")
+	}
+}

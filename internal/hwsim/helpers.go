@@ -1,0 +1,76 @@
+package hwsim
+
+import (
+	"fmt"
+
+	"qosalloc/internal/casebase"
+	"qosalloc/internal/memlist"
+)
+
+// Build encodes the case base and request into memory images and
+// constructs a unit over them — the software equivalent of generating
+// BRAM initialization data at design time and strobing New_Req.
+func Build(cb *casebase.CaseBase, req casebase.Request, cfg Config) (*Unit, error) {
+	if err := req.Validate(cb); err != nil {
+		return nil, err
+	}
+	tree, err := memlist.EncodeTree(cb)
+	if err != nil {
+		return nil, err
+	}
+	supp := memlist.EncodeSupplemental(cb.Registry())
+	reqImg, err := memlist.EncodeRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	return New(tree, supp, reqImg, cfg), nil
+}
+
+// LoadRequest overwrites the Req-MEM contents with a new request image
+// and advances the clock by the write-burst length — the steady-state
+// usage of the deployed unit: the case base stays resident while the
+// host streams in one request list per function call. The image must
+// fit the Req-MEM the unit was built with.
+func (u *Unit) LoadRequest(img *memlist.Image) error {
+	if len(img.Words) > u.reqMem.Depth() {
+		return fmt.Errorf("hwsim: request image of %d words exceeds Req-MEM depth %d",
+			len(img.Words), u.reqMem.Depth())
+	}
+	// Clear the tail so a shorter request cannot alias the previous
+	// one's entries past its terminator.
+	padded := make([]uint16, u.reqMem.Depth())
+	copy(padded, img.Words)
+	cycles := u.reqMem.LoadBurst(0, padded)
+	for i := 0; i < cycles; i++ {
+		u.sim.Step()
+	}
+	return nil
+}
+
+// Retrieve runs one complete hardware retrieval for req against cb and
+// returns the best-matching implementation with its cycle count.
+func Retrieve(cb *casebase.CaseBase, req casebase.Request, cfg Config) (Result, error) {
+	u, err := Build(cb, req, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := u.Run(maxCyclesFor(cb, req))
+	if err != nil {
+		return Result{}, err
+	}
+	if u.SuppMiss() {
+		return res, fmt.Errorf("hwsim: supplemental table missing a requested attribute type")
+	}
+	return res, nil
+}
+
+// maxCyclesFor bounds a retrieval generously: a handful of cycles per
+// word of both memories per implementation could never be exceeded by
+// the linear scans.
+func maxCyclesFor(cb *casebase.CaseBase, req casebase.Request) uint64 {
+	s := cb.Stats()
+	words := uint64(memlist.TreeWords(s.Types, s.MaxImpls, s.MaxAttrs) +
+		memlist.SupplementalWords(s.AttrTypeUniv) +
+		memlist.RequestWords(len(req.Constraints)))
+	return 16 * words * uint64(s.MaxImpls+1)
+}

@@ -1,0 +1,533 @@
+// Package hwsim is a cycle-accurate simulation of the paper's hardware
+// retrieval unit: the finite state machine of fig. 6 driving the datapath
+// of fig. 7. It is built on the rtl kit's synchronous primitives, so
+// every memory access costs a real BRAM cycle and every multiplication
+// passes through a registered MULT18X18 — the cycle counts it reports are
+// the cycle counts the synthesized unit would take.
+//
+// Memory organization matches §4.1: the case base lives in one BRAM
+// (CB-MEM) as the fig. 5 implementation tree followed by the fig. 4
+// attribute-supplemental list; the request list occupies a second BRAM
+// (Req-MEM). Both memories hold pre-sorted lists, which is what makes the
+// unit's scans resumable and the total search effort linear.
+//
+// The unit supports the §5 "compacted attribute block representation"
+// as an option (Compact): entry pairs are fetched through both BRAM
+// ports in a single cycle and the request-weight fetch overlaps the
+// supplemental scan, "speeding everything up at least by factor 2".
+package hwsim
+
+import (
+	"fmt"
+
+	"qosalloc/internal/fixed"
+	"qosalloc/internal/memlist"
+	"qosalloc/internal/rtl"
+)
+
+// State enumerates the retrieval FSM states (fig. 6).
+type State uint8
+
+// FSM states. The names follow the fig. 6 boxes.
+const (
+	StIdle          State = iota // waiting for a request strobe
+	StReqType                    // fetch function type from request list
+	StReqTypeWait                // capture it
+	StTypeScan                   // fetch next case-base type entry
+	StTypeCheck                  // compare with requested type
+	StTypePtrWait                // capture implementation-list pointer
+	StImplScan                   // fetch next implementation entry
+	StImplCheck                  // end of sub-list? otherwise fetch pointer
+	StImplPtrWait                // capture attribute-list pointer
+	StReqAttr                    // fetch next request attribute ID
+	StReqAttrCheck               // end of request? otherwise fetch value
+	StReqAttrVal                 // capture value, fetch weight
+	StReqAttrWeight              // capture weight
+	StSuppScan                   // fetch supplemental entry ID
+	StSuppCheck                  // match against request attribute ID
+	StSuppRecipWait              // capture (1+dmax)^-1
+	StCBAttrScan                 // fetch implementation attribute ID
+	StCBAttrCheck                // match / pass / miss decision
+	StCBAttrVal                  // capture value, d = |Areq-Acb|, start d×recip
+	StSi                         // s_i = 1 - d·recip, start w×s_i
+	StAcc                        // S += w·s_i
+	StBestCmp                    // S > Sbest ? keep (S, ID)
+	StDone                       // deliver most similar implementation
+	StError                      // requested type not in case base
+	StBestScan                   // n-best: sequential insertion-point scan
+	StBestShift                  // n-best: parallel shift-register insert
+)
+
+var stateNames = [...]string{
+	"Idle", "ReqType", "ReqTypeWait", "TypeScan", "TypeCheck", "TypePtrWait",
+	"ImplScan", "ImplCheck", "ImplPtrWait", "ReqAttr", "ReqAttrCheck",
+	"ReqAttrVal", "ReqAttrWeight", "SuppScan", "SuppCheck", "SuppRecipWait",
+	"CBAttrScan", "CBAttrCheck", "CBAttrVal", "Si", "Acc", "BestCmp",
+	"Done", "Error", "BestScan", "BestShift",
+}
+
+// String returns the fig. 6 style state name.
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Config selects unit variants.
+type Config struct {
+	// Compact enables the §5 block-compacted fetch: dual-port BRAM
+	// reads deliver (ID, value) entry pairs in one cycle.
+	Compact bool
+	// NBest, when > 1, enables the §5 n-most-similar extension: the
+	// unit keeps an ordered register file of the NBest (S, ID) pairs,
+	// read back through TopN after the run.
+	NBest int
+	// RestartScan disables the §4.1 resumable sorted-list scans: every
+	// request attribute restarts its supplemental and attribute-list
+	// searches from the list heads. This is the naive variant the
+	// paper's pre-sorting eliminates; it exists for the ablation
+	// benchmark only.
+	RestartScan bool
+	// Trace, when non-nil, records state and accumulator activity.
+	Trace *rtl.Trace
+}
+
+// Result is the unit's output: the most similar implementation of the
+// requested type, exactly the "ID and similarity value of the best
+// matching implementation" the paper's unit delivers.
+type Result struct {
+	ImplID uint16
+	Sim    fixed.Q15
+	Cycles uint64
+}
+
+// Unit is the retrieval unit. Create one with New, load a request with
+// Start, then clock it via the rtl.Simulator until Done.
+type Unit struct {
+	cfg Config
+
+	cbMem  *rtl.BRAM16 // CB-MEM: tree ++ supplemental
+	reqMem *rtl.BRAM16 // Req-MEM: request list
+	mulD   *rtl.Mult18 // d × recip
+	mulW   *rtl.Mult18 // w × s_i
+
+	suppBase int // word address of the supplemental list inside CB-MEM
+
+	// Architectural registers (fig. 7). Committed two-phase via
+	// rtl.Reg so external observers see clock-edge values.
+	state *rtl.Reg[State]
+	done  *rtl.Reg[bool]
+
+	// Internal FSM registers. Only the FSM itself reads them, so they
+	// are plain fields updated during Compute; BRAM and multiplier
+	// timing still gates every data movement.
+	reqType  uint16
+	tp       int // type-list scan pointer
+	ip       int // implementation-list scan pointer
+	ap       int // attribute-list base of current implementation
+	cp       int // attribute-list scan pointer (resumable)
+	sp       int // supplemental-list scan pointer (resumable)
+	rp       int // request-list scan pointer
+	implID   uint16
+	attrID   uint16
+	reqVal   uint16
+	weight   fixed.Q15
+	recip    fixed.UQ16
+	acc      fixed.Q15
+	best     fixed.Q15
+	bestID   uint16
+	haveBest bool
+
+	// n-best register file (§5 extension).
+	nbestS     []fixed.Q15
+	nbestID    []uint16
+	nbestCount int
+	insIdx     int
+
+	startCycle uint64
+	cycles     uint64
+	suppMiss   bool
+
+	sim *rtl.Simulator
+}
+
+// New builds a retrieval unit over the given memory images. The CB BRAM
+// is sized to tree+supplemental; the request BRAM to the request image.
+func New(tree, supp, req *memlist.Image, cfg Config) *Unit {
+	cbWords := append(append([]uint16(nil), tree.Words...), supp.Words...)
+	u := &Unit{
+		cfg:      cfg,
+		cbMem:    rtl.NewBRAM16(len(cbWords), cbWords),
+		reqMem:   rtl.NewBRAM16(len(req.Words), req.Words),
+		mulD:     &rtl.Mult18{},
+		mulW:     &rtl.Mult18{},
+		suppBase: len(tree.Words),
+		state:    rtl.NewReg(StIdle),
+		done:     rtl.NewReg(false),
+	}
+	u.sim = rtl.NewSimulator()
+	u.sim.Add(u, u.cbMem, u.reqMem, u.mulD, u.mulW, u.state, u.done)
+	return u
+}
+
+// Done reports whether the unit has delivered a result (or failed).
+func (u *Unit) Done() bool { return u.done.Q() }
+
+// StateQ returns the registered FSM state, for tests and tracing.
+func (u *Unit) StateQ() State { return u.state.Q() }
+
+// SuppMiss reports whether any request attribute was absent from the
+// supplemental list — a design-time table generation error.
+func (u *Unit) SuppMiss() bool { return u.suppMiss }
+
+// BRAMReads returns total BRAM read-port activations, the memory-bound
+// share of the runtime.
+func (u *Unit) BRAMReads() uint64 { return u.cbMem.Reads() + u.reqMem.Reads() }
+
+// MultUses returns total multiplier activations.
+func (u *Unit) MultUses() uint64 { return u.mulD.Uses() + u.mulW.Uses() }
+
+// Start arms the unit for a new retrieval. The request image is already
+// loaded; Start corresponds to the New_Req strobe in fig. 7.
+func (u *Unit) Start() {
+	u.state.Reset(StReqType)
+	u.done.Reset(false)
+	u.tp, u.ip, u.ap, u.cp, u.rp = 0, 0, 0, 0, 0
+	u.sp = u.suppBase
+	u.acc, u.best, u.bestID, u.haveBest = 0, 0, 0, false
+	u.resetNBest()
+	u.suppMiss = false
+	u.startCycle = u.sim.Cycle()
+}
+
+// Run clocks the unit until completion and returns the result. maxCycles
+// bounds runaway FSMs (corrupt images).
+func (u *Unit) Run(maxCycles uint64) (Result, error) {
+	u.Start()
+	if _, err := u.sim.Run(u.Done, maxCycles); err != nil {
+		return Result{}, err
+	}
+	u.cycles = u.sim.Cycle() - u.startCycle
+	if u.state.Q() == StError {
+		return Result{Cycles: u.cycles}, fmt.Errorf("hwsim: requested type %d not found in case base", u.reqType)
+	}
+	if !u.haveBest {
+		return Result{Cycles: u.cycles}, fmt.Errorf("hwsim: type %d has no implementations", u.reqType)
+	}
+	return Result{ImplID: u.bestID, Sim: u.best, Cycles: u.cycles}, nil
+}
+
+// Commit implements rtl.Component. All unit state is either in rtl.Reg
+// registers (committed by the simulator) or internal-only.
+func (u *Unit) Commit() {}
+
+// Compute implements rtl.Component: one FSM step per clock. BRAM data
+// captured here was addressed in an earlier cycle, so every list probe
+// costs its true memory latency.
+func (u *Unit) Compute() {
+	if u.cfg.Trace != nil {
+		u.cfg.Trace.Sample(u.sim.Cycle(), "state", uint64(u.state.Q()))
+		u.cfg.Trace.Sample(u.sim.Cycle(), "acc", uint64(uint16(u.acc)))
+		u.cfg.Trace.Sample(u.sim.Cycle(), "impl_id", uint64(u.implID))
+		u.cfg.Trace.Sample(u.sim.Cycle(), "best", uint64(uint16(u.best)))
+		u.cfg.Trace.Sample(u.sim.Cycle(), "best_id", uint64(u.bestID))
+	}
+	switch u.state.Q() {
+	case StIdle, StDone, StError:
+		// hold
+
+	case StReqType:
+		u.reqMem.ReadA(0)
+		u.state.Set(StReqTypeWait)
+
+	case StReqTypeWait:
+		u.reqType = u.reqMem.DoutA()
+		u.tp = 0
+		u.issueTypeScan()
+
+	case StTypeScan:
+		// address already issued by issueTypeScan
+		u.state.Set(StTypeCheck)
+
+	case StTypeCheck:
+		id := u.cbMem.DoutA()
+		switch {
+		case id == memlist.EndMarker:
+			u.state.Set(StError)
+			u.done.Set(true)
+		case id == u.reqType && u.cfg.Compact:
+			// pointer arrived on port B in the same fetch
+			u.ip = int(u.cbMem.DoutB())
+			u.issueImplScan()
+		case id == u.reqType:
+			u.cbMem.ReadA(u.tp + 1)
+			u.state.Set(StTypePtrWait)
+		default:
+			u.tp += 2
+			u.issueTypeScan()
+		}
+
+	case StTypePtrWait:
+		u.ip = int(u.cbMem.DoutA())
+		u.issueImplScan()
+
+	case StImplScan:
+		u.state.Set(StImplCheck)
+
+	case StImplCheck:
+		id := u.cbMem.DoutA()
+		if id == memlist.EndMarker {
+			u.finish()
+			return
+		}
+		u.implID = id
+		if u.cfg.Compact {
+			u.ap = int(u.cbMem.DoutB())
+			u.beginImpl()
+			return
+		}
+		u.cbMem.ReadA(u.ip + 1)
+		u.state.Set(StImplPtrWait)
+
+	case StImplPtrWait:
+		u.ap = int(u.cbMem.DoutA())
+		u.beginImpl()
+
+	case StReqAttr:
+		u.state.Set(StReqAttrCheck)
+
+	case StReqAttrCheck:
+		id := u.reqMem.DoutA()
+		if id == memlist.EndMarker {
+			// Last attribute of the request processed (fig. 6).
+			u.updateBest()
+			return
+		}
+		u.attrID = id
+		if u.cfg.Compact {
+			// Value arrived on port B; fetch the weight while the
+			// supplemental scan starts on CB-MEM — two different
+			// BRAMs, so the accesses genuinely overlap.
+			u.reqVal = u.reqMem.DoutB()
+			u.reqMem.ReadA(u.rp + 2)
+			u.cbMem.ReadA(u.sp)
+			u.cbMem.ReadB(u.sp + 3)
+			u.state.Set(StReqAttrWeight)
+			return
+		}
+		u.reqMem.ReadA(u.rp + 1)
+		u.state.Set(StReqAttrVal)
+
+	case StReqAttrVal:
+		u.reqVal = u.reqMem.DoutA()
+		u.reqMem.ReadA(u.rp + 2)
+		u.state.Set(StReqAttrWeight)
+
+	case StReqAttrWeight:
+		u.weight = fixed.Q15(u.reqMem.DoutA())
+		if u.cfg.Compact {
+			// Supplemental ID (and candidate reciprocal) are already
+			// on the CB-MEM output registers.
+			u.checkSupp()
+			return
+		}
+		u.cbMem.ReadA(u.sp)
+		u.state.Set(StSuppScan)
+
+	case StSuppScan:
+		u.state.Set(StSuppCheck)
+
+	case StSuppCheck:
+		u.checkSupp()
+
+	case StSuppRecipWait:
+		u.recip = fixed.UQ16(u.cbMem.DoutA())
+		u.issueCBAttrScan()
+
+	case StCBAttrScan:
+		u.state.Set(StCBAttrCheck)
+
+	case StCBAttrCheck:
+		id := u.cbMem.DoutA()
+		switch {
+		case id == memlist.EndMarker || id > u.attrID:
+			// Attribute not offered by this implementation:
+			// s_i = 0, nothing to accumulate (fig. 6 right branch).
+			// The scan pointer stays for the next, larger request ID.
+			u.nextReqAttr()
+		case id == u.attrID && u.cfg.Compact:
+			u.startCalc(u.cbMem.DoutB())
+			u.cp += 2
+		case id == u.attrID:
+			u.cbMem.ReadA(u.cp + 1)
+			u.cp += 2
+			u.state.Set(StCBAttrVal)
+		default: // id < attrID: pass, resume forward
+			u.cp += 2
+			u.issueCBAttrScan()
+		}
+
+	case StCBAttrVal:
+		u.startCalc(u.cbMem.DoutA())
+
+	case StSi:
+		// d×recip product is registered; finish eq. (1) and launch
+		// the weight multiply.
+		si := fixed.SubSat(fixed.OneQ15, satQ15(u.mulD.P()>>1))
+		u.mulW.Set(uint32(u.weight), uint32(si))
+		u.state.Set(StAcc)
+
+	case StAcc:
+		u.acc = fixed.AddSat(u.acc, satQ15(u.mulW.P()>>15))
+		u.nextReqAttr()
+
+	case StBestCmp:
+		if u.cfg.NBest > 1 {
+			u.insIdx = 0
+			u.state.Set(StBestScan)
+			return
+		}
+		// "S > SBest ? keep S and implementation ID" (fig. 6).
+		if !u.haveBest || u.acc > u.best {
+			u.best = u.acc
+			u.bestID = u.implID
+			u.haveBest = true
+		}
+		u.ip += 2
+		u.issueImplScan()
+
+	case StBestScan:
+		// One kept entry compared per cycle, like the single-best
+		// comparator replicated sequentially.
+		if u.bestScanStep() {
+			u.state.Set(StBestShift)
+		}
+
+	case StBestShift:
+		u.bestInsert()
+		u.ip += 2
+		u.issueImplScan()
+	}
+}
+
+// satQ15 clamps an unsigned product shift into Q15.
+func satQ15(v uint64) fixed.Q15 {
+	if v > uint64(fixed.OneQ15) {
+		return fixed.OneQ15
+	}
+	return fixed.Q15(v)
+}
+
+func (u *Unit) issueTypeScan() {
+	u.cbMem.ReadA(u.tp)
+	if u.cfg.Compact {
+		// Block fetch (§5): pointer word through port B, and the
+		// check state follows the issue directly — the BRAM's
+		// one-cycle latency needs no extra wait state.
+		u.cbMem.ReadB(u.tp + 1)
+		u.state.Set(StTypeCheck)
+		return
+	}
+	u.state.Set(StTypeScan)
+}
+
+func (u *Unit) issueImplScan() {
+	u.cbMem.ReadA(u.ip)
+	if u.cfg.Compact {
+		u.cbMem.ReadB(u.ip + 1)
+		u.state.Set(StImplCheck)
+		return
+	}
+	u.state.Set(StImplScan)
+}
+
+func (u *Unit) issueCBAttrScan() {
+	u.cbMem.ReadA(u.cp)
+	if u.cfg.Compact {
+		u.cbMem.ReadB(u.cp + 1)
+		u.state.Set(StCBAttrCheck)
+		return
+	}
+	u.state.Set(StCBAttrScan)
+}
+
+func (u *Unit) issueReqAttr() {
+	u.reqMem.ReadA(u.rp)
+	if u.cfg.Compact {
+		u.reqMem.ReadB(u.rp + 1)
+		u.state.Set(StReqAttrCheck)
+		return
+	}
+	u.state.Set(StReqAttr)
+}
+
+// beginImpl resets the per-implementation scan registers and starts on
+// the request's first attribute.
+func (u *Unit) beginImpl() {
+	u.cp = u.ap
+	u.sp = u.suppBase
+	u.rp = 1
+	u.acc = 0
+	u.issueReqAttr()
+}
+
+// nextReqAttr advances to the next request attribute block. In the
+// ablation's restart mode the scan pointers fall back to their list
+// heads, costing the "repeated search from the top" §4.1 avoids.
+func (u *Unit) nextReqAttr() {
+	u.rp += 3
+	if u.cfg.RestartScan {
+		u.cp = u.ap
+		u.sp = u.suppBase
+	}
+	u.issueReqAttr()
+}
+
+// updateBest transitions to the best-comparison state; the comparison
+// itself costs the one StBestCmp cycle, like the fig. 7 comparator stage.
+func (u *Unit) updateBest() {
+	u.state.Set(StBestCmp)
+}
+
+// checkSupp processes a supplemental-list probe whose ID is on DoutA
+// (and, in compact mode, whose reciprocal candidate is on DoutB).
+func (u *Unit) checkSupp() {
+	id := u.cbMem.DoutA()
+	switch {
+	case id == u.attrID && u.cfg.Compact:
+		u.recip = fixed.UQ16(u.cbMem.DoutB())
+		u.issueCBAttrScan()
+	case id == u.attrID:
+		u.cbMem.ReadA(u.sp + 3)
+		u.state.Set(StSuppRecipWait)
+	case id != memlist.EndMarker && id < u.attrID:
+		u.sp += 4
+		u.cbMem.ReadA(u.sp)
+		if u.cfg.Compact {
+			u.cbMem.ReadB(u.sp + 3)
+			u.state.Set(StSuppCheck)
+			return
+		}
+		u.state.Set(StSuppScan)
+	default:
+		// Design error: request references an attribute type missing
+		// from the supplemental table. Score it unsatisfiable.
+		u.suppMiss = true
+		u.nextReqAttr()
+	}
+}
+
+// startCalc captures the implementation attribute value and launches the
+// fig. 7 arithmetic pipeline: ABS → ×recip → 1-x → ×w → Σ.
+func (u *Unit) startCalc(cbVal uint16) {
+	d := fixed.Dist(u.reqVal, cbVal)
+	u.mulD.Set(d, uint32(u.recip))
+	u.state.Set(StSi)
+}
+
+// finish latches the final best comparison result and raises Done.
+func (u *Unit) finish() {
+	u.state.Set(StDone)
+	u.done.Set(true)
+}

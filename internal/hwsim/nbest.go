@@ -1,0 +1,80 @@
+package hwsim
+
+import "qosalloc/internal/fixed"
+
+// n-best retrieval — the §5 extension: "Our next step will be an
+// extension for getting n most similar solutions from retrieval which
+// offers the possibility for checking out the feasibility of different
+// matching variants."
+//
+// The hardware keeps a small ordered register file of the n best
+// (S, ID) pairs. After each implementation's similarity is final, a
+// sequential comparator walks the kept list (one comparison per cycle,
+// like the single-best "S > SBest?" stage repeated) to find the
+// insertion point; the insert itself is a parallel shift-register
+// operation costing one further cycle. Area cost grows linearly in n
+// (n × 32 bits of registers plus the comparator mux); cycle cost grows
+// by at most n+1 cycles per implementation.
+
+// TopEntry is one kept (similarity, implementation) pair.
+type TopEntry struct {
+	ImplID uint16
+	Sim    fixed.Q15
+}
+
+// TopN returns the n-best register file contents after a completed run,
+// best first. With NBest ≤ 1 it returns just the single best.
+func (u *Unit) TopN() []TopEntry {
+	if u.cfg.NBest <= 1 {
+		if !u.haveBest {
+			return nil
+		}
+		return []TopEntry{{ImplID: u.bestID, Sim: u.best}}
+	}
+	out := make([]TopEntry, u.nbestCount)
+	for i := 0; i < u.nbestCount; i++ {
+		out[i] = TopEntry{ImplID: u.nbestID[i], Sim: u.nbestS[i]}
+	}
+	return out
+}
+
+// resetNBest clears the register file at Start.
+func (u *Unit) resetNBest() {
+	if u.cfg.NBest > 1 {
+		u.nbestS = make([]fixed.Q15, u.cfg.NBest)
+		u.nbestID = make([]uint16, u.cfg.NBest)
+		u.nbestCount = 0
+		u.insIdx = 0
+	}
+}
+
+// bestScanStep is the per-cycle sequential comparison of StBestScan.
+// It reports true when the insertion point is found.
+func (u *Unit) bestScanStep() bool {
+	if u.insIdx < u.nbestCount && u.acc <= u.nbestS[u.insIdx] {
+		u.insIdx++
+		return false
+	}
+	return true
+}
+
+// bestInsert performs the one-cycle parallel shift-register insert of
+// StBestShift, then mirrors entry 0 into the single-best outputs so
+// Result stays meaningful.
+func (u *Unit) bestInsert() {
+	n := u.cfg.NBest
+	if u.insIdx < n {
+		for j := n - 1; j > u.insIdx; j-- {
+			u.nbestS[j] = u.nbestS[j-1]
+			u.nbestID[j] = u.nbestID[j-1]
+		}
+		u.nbestS[u.insIdx] = u.acc
+		u.nbestID[u.insIdx] = u.implID
+		if u.nbestCount < n {
+			u.nbestCount++
+		}
+	}
+	u.best = u.nbestS[0]
+	u.bestID = u.nbestID[0]
+	u.haveBest = u.nbestCount > 0
+}

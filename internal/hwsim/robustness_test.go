@@ -1,0 +1,134 @@
+package hwsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"qosalloc/internal/casebase"
+	"qosalloc/internal/memlist"
+)
+
+// TestCorruptImagesTerminate is failure injection at the memory level:
+// whatever garbage the BRAMs hold, the unit must either deliver a result
+// or report an error within its cycle budget — never panic, never hang
+// forever. Wild pointers land in zeroed/out-of-range words which read as
+// the end marker, and the scan pointers only move forward, so the FSM
+// always makes progress.
+func TestCorruptImagesTerminate(t *testing.T) {
+	r := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 300; trial++ {
+		tree := &memlist.Image{Words: randomWords(r, 1+r.Intn(64))}
+		supp := &memlist.Image{Words: randomWords(r, 1+r.Intn(16))}
+		req := &memlist.Image{Words: randomWords(r, 1+r.Intn(16))}
+		for _, cfg := range []Config{{}, {Compact: true}, {NBest: 3}} {
+			u := New(tree, supp, req, cfg)
+			_, err := u.Run(200_000)
+			// Any outcome is fine; the property is termination
+			// without panic. A budget overrun would surface as
+			// ErrMaxCycles wrapped in err.
+			_ = err
+			if !u.Done() && err == nil {
+				t.Fatalf("trial %d: run returned without completing", trial)
+			}
+		}
+	}
+}
+
+// TestZeroImagesError: all-zero memories must fail cleanly (type list is
+// empty from word 0).
+func TestZeroImagesError(t *testing.T) {
+	tree := &memlist.Image{Words: make([]uint16, 32)}
+	supp := &memlist.Image{Words: make([]uint16, 8)}
+	req := &memlist.Image{Words: []uint16{1, memlist.EndMarker}}
+	u := New(tree, supp, req, Config{})
+	if _, err := u.Run(10_000); err == nil {
+		t.Error("empty case base must error")
+	}
+	if u.StateQ() != StError {
+		t.Errorf("state = %v", u.StateQ())
+	}
+}
+
+// TestSelfReferencingPointers: a tree whose pointers point at themselves
+// must still terminate (the scan pointer advances past the entry or the
+// check reads a terminator).
+func TestSelfReferencingPointers(t *testing.T) {
+	// Type 1's impl list pointer targets the type entry itself.
+	tree := &memlist.Image{Words: []uint16{1, 0, memlist.EndMarker}}
+	supp := &memlist.Image{Words: []uint16{memlist.EndMarker}}
+	req := &memlist.Image{Words: []uint16{1, memlist.EndMarker}}
+	u := New(tree, supp, req, Config{})
+	_, err := u.Run(100_000)
+	// The impl scan starts at word 0, reads ID 1 with "pointer" 0,
+	// whose attribute list at word 0 reads entry (1, 0)... all scans
+	// advance monotonically, so this terminates one way or the other.
+	_ = err
+	if !u.Done() && err == nil {
+		t.Fatal("self-referencing image did not terminate")
+	}
+}
+
+// TestBackToBackRetrievals exercises the deployed usage: one resident
+// unit, many requests streamed through LoadRequest, each retrieval
+// starting from the previous one's final state.
+func TestBackToBackRetrievals(t *testing.T) {
+	cb, err := casebase.PaperCaseBase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, _ := memlist.EncodeTree(cb)
+	supp := memlist.EncodeSupplemental(cb.Registry())
+
+	relaxed, _ := casebase.PaperRequest().Relax(casebase.AttrBitwidth)
+	reqs := []casebase.Request{
+		casebase.PaperRequest(),
+		relaxed,
+		casebase.PaperRequest(), // repeat: same answer expected again
+	}
+	// Size Req-MEM for the largest request.
+	maxWords := 0
+	var imgs []*memlist.Image
+	for _, rq := range reqs {
+		img, err := memlist.EncodeRequest(rq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(img.Words) > maxWords {
+			maxWords = len(img.Words)
+		}
+		imgs = append(imgs, img)
+	}
+	first := &memlist.Image{Words: make([]uint16, maxWords)}
+	u := New(tree, supp, first, Config{})
+
+	var got []uint16
+	for i, img := range imgs {
+		if err := u.LoadRequest(img); err != nil {
+			t.Fatal(err)
+		}
+		res, err := u.Run(1 << 20)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		got = append(got, res.ImplID)
+	}
+	if got[0] != 2 || got[2] != 2 {
+		t.Errorf("paper request best = %d/%d, want 2", got[0], got[2])
+	}
+	if got[0] != got[2] {
+		t.Error("repeated request must repeat the answer")
+	}
+	// The unit rejects oversized requests.
+	big := &memlist.Image{Words: make([]uint16, maxWords+10)}
+	if err := u.LoadRequest(big); err == nil {
+		t.Error("oversized request image must be rejected")
+	}
+}
+
+func randomWords(r *rand.Rand, n int) []uint16 {
+	w := make([]uint16, n)
+	for i := range w {
+		w[i] = uint16(r.Intn(1 << 16))
+	}
+	return w
+}

@@ -1,0 +1,260 @@
+package learn
+
+import (
+	"testing"
+
+	"qosalloc/internal/attr"
+	"qosalloc/internal/casebase"
+	"qosalloc/internal/memlist"
+	"qosalloc/internal/retrieval"
+)
+
+func newLearner(t *testing.T, alpha float64) (*Learner, *casebase.CaseBase) {
+	t.Helper()
+	cb, err := casebase.PaperCaseBase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLearner(cb, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, cb
+}
+
+func TestNewLearnerValidatesAlpha(t *testing.T) {
+	cb, _ := casebase.PaperCaseBase()
+	for _, a := range []float64{0, -1, 1.5} {
+		if _, err := NewLearner(cb, a); err == nil {
+			t.Errorf("alpha %v must be rejected", a)
+		}
+	}
+	if _, err := NewLearner(cb, 1); err != nil {
+		t.Errorf("alpha 1 is valid: %v", err)
+	}
+}
+
+func TestReviseConverges(t *testing.T) {
+	// The DSP equalizer claims 44 kS/s; monitors repeatedly observe
+	// only 40. The revision must converge onto 40.
+	l, _ := newLearner(t, 0.5)
+	for i := 0; i < 12; i++ {
+		err := l.Observe(Observation{
+			Type: casebase.TypeFIREqualizer, Impl: 2,
+			Measured: []attr.Pair{{ID: casebase.AttrSampleRate, Value: 40}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	cb2, changed, err := l.Rebuild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed != 1 {
+		t.Errorf("changed = %d, want 1", changed)
+	}
+	ft, _ := cb2.Type(casebase.TypeFIREqualizer)
+	im, _ := ft.Impl(2)
+	if v, _ := im.Attr(casebase.AttrSampleRate); v != 40 {
+		t.Errorf("revised sample rate = %d, want 40", v)
+	}
+	// Unrelated attributes untouched.
+	if v, _ := im.Attr(casebase.AttrBitwidth); v != 16 {
+		t.Errorf("bitwidth disturbed: %d", v)
+	}
+	if l.Stats().Observations != 12 {
+		t.Errorf("stats = %+v", l.Stats())
+	}
+}
+
+func TestReviseChangesRetrievalOutcome(t *testing.T) {
+	// Revision is visible to retrieval: degrade the DSP variant's
+	// sample rate to 8 kS/s and the FPGA variant overtakes it for the
+	// paper request.
+	l, _ := newLearner(t, 1)
+	if err := l.Observe(Observation{
+		Type: casebase.TypeFIREqualizer, Impl: 2,
+		Measured: []attr.Pair{{ID: casebase.AttrSampleRate, Value: 8}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cb2, _, err := l.Rebuild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := retrieval.NewEngine(cb2, retrieval.Options{})
+	best, err := e.Retrieve(casebase.PaperRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Impl != 1 {
+		t.Errorf("after degrading DSP, best = %d, want FPGA (1)", best.Impl)
+	}
+}
+
+func TestReviseClampsToBounds(t *testing.T) {
+	// Observations outside the design range are clamped so dmax stays
+	// valid and the rebuilt tree still validates.
+	l, _ := newLearner(t, 1)
+	if err := l.Observe(Observation{
+		Type: casebase.TypeFIREqualizer, Impl: 2,
+		Measured: []attr.Pair{{ID: casebase.AttrSampleRate, Value: 60000}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cb2, _, err := l.Rebuild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, _ := cb2.Type(casebase.TypeFIREqualizer)
+	im, _ := ft.Impl(2)
+	if v, _ := im.Attr(casebase.AttrSampleRate); v != 44 {
+		t.Errorf("clamped value = %d, want the upper bound 44", v)
+	}
+}
+
+func TestObserveIgnoresUndescribedAttrs(t *testing.T) {
+	// The FFT FPGA variant does not describe output-mode; observing it
+	// must not invent the attribute.
+	l, _ := newLearner(t, 1)
+	if err := l.Observe(Observation{
+		Type: casebase.Type1DFFT, Impl: 1,
+		Measured: []attr.Pair{{ID: casebase.AttrOutputMode, Value: 1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cb2, changed, err := l.Rebuild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed != 0 {
+		t.Errorf("changed = %d, want 0", changed)
+	}
+	ft, _ := cb2.Type(casebase.Type1DFFT)
+	im, _ := ft.Impl(1)
+	if _, ok := im.Attr(casebase.AttrOutputMode); ok {
+		t.Error("undescribed attribute must not appear")
+	}
+}
+
+func TestObserveValidates(t *testing.T) {
+	l, _ := newLearner(t, 0.5)
+	if err := l.Observe(Observation{Type: 99, Impl: 1}); err == nil {
+		t.Error("unknown type must fail")
+	}
+	if err := l.Observe(Observation{Type: 1, Impl: 99}); err == nil {
+		t.Error("unknown impl must fail")
+	}
+	if err := l.Observe(Observation{
+		Type: 1, Impl: 1, Measured: []attr.Pair{{ID: 99, Value: 1}},
+	}); err == nil {
+		t.Error("unknown attribute must fail")
+	}
+}
+
+func TestRetainNewVariant(t *testing.T) {
+	l, _ := newLearner(t, 0.5)
+	id, err := l.Retain(casebase.TypeFIREqualizer, casebase.Implementation{
+		Name: "fir-eq-dsp2", Target: casebase.TargetDSP,
+		Attrs: []attr.Pair{
+			{ID: casebase.AttrBitwidth, Value: 16},
+			{ID: casebase.AttrOutputMode, Value: 1},
+			{ID: casebase.AttrSampleRate, Value: 40},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 4 {
+		t.Errorf("assigned ID = %d, want 4 (next free)", id)
+	}
+	cb2, changed, err := l.Rebuild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed != 1 {
+		t.Errorf("changed = %d", changed)
+	}
+	// The retained variant matches the paper request exactly on sample
+	// rate 40 and wins retrieval.
+	e := retrieval.NewEngine(cb2, retrieval.Options{})
+	best, err := e.Retrieve(casebase.PaperRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Impl != id {
+		t.Errorf("best after retain = %d, want the new variant %d", best.Impl, id)
+	}
+	// And the new tree still encodes as a valid memory image.
+	if _, err := memlist.EncodeTree(cb2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRetainDuplicateRejected(t *testing.T) {
+	l, _ := newLearner(t, 0.5)
+	if _, err := l.Retain(casebase.TypeFIREqualizer, casebase.Implementation{ID: 2}); err == nil {
+		t.Error("retaining an existing ID must fail")
+	}
+	if _, err := l.Retain(99, casebase.Implementation{}); err == nil {
+		t.Error("retaining into an unknown type must fail")
+	}
+	if _, err := l.Retain(casebase.TypeFIREqualizer, casebase.Implementation{ID: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Retain(casebase.TypeFIREqualizer, casebase.Implementation{ID: 9}); err == nil {
+		t.Error("retaining the same new ID twice must fail")
+	}
+}
+
+func TestRetire(t *testing.T) {
+	l, _ := newLearner(t, 0.5)
+	if err := l.Retire(casebase.TypeFIREqualizer, 2); err != nil {
+		t.Fatal(err)
+	}
+	cb2, changed, err := l.Rebuild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed != 1 {
+		t.Errorf("changed = %d", changed)
+	}
+	ft, _ := cb2.Type(casebase.TypeFIREqualizer)
+	if _, ok := ft.Impl(2); ok {
+		t.Error("retired variant still present")
+	}
+	if len(ft.Impls) != 2 {
+		t.Errorf("impls = %d, want 2", len(ft.Impls))
+	}
+	// Retrieval falls back to the FPGA variant.
+	e := retrieval.NewEngine(cb2, retrieval.Options{})
+	best, _ := e.Retrieve(casebase.PaperRequest())
+	if best.Impl != 1 {
+		t.Errorf("best after retiring DSP = %d, want 1", best.Impl)
+	}
+}
+
+func TestRetireValidates(t *testing.T) {
+	l, _ := newLearner(t, 0.5)
+	if err := l.Retire(99, 1); err == nil {
+		t.Error("unknown type must fail")
+	}
+	if err := l.Retire(1, 99); err == nil {
+		t.Error("unknown impl must fail")
+	}
+}
+
+func TestRetireLastVariantFailsRebuild(t *testing.T) {
+	l, _ := newLearner(t, 0.5)
+	// The 1D-FFT type has two variants; retire both.
+	if err := l.Retire(casebase.Type1DFFT, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Retire(casebase.Type1DFFT, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Rebuild(); err == nil {
+		t.Error("rebuild with an empty type must fail validation")
+	}
+}

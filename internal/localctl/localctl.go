@@ -1,0 +1,200 @@
+// Package localctl models the paper's "Local Run-Time Control" blocks
+// (fig. 1): the per-device controllers — "located on different devices
+// (e.g. standard CPU, FPGA (soft-core CPU) or DSP)" — that are
+// "responsible for the control of local run-time reconfiguration and
+// other sub-tasks like local task/resource management and communication
+// issues" (§1).
+//
+// A Controller owns one device and consumes a command mailbox: configure
+// an implementation into local capacity, start/stop it, report status.
+// Commands incur a processing latency (the soft-core handling the
+// message) on top of the device's own reconfiguration time, and complete
+// asynchronously: the controller posts Events to its outbox as the
+// simulated clock advances. This is the communication fabric the
+// HW-Layer API rides on; the centralized rtsys model used by the
+// allocation manager is its synchronous abstraction.
+package localctl
+
+import (
+	"fmt"
+
+	"qosalloc/internal/casebase"
+	"qosalloc/internal/device"
+)
+
+// Op is a command opcode.
+type Op uint8
+
+// Controller commands.
+const (
+	// OpConfigure loads an implementation into local capacity.
+	OpConfigure Op = iota
+	// OpRemove releases a previously configured implementation.
+	OpRemove
+	// OpQuery requests a status event without changing state.
+	OpQuery
+)
+
+// String returns the command name.
+func (o Op) String() string {
+	switch o {
+	case OpConfigure:
+		return "configure"
+	case OpRemove:
+		return "remove"
+	case OpQuery:
+		return "query"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Command is one mailbox entry.
+type Command struct {
+	Op   Op
+	Task int
+	Type casebase.TypeID
+	Impl casebase.ImplID
+	Foot casebase.Footprint
+	Prio int
+}
+
+// EventKind classifies controller events.
+type EventKind uint8
+
+// Event kinds.
+const (
+	// EvConfigured reports a completed configuration (Ready carries
+	// when the function becomes usable).
+	EvConfigured EventKind = iota
+	// EvRemoved reports a completed removal.
+	EvRemoved
+	// EvStatus reports a query response.
+	EvStatus
+	// EvError reports a rejected command.
+	EvError
+)
+
+// String returns the event kind name.
+func (k EventKind) String() string {
+	switch k {
+	case EvConfigured:
+		return "configured"
+	case EvRemoved:
+		return "removed"
+	case EvStatus:
+		return "status"
+	case EvError:
+		return "error"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is one outbox entry.
+type Event struct {
+	Kind  EventKind
+	At    device.Micros // when the event was emitted
+	Task  int
+	Ready device.Micros // EvConfigured: when the function is usable
+	Load  int           // EvStatus: live placements
+	Power int           // EvStatus: device power, mW
+	Err   string        // EvError: reason
+}
+
+// Controller is one local run-time control instance.
+type Controller struct {
+	dev device.Device
+	// CommandLatency models the local soft-core's message handling
+	// time per command.
+	CommandLatency device.Micros
+
+	now     device.Micros
+	busyTil device.Micros
+	inbox   []pendingCmd
+	outbox  []Event
+}
+
+type pendingCmd struct {
+	cmd     Command
+	startAt device.Micros // when processing may begin
+}
+
+// New returns a controller over dev with the given per-command
+// processing latency.
+func New(dev device.Device, commandLatency device.Micros) *Controller {
+	return &Controller{dev: dev, CommandLatency: commandLatency}
+}
+
+// Device returns the controlled device.
+func (c *Controller) Device() device.Device { return c.dev }
+
+// Now returns the controller's local clock.
+func (c *Controller) Now() device.Micros { return c.now }
+
+// QueueDepth returns the number of unprocessed commands.
+func (c *Controller) QueueDepth() int { return len(c.inbox) }
+
+// Send enqueues a command at the current local time.
+func (c *Controller) Send(cmd Command) {
+	c.inbox = append(c.inbox, pendingCmd{cmd: cmd, startAt: c.now})
+}
+
+// Drain returns and clears the accumulated events.
+func (c *Controller) Drain() []Event {
+	out := c.outbox
+	c.outbox = nil
+	return out
+}
+
+// AdvanceTo moves the local clock forward, processing every command
+// whose service time (queueing + command latency) has elapsed. Commands
+// are handled strictly in order — the controller is a single soft core.
+func (c *Controller) AdvanceTo(t device.Micros) error {
+	if t < c.now {
+		return fmt.Errorf("localctl: cannot rewind clock from %d to %d", c.now, t)
+	}
+	c.now = t
+	for len(c.inbox) > 0 {
+		p := c.inbox[0]
+		start := p.startAt
+		if c.busyTil > start {
+			start = c.busyTil
+		}
+		done := start + c.CommandLatency
+		if done > c.now {
+			return nil // head of queue still in service
+		}
+		c.busyTil = done
+		c.inbox = c.inbox[1:]
+		c.execute(p.cmd, done)
+	}
+	return nil
+}
+
+// execute performs one command at its completion time.
+func (c *Controller) execute(cmd Command, at device.Micros) {
+	switch cmd.Op {
+	case OpConfigure:
+		pl, err := c.dev.Place(cmd.Task, cmd.Type, cmd.Impl, cmd.Foot, cmd.Prio, at)
+		if err != nil {
+			c.outbox = append(c.outbox, Event{Kind: EvError, At: at, Task: cmd.Task, Err: err.Error()})
+			return
+		}
+		c.outbox = append(c.outbox, Event{Kind: EvConfigured, At: at, Task: cmd.Task, Ready: pl.Ready})
+	case OpRemove:
+		if err := c.dev.Remove(cmd.Task); err != nil {
+			c.outbox = append(c.outbox, Event{Kind: EvError, At: at, Task: cmd.Task, Err: err.Error()})
+			return
+		}
+		c.outbox = append(c.outbox, Event{Kind: EvRemoved, At: at, Task: cmd.Task})
+	case OpQuery:
+		c.outbox = append(c.outbox, Event{
+			Kind: EvStatus, At: at,
+			Load: len(c.dev.Placements()), Power: c.dev.PowerMW(),
+		})
+	default:
+		c.outbox = append(c.outbox, Event{Kind: EvError, At: at, Task: cmd.Task,
+			Err: fmt.Sprintf("unknown command %v", cmd.Op)})
+	}
+}

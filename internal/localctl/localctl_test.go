@@ -1,0 +1,156 @@
+package localctl
+
+import (
+	"strings"
+	"testing"
+
+	"qosalloc/internal/casebase"
+	"qosalloc/internal/device"
+)
+
+func testFPGA() *device.FPGA {
+	return device.NewFPGA("fpga0", []device.Slot{
+		{Slices: 1500, BRAMs: 8, Multipliers: 16},
+	}, 66)
+}
+
+var testFoot = casebase.Footprint{Slices: 900, ConfigBytes: 6600, PowerMW: 300} // 100us reconfig
+
+func TestConfigureCompletesAfterLatency(t *testing.T) {
+	c := New(testFPGA(), 50)
+	c.Send(Command{Op: OpConfigure, Task: 1, Type: 1, Impl: 1, Foot: testFoot})
+	// Before the command latency elapses, nothing happens.
+	if err := c.AdvanceTo(49); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Drain()) != 0 {
+		t.Fatal("command completed too early")
+	}
+	if c.QueueDepth() != 1 {
+		t.Fatal("command must still be queued")
+	}
+	if err := c.AdvanceTo(50); err != nil {
+		t.Fatal(err)
+	}
+	evs := c.Drain()
+	if len(evs) != 1 || evs[0].Kind != EvConfigured || evs[0].Task != 1 {
+		t.Fatalf("events = %+v", evs)
+	}
+	// Device place happened at t=50; reconfiguration adds 100us.
+	if evs[0].Ready != 150 {
+		t.Errorf("ready = %d, want 150", evs[0].Ready)
+	}
+	if c.QueueDepth() != 0 {
+		t.Error("queue must drain")
+	}
+}
+
+func TestCommandsSerializeThroughOneCore(t *testing.T) {
+	fpga := device.NewFPGA("f", []device.Slot{
+		{Slices: 1500}, {Slices: 1500},
+	}, 66)
+	c := New(fpga, 100)
+	small := casebase.Footprint{Slices: 100, ConfigBytes: 660}
+	c.Send(Command{Op: OpConfigure, Task: 1, Foot: small, Type: 1, Impl: 1})
+	c.Send(Command{Op: OpConfigure, Task: 2, Foot: small, Type: 1, Impl: 2})
+	if err := c.AdvanceTo(150); err != nil {
+		t.Fatal(err)
+	}
+	// Only the first command (service 0→100) has completed.
+	if evs := c.Drain(); len(evs) != 1 || evs[0].Task != 1 {
+		t.Fatalf("events at t=150: %+v", evs)
+	}
+	if err := c.AdvanceTo(200); err != nil {
+		t.Fatal(err)
+	}
+	evs := c.Drain()
+	if len(evs) != 1 || evs[0].Task != 2 || evs[0].At != 200 {
+		t.Fatalf("second completion = %+v", evs)
+	}
+}
+
+func TestRemoveAndQuery(t *testing.T) {
+	c := New(testFPGA(), 10)
+	c.Send(Command{Op: OpConfigure, Task: 1, Type: 1, Impl: 1, Foot: testFoot})
+	c.Send(Command{Op: OpQuery})
+	c.Send(Command{Op: OpRemove, Task: 1})
+	c.Send(Command{Op: OpQuery})
+	if err := c.AdvanceTo(1000); err != nil {
+		t.Fatal(err)
+	}
+	evs := c.Drain()
+	if len(evs) != 4 {
+		t.Fatalf("events = %+v", evs)
+	}
+	if evs[1].Kind != EvStatus || evs[1].Load != 1 || evs[1].Power != 300 {
+		t.Errorf("status after configure = %+v", evs[1])
+	}
+	if evs[2].Kind != EvRemoved {
+		t.Errorf("remove event = %+v", evs[2])
+	}
+	if evs[3].Kind != EvStatus || evs[3].Load != 0 || evs[3].Power != 0 {
+		t.Errorf("status after remove = %+v", evs[3])
+	}
+}
+
+func TestErrorsSurfaceAsEvents(t *testing.T) {
+	c := New(testFPGA(), 1)
+	// Removing a task that does not exist.
+	c.Send(Command{Op: OpRemove, Task: 42})
+	// Configuring beyond capacity.
+	c.Send(Command{Op: OpConfigure, Task: 1, Type: 1, Impl: 1, Foot: testFoot})
+	c.Send(Command{Op: OpConfigure, Task: 2, Type: 1, Impl: 2, Foot: testFoot})
+	if err := c.AdvanceTo(100); err != nil {
+		t.Fatal(err)
+	}
+	evs := c.Drain()
+	if len(evs) != 3 {
+		t.Fatalf("events = %+v", evs)
+	}
+	if evs[0].Kind != EvError || !strings.Contains(evs[0].Err, "not on") {
+		t.Errorf("remove error = %+v", evs[0])
+	}
+	if evs[1].Kind != EvConfigured {
+		t.Errorf("first configure = %+v", evs[1])
+	}
+	if evs[2].Kind != EvError || !strings.Contains(evs[2].Err, "no free slot") {
+		t.Errorf("overflow configure = %+v", evs[2])
+	}
+}
+
+func TestClockGuard(t *testing.T) {
+	c := New(testFPGA(), 1)
+	if err := c.AdvanceTo(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AdvanceTo(5); err == nil {
+		t.Error("rewind must fail")
+	}
+	if c.Now() != 10 {
+		t.Error("failed rewind moved the clock")
+	}
+}
+
+func TestOpAndEventStrings(t *testing.T) {
+	for _, s := range []string{OpConfigure.String(), OpRemove.String(), OpQuery.String(),
+		EvConfigured.String(), EvRemoved.String(), EvStatus.String(), EvError.String()} {
+		if s == "" || strings.HasPrefix(s, "Op(") || strings.HasPrefix(s, "EventKind(") {
+			t.Errorf("bad name %q", s)
+		}
+	}
+	if !strings.Contains(Op(9).String(), "9") || !strings.Contains(EventKind(9).String(), "9") {
+		t.Error("unknown values should render numerically")
+	}
+}
+
+func TestUnknownCommandRejected(t *testing.T) {
+	c := New(testFPGA(), 1)
+	c.Send(Command{Op: Op(99), Task: 7})
+	if err := c.AdvanceTo(10); err != nil {
+		t.Fatal(err)
+	}
+	evs := c.Drain()
+	if len(evs) != 1 || evs[0].Kind != EvError {
+		t.Fatalf("events = %+v", evs)
+	}
+}

@@ -1,0 +1,253 @@
+package mb32
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates assembler text into a program. Syntax, one
+// instruction or label per line:
+//
+//	; comment            # comment
+//	label:
+//	add   r3, r4, r5     ; rd, ra, rb
+//	addi  r3, r4, -12    ; rd, ra, imm (decimal or 0x hex)
+//	lhu   r3, r4, 8      ; rd ← mem16[r4+8]
+//	sh    r3, r4, 8      ; mem16[r4+8] ← r3
+//	beqz  r3, loop       ; branch to label when r3 == 0
+//	br    done
+//	call  subroutine     ; link in r15
+//	ret
+//	halt
+//
+// Named constants may be defined with `.equ NAME value` and used in
+// immediate positions. The assembler is two-pass: labels first, then
+// encoding, so forward references work.
+func Assemble(src string) ([]Instr, error) {
+	type pending struct {
+		line  int
+		instr Instr
+		label string // non-empty when Imm awaits a label address
+	}
+
+	labels := map[string]int{}
+	consts := map[string]int32{}
+	var items []pending
+
+	// Pass 1: strip comments, record labels and constants, stage
+	// instructions with unresolved label references.
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 {
+				break
+			}
+			name := strings.TrimSpace(line[:i])
+			if !isIdent(name) {
+				return nil, fmt.Errorf("mb32: line %d: bad label %q", ln+1, name)
+			}
+			if _, dup := labels[name]; dup {
+				return nil, fmt.Errorf("mb32: line %d: duplicate label %q", ln+1, name)
+			}
+			labels[name] = len(items)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, ".equ"); ok {
+			f := strings.Fields(rest)
+			if len(f) != 2 {
+				return nil, fmt.Errorf("mb32: line %d: .equ wants NAME VALUE", ln+1)
+			}
+			v, err := parseImm(f[1], consts)
+			if err != nil {
+				return nil, fmt.Errorf("mb32: line %d: %v", ln+1, err)
+			}
+			consts[f[0]] = v
+			continue
+		}
+		in, labelRef, err := parseInstr(line, consts)
+		if err != nil {
+			return nil, fmt.Errorf("mb32: line %d: %v", ln+1, err)
+		}
+		items = append(items, pending{line: ln + 1, instr: in, label: labelRef})
+	}
+
+	// Pass 2: resolve labels.
+	prog := make([]Instr, len(items))
+	for i, p := range items {
+		if p.label != "" {
+			t, ok := labels[p.label]
+			if !ok {
+				return nil, fmt.Errorf("mb32: line %d: undefined label %q", p.line, p.label)
+			}
+			p.instr.Imm = int32(t)
+		}
+		prog[i] = p.instr
+	}
+	return prog, nil
+}
+
+// MustAssemble is Assemble panicking on error, for programs whose
+// correctness is established by tests.
+func MustAssemble(src string) []Instr {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func parseReg(s string) (uint8, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || (s[0] != 'r' && s[0] != 'R') {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n > 31 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func parseImm(s string, consts map[string]int32) (int32, error) {
+	s = strings.TrimSpace(s)
+	if v, ok := consts[s]; ok {
+		return v, nil
+	}
+	// NAME+off / NAME-off forms.
+	for _, sep := range []string{"+", "-"} {
+		if i := strings.LastIndex(s[1:], sep); i >= 0 {
+			base, offs := s[:i+1], s[i+1:]
+			if v, ok := consts[strings.TrimSpace(base)]; ok {
+				o, err := strconv.ParseInt(strings.TrimSpace(offs), 0, 32)
+				if err != nil {
+					return 0, fmt.Errorf("bad immediate %q", s)
+				}
+				return v + int32(o), nil
+			}
+		}
+	}
+	v, err := strconv.ParseInt(s, 0, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return int32(v), nil
+}
+
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, len(opNames))
+	for op, name := range opNames {
+		m[name] = op
+	}
+	return m
+}()
+
+func parseInstr(line string, consts map[string]int32) (Instr, string, error) {
+	mnemonic, rest, _ := strings.Cut(line, " ")
+	op, ok := opByName[strings.ToLower(mnemonic)]
+	if !ok {
+		return Instr{}, "", fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	args := splitArgs(rest)
+	in := Instr{Op: op}
+
+	switch op {
+	case OpNop, OpHalt, OpRet:
+		if len(args) != 0 {
+			return in, "", fmt.Errorf("%s takes no operands", op)
+		}
+		return in, "", nil
+
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpMul, OpSll, OpSrl, OpSra:
+		if len(args) != 3 {
+			return in, "", fmt.Errorf("%s wants rd, ra, rb", op)
+		}
+		var err error
+		if in.Rd, err = parseReg(args[0]); err != nil {
+			return in, "", err
+		}
+		if in.Ra, err = parseReg(args[1]); err != nil {
+			return in, "", err
+		}
+		if in.Rb, err = parseReg(args[2]); err != nil {
+			return in, "", err
+		}
+		return in, "", nil
+
+	case OpAddi, OpAndi, OpOri, OpXori, OpSlli, OpSrli, OpSrai,
+		OpLhu, OpLw, OpSh, OpSw:
+		if len(args) != 3 {
+			return in, "", fmt.Errorf("%s wants rd, ra, imm", op)
+		}
+		var err error
+		if in.Rd, err = parseReg(args[0]); err != nil {
+			return in, "", err
+		}
+		if in.Ra, err = parseReg(args[1]); err != nil {
+			return in, "", err
+		}
+		if in.Imm, err = parseImm(args[2], consts); err != nil {
+			return in, "", err
+		}
+		return in, "", nil
+
+	case OpBeqz, OpBnez, OpBltz, OpBgez, OpBgtz, OpBlez:
+		if len(args) != 2 {
+			return in, "", fmt.Errorf("%s wants ra, label", op)
+		}
+		var err error
+		if in.Ra, err = parseReg(args[0]); err != nil {
+			return in, "", err
+		}
+		return in, strings.TrimSpace(args[1]), nil
+
+	case OpBr, OpCall:
+		if len(args) != 1 {
+			return in, "", fmt.Errorf("%s wants a label", op)
+		}
+		return in, strings.TrimSpace(args[0]), nil
+	}
+	return in, "", fmt.Errorf("unhandled opcode %v", op)
+}
+
+func splitArgs(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}

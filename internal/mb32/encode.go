@@ -1,0 +1,85 @@
+package mb32
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary instruction format, 32 bits:
+//
+//	[31:26] opcode   (6 bits)
+//	[25:21] rd       (5 bits)
+//	[20:16] ra       (5 bits)
+//	[15:11] rb       (5 bits)  — register forms
+//	[15:0]  imm      (16 bits, sign-extended) — immediate forms
+//
+// Branch targets are instruction indices and must fit the signed 16-bit
+// immediate, bounding programs at 32768 instructions — far beyond the
+// retrieval routine's needs (§4.2 reports 1984 bytes ≈ 500 instructions
+// for the C version).
+
+// Encode packs an instruction into its 32-bit word.
+func Encode(i Instr) (uint32, error) {
+	if i.Rd > 31 || i.Ra > 31 || i.Rb > 31 {
+		return 0, fmt.Errorf("mb32: register out of range in %v", i)
+	}
+	w := uint32(i.Op)<<26 | uint32(i.Rd)<<21 | uint32(i.Ra)<<16
+	if usesRb(i.Op) {
+		w |= uint32(i.Rb) << 11
+		return w, nil
+	}
+	if i.Imm < -32768 || i.Imm > 32767 {
+		return 0, fmt.Errorf("mb32: immediate %d out of signed 16-bit range in %v", i.Imm, i)
+	}
+	w |= uint32(uint16(i.Imm))
+	return w, nil
+}
+
+// Decode unpacks a 32-bit word.
+func Decode(w uint32) Instr {
+	i := Instr{
+		Op: Op(w >> 26),
+		Rd: uint8(w >> 21 & 31),
+		Ra: uint8(w >> 16 & 31),
+	}
+	if usesRb(i.Op) {
+		i.Rb = uint8(w >> 11 & 31)
+		return i
+	}
+	i.Imm = int32(int16(uint16(w)))
+	return i
+}
+
+func usesRb(o Op) bool {
+	switch o {
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpMul, OpSll, OpSrl, OpSra:
+		return true
+	}
+	return false
+}
+
+// EncodeProgram serializes a program to little-endian bytes, four per
+// instruction — the "opcode bytes" figure of §4.2.
+func EncodeProgram(prog []Instr) ([]byte, error) {
+	out := make([]byte, 4*len(prog))
+	for n, i := range prog {
+		w, err := Encode(i)
+		if err != nil {
+			return nil, fmt.Errorf("mb32: instruction %d: %w", n, err)
+		}
+		binary.LittleEndian.PutUint32(out[4*n:], w)
+	}
+	return out, nil
+}
+
+// DecodeProgram parses a little-endian instruction stream.
+func DecodeProgram(b []byte) ([]Instr, error) {
+	if len(b)%4 != 0 {
+		return nil, fmt.Errorf("mb32: program length %d not word-aligned", len(b))
+	}
+	prog := make([]Instr, len(b)/4)
+	for n := range prog {
+		prog[n] = Decode(binary.LittleEndian.Uint32(b[4*n:]))
+	}
+	return prog, nil
+}

@@ -1,0 +1,145 @@
+// Package mb32 implements a MicroBlaze-class 32-bit soft-core processor
+// model: instruction set, binary encoding, a two-pass assembler and a
+// cycle-cost simulator. It is the substrate for the paper's software
+// baseline — §4.2 maps the retrieval algorithm "into a C program running
+// on a Xilinx MicroBlaze soft-processor at 66 MHz" and compares cycle
+// counts against the hardware unit. The cost table follows the MicroBlaze
+// three-stage pipeline: single-cycle ALU operations, two-cycle local
+// -memory loads/stores, three-cycle taken branches and multiplies (the
+// hardware multiplier option maps to the same MULT18X18 blocks the
+// retrieval unit uses), and an optional barrel shifter.
+package mb32
+
+import "fmt"
+
+// Op is an instruction opcode.
+type Op uint8
+
+// The instruction set: a load/store RISC subset sufficient for systems
+// code over 16-bit data structures.
+const (
+	OpNop Op = iota
+	// Register-register ALU: rd ← ra op rb.
+	OpAdd
+	OpSub // rd ← ra - rb
+	OpAnd
+	OpOr
+	OpXor
+	OpMul // hardware multiplier, low 32 bits
+	OpSll // rd ← ra << (rb&31), barrel shifter
+	OpSrl // rd ← ra >> (rb&31) logical
+	OpSra // rd ← ra >> (rb&31) arithmetic
+	// Register-immediate ALU: rd ← ra op imm (imm is sign-extended
+	// 16-bit except the shifts, which take a 5-bit amount).
+	OpAddi
+	OpAndi
+	OpOri
+	OpXori
+	OpSlli
+	OpSrli
+	OpSrai
+	// Memory: halfword (zero-extended) and word forms; the effective
+	// address is ra + imm (byte addressed).
+	OpLhu
+	OpLw
+	OpSh
+	OpSw
+	// Control transfer: conditional branches compare ra against zero,
+	// as the MicroBlaze beqi/bnei/... family does. The target is an
+	// absolute instruction index resolved from a label.
+	OpBeqz
+	OpBnez
+	OpBltz
+	OpBgez
+	OpBgtz
+	OpBlez
+	OpBr   // unconditional
+	OpCall // link into r15, branch
+	OpRet  // jump to r15
+	OpHalt // stop simulation (models an exit syscall / idle loop)
+)
+
+var opNames = map[Op]string{
+	OpNop: "nop", OpAdd: "add", OpSub: "sub", OpAnd: "and", OpOr: "or",
+	OpXor: "xor", OpMul: "mul", OpSll: "sll", OpSrl: "srl", OpSra: "sra",
+	OpAddi: "addi", OpAndi: "andi", OpOri: "ori", OpXori: "xori",
+	OpSlli: "slli", OpSrli: "srli", OpSrai: "srai",
+	OpLhu: "lhu", OpLw: "lw", OpSh: "sh", OpSw: "sw",
+	OpBeqz: "beqz", OpBnez: "bnez", OpBltz: "bltz", OpBgez: "bgez",
+	OpBgtz: "bgtz", OpBlez: "blez", OpBr: "br", OpCall: "call",
+	OpRet: "ret", OpHalt: "halt",
+}
+
+// String returns the mnemonic.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op%d", uint8(o))
+}
+
+// Class groups opcodes for cycle costing and statistics.
+type Class uint8
+
+// Instruction classes.
+const (
+	ClassALU Class = iota
+	ClassMul
+	ClassShift
+	ClassLoad
+	ClassStore
+	ClassBranch
+	ClassHalt
+)
+
+// ClassOf returns the cost class of an opcode.
+func ClassOf(o Op) Class {
+	switch o {
+	case OpMul:
+		return ClassMul
+	case OpSll, OpSrl, OpSra, OpSlli, OpSrli, OpSrai:
+		return ClassShift
+	case OpLhu, OpLw:
+		return ClassLoad
+	case OpSh, OpSw:
+		return ClassStore
+	case OpBeqz, OpBnez, OpBltz, OpBgez, OpBgtz, OpBlez, OpBr, OpCall, OpRet:
+		return ClassBranch
+	case OpHalt:
+		return ClassHalt
+	default:
+		return ClassALU
+	}
+}
+
+// Instr is one decoded instruction. Rd/Ra/Rb are register numbers; Imm
+// carries immediates and branch targets (instruction index).
+type Instr struct {
+	Op  Op
+	Rd  uint8
+	Ra  uint8
+	Rb  uint8
+	Imm int32
+}
+
+// String renders the instruction in assembler syntax.
+func (i Instr) String() string {
+	switch i.Op {
+	case OpNop, OpHalt, OpRet:
+		return i.Op.String()
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpMul, OpSll, OpSrl, OpSra:
+		return fmt.Sprintf("%s r%d, r%d, r%d", i.Op, i.Rd, i.Ra, i.Rb)
+	case OpAddi, OpAndi, OpOri, OpXori, OpSlli, OpSrli, OpSrai:
+		return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.Rd, i.Ra, i.Imm)
+	case OpLhu, OpLw:
+		return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.Rd, i.Ra, i.Imm)
+	case OpSh, OpSw:
+		return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.Rd, i.Ra, i.Imm)
+	case OpBeqz, OpBnez, OpBltz, OpBgez, OpBgtz, OpBlez:
+		return fmt.Sprintf("%s r%d, %d", i.Op, i.Ra, i.Imm)
+	case OpBr, OpCall:
+		return fmt.Sprintf("%s %d", i.Op, i.Imm)
+	default:
+		return fmt.Sprintf("%s ?", i.Op)
+	}
+}

@@ -1,0 +1,97 @@
+package retrieval
+
+import (
+	"fmt"
+	"strings"
+
+	"qosalloc/internal/casebase"
+)
+
+// Token is the paper's bypass token (§3): "data on the previous selection
+// which can be reused at repeated function calls so that only an
+// availability check on the function and its allocated resources has to
+// be done". It pins the implementation chosen for a request signature.
+type Token struct {
+	Type       casebase.TypeID
+	Impl       casebase.ImplID
+	Similarity float64
+}
+
+// TokenCache maps request signatures to bypass tokens. It is a plain
+// cache: the allocation manager stores a token after a successful
+// placement and invalidates it when the case base changes or the pinned
+// implementation is evicted. Not safe for concurrent use; the allocation
+// manager serializes access.
+type TokenCache struct {
+	tokens map[string]Token
+	hits   int
+	misses int
+}
+
+// NewTokenCache returns an empty cache.
+func NewTokenCache() *TokenCache {
+	return &TokenCache{tokens: make(map[string]Token)}
+}
+
+// Signature derives the cache key from a request: function type plus the
+// sorted (ID, value, weight) constraint list. Two requests with the same
+// signature would retrieve the same implementation, so the retrieval can
+// be bypassed for the second one.
+func Signature(req casebase.Request) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "t%d", req.Type)
+	for _, c := range req.Constraints {
+		fmt.Fprintf(&b, "|%d=%d*%.6f", c.ID, c.Value, c.Weight)
+	}
+	return b.String()
+}
+
+// Lookup returns the token for req if one is cached.
+func (tc *TokenCache) Lookup(req casebase.Request) (Token, bool) {
+	t, ok := tc.tokens[Signature(req)]
+	if ok {
+		tc.hits++
+	} else {
+		tc.misses++
+	}
+	return t, ok
+}
+
+// Store caches a token for req.
+func (tc *TokenCache) Store(req casebase.Request, t Token) {
+	tc.tokens[Signature(req)] = t
+}
+
+// InvalidateType drops every token pinned to function type t — the
+// correct response when t's implementation sub-tree is updated at run
+// time (the paper's future-work dynamic case-base update).
+func (tc *TokenCache) InvalidateType(t casebase.TypeID) int {
+	n := 0
+	for k, tok := range tc.tokens {
+		if tok.Type == t {
+			delete(tc.tokens, k)
+			n++
+		}
+	}
+	return n
+}
+
+// InvalidateAll empties the cache.
+func (tc *TokenCache) InvalidateAll() {
+	tc.tokens = make(map[string]Token)
+}
+
+// Len returns the number of live tokens.
+func (tc *TokenCache) Len() int { return len(tc.tokens) }
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup.
+func (tc *TokenCache) HitRate() float64 {
+	n := tc.hits + tc.misses
+	if n == 0 {
+		return 0
+	}
+	return float64(tc.hits) / float64(n)
+}
+
+// Counters returns the raw hit/miss counts.
+func (tc *TokenCache) Counters() (hits, misses int) { return tc.hits, tc.misses }

@@ -1,0 +1,91 @@
+package retrieval
+
+import (
+	"testing"
+
+	"qosalloc/internal/casebase"
+)
+
+func TestTokenCacheRoundTrip(t *testing.T) {
+	tc := NewTokenCache()
+	req := casebase.PaperRequest()
+	if _, ok := tc.Lookup(req); ok {
+		t.Fatal("empty cache must miss")
+	}
+	tok := Token{Type: req.Type, Impl: 2, Similarity: 0.96}
+	tc.Store(req, tok)
+	got, ok := tc.Lookup(req)
+	if !ok || got != tok {
+		t.Fatalf("Lookup = %+v, %v", got, ok)
+	}
+	if tc.Len() != 1 {
+		t.Errorf("Len = %d", tc.Len())
+	}
+	hits, misses := tc.Counters()
+	if hits != 1 || misses != 1 {
+		t.Errorf("counters = %d, %d", hits, misses)
+	}
+	if tc.HitRate() != 0.5 {
+		t.Errorf("HitRate = %v", tc.HitRate())
+	}
+}
+
+func TestSignatureDistinguishesRequests(t *testing.T) {
+	a := casebase.PaperRequest()
+	b := casebase.NewRequest(casebase.TypeFIREqualizer,
+		casebase.Constraint{ID: casebase.AttrBitwidth, Value: 8}, // differs
+		casebase.Constraint{ID: casebase.AttrOutputMode, Value: 1},
+		casebase.Constraint{ID: casebase.AttrSampleRate, Value: 40},
+	).EqualWeights()
+	if Signature(a) == Signature(b) {
+		t.Error("different values must give different signatures")
+	}
+	// Same content, different construction order → same signature
+	// (NewRequest sorts).
+	c := casebase.NewRequest(casebase.TypeFIREqualizer,
+		casebase.Constraint{ID: casebase.AttrSampleRate, Value: 40},
+		casebase.Constraint{ID: casebase.AttrOutputMode, Value: 1},
+		casebase.Constraint{ID: casebase.AttrBitwidth, Value: 16},
+	).EqualWeights()
+	if Signature(a) != Signature(c) {
+		t.Error("order-insensitive requests must share a signature")
+	}
+	// Weight changes the signature: a reweighted request may retrieve
+	// a different variant.
+	d := a.NormalizeWeights()
+	d.Constraints[0].Weight = 0.8
+	d.Constraints[1].Weight = 0.1
+	d.Constraints[2].Weight = 0.1
+	if Signature(a) == Signature(d) {
+		t.Error("weights must participate in the signature")
+	}
+}
+
+func TestInvalidateType(t *testing.T) {
+	tc := NewTokenCache()
+	reqA := casebase.PaperRequest()
+	reqB := casebase.NewRequest(casebase.Type1DFFT,
+		casebase.Constraint{ID: casebase.AttrBitwidth, Value: 16},
+	).EqualWeights()
+	tc.Store(reqA, Token{Type: reqA.Type, Impl: 2})
+	tc.Store(reqB, Token{Type: reqB.Type, Impl: 1})
+	if n := tc.InvalidateType(casebase.TypeFIREqualizer); n != 1 {
+		t.Errorf("InvalidateType dropped %d, want 1", n)
+	}
+	if _, ok := tc.Lookup(reqA); ok {
+		t.Error("invalidated token still present")
+	}
+	if _, ok := tc.Lookup(reqB); !ok {
+		t.Error("unrelated token lost")
+	}
+	tc.InvalidateAll()
+	if tc.Len() != 0 {
+		t.Error("InvalidateAll left tokens behind")
+	}
+}
+
+func TestHitRateEmpty(t *testing.T) {
+	if NewTokenCache().HitRate() != 0 {
+		t.Error("HitRate before lookups must be 0")
+	}
+}

@@ -1,0 +1,140 @@
+package retrieval
+
+import (
+	"fmt"
+	"sort"
+
+	"qosalloc/internal/casebase"
+	"qosalloc/internal/fixed"
+)
+
+// FixedResult is a scored implementation in datapath precision.
+type FixedResult struct {
+	Type       casebase.TypeID
+	Impl       casebase.ImplID
+	Similarity fixed.Q15 // global similarity, Q1.15
+}
+
+// Float converts the fixed result to a Result-compatible similarity.
+func (f FixedResult) Float() float64 { return f.Similarity.Float() }
+
+// FixedEngine scores implementations with exactly the arithmetic of the
+// fig. 7 datapath: 16-bit attribute values, Manhattan distance through
+// the ABS block, multiplication by the pre-computed UQ16 reciprocal of
+// (1+dmax) instead of division, Q15 weighted accumulation with
+// saturation. It is the software twin of the hardware retrieval unit and
+// must agree with it cycle-result-for-cycle-result (package hwsim tests
+// enforce this).
+type FixedEngine struct {
+	cb *casebase.CaseBase
+	// recips caches the supplemental-list constants: (1+dmax)^-1 per
+	// attribute ID, generated once at construction — the design-time
+	// table of fig. 4 (right).
+	recips map[uint16]fixed.UQ16
+}
+
+// NewFixedEngine builds the engine and its reciprocal table from the case
+// base's attribute registry.
+func NewFixedEngine(cb *casebase.CaseBase) *FixedEngine {
+	fe := &FixedEngine{cb: cb, recips: make(map[uint16]fixed.UQ16)}
+	for _, id := range cb.Registry().IDs() {
+		dmax, _ := cb.Registry().DMax(id)
+		fe.recips[uint16(id)] = fixed.Recip(dmax)
+	}
+	return fe
+}
+
+// Recip exposes the supplemental-table constant for attribute id; the
+// memory-image encoder uses it so BRAM contents and engine constants
+// cannot drift apart.
+func (fe *FixedEngine) Recip(id uint16) (fixed.UQ16, bool) {
+	r, ok := fe.recips[id]
+	return r, ok
+}
+
+// weightsQ15 converts the request weights to Q15 via fixed.WeightsQ15,
+// the same conversion the memory-image encoder applies, so engine and
+// BRAM image cannot disagree.
+func weightsQ15(req casebase.Request) []fixed.Q15 {
+	ws := make([]float64, len(req.Constraints))
+	for i, c := range req.Constraints {
+		ws[i] = c.Weight
+	}
+	return fixed.WeightsQ15(ws)
+}
+
+// Score computes the Q15 global similarity of one implementation exactly
+// as the datapath does: for each requested attribute, look up the value
+// (missing ⇒ s_i = 0), s_i = 1 - d·recip, acc += w_i·s_i with
+// saturation.
+func (fe *FixedEngine) Score(im *casebase.Implementation, req casebase.Request) fixed.Q15 {
+	w := weightsQ15(req)
+	var acc fixed.Q15
+	for i, c := range req.Constraints {
+		v, found := im.Attr(c.ID)
+		if !found {
+			continue // s_i = 0 contributes nothing
+		}
+		d := fixed.Dist(uint16(c.Value), uint16(v))
+		recip := fe.recips[uint16(c.ID)]
+		s := fixed.LocalSim(d, recip)
+		acc = fixed.WeightedAcc(acc, w[i], s)
+	}
+	return acc
+}
+
+// Retrieve runs the fig. 6 most-similar scan in datapath arithmetic:
+// iterate the implementation sub-list in storage order, keep (S, ID) of
+// the running maximum, strict > so the first of equals wins — matching
+// the hardware's "S > SBest?" comparator.
+func (fe *FixedEngine) Retrieve(req casebase.Request) (FixedResult, error) {
+	if err := req.Validate(fe.cb); err != nil {
+		return FixedResult{}, err
+	}
+	ft, _ := fe.cb.Type(req.Type)
+	best := FixedResult{Type: req.Type}
+	haveBest := false
+	for i := range ft.Impls {
+		s := fe.Score(&ft.Impls[i], req)
+		if !haveBest || s > best.Similarity {
+			best.Impl = ft.Impls[i].ID
+			best.Similarity = s
+			haveBest = true
+		}
+	}
+	if !haveBest {
+		return FixedResult{}, fmt.Errorf("retrieval: type %d has no implementations", req.Type)
+	}
+	return best, nil
+}
+
+// RetrieveN returns the n most similar implementations in datapath
+// arithmetic, best first (ties by ascending implementation ID). The
+// paper's §5 envisions this as the next hardware extension; in software
+// it is a partial sort over the scored sub-list.
+func (fe *FixedEngine) RetrieveN(req casebase.Request, n int) ([]FixedResult, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("retrieval: n must be positive, got %d", n)
+	}
+	if err := req.Validate(fe.cb); err != nil {
+		return nil, err
+	}
+	ft, _ := fe.cb.Type(req.Type)
+	out := make([]FixedResult, 0, len(ft.Impls))
+	for i := range ft.Impls {
+		out = append(out, FixedResult{
+			Type: req.Type, Impl: ft.Impls[i].ID,
+			Similarity: fe.Score(&ft.Impls[i], req),
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Similarity != out[j].Similarity {
+			return out[i].Similarity > out[j].Similarity
+		}
+		return out[i].Impl < out[j].Impl
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out, nil
+}

@@ -1,0 +1,80 @@
+package retrieval
+
+import (
+	"sync"
+
+	"qosalloc/internal/casebase"
+)
+
+// Engine and FixedEngine are deliberately single-threaded, like the
+// paper's FSM: per-retrieval statistics accumulate without locks. Pool
+// is the concurrency layer for hosts that serve many applications at
+// once — it hands each goroutine its own Engine over the shared
+// (immutable) case base and merges the statistics on demand.
+type Pool struct {
+	cb  *casebase.CaseBase
+	opt Options
+
+	mu      sync.Mutex
+	idle    []*Engine
+	retired Stats // stats folded in from returned engines
+}
+
+// NewPool returns a concurrency-safe retrieval front end over cb.
+func NewPool(cb *casebase.CaseBase, opt Options) *Pool {
+	return &Pool{cb: cb, opt: opt}
+}
+
+// get borrows an engine.
+func (p *Pool) get() *Engine {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.idle); n > 0 {
+		e := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		return e
+	}
+	return NewEngine(p.cb, p.opt)
+}
+
+// put returns an engine, folding its stats into the pool totals so they
+// are not double-counted on reuse.
+func (p *Pool) put(e *Engine) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := e.Stats()
+	p.retired.Retrievals += s.Retrievals
+	p.retired.ImplsScored += s.ImplsScored
+	p.retired.AttrsCompared += s.AttrsCompared
+	p.retired.BelowThreshold += s.BelowThreshold
+	e.stats = Stats{}
+	p.idle = append(p.idle, e)
+}
+
+// Retrieve is Engine.Retrieve, safe for concurrent use.
+func (p *Pool) Retrieve(req casebase.Request) (Result, error) {
+	e := p.get()
+	defer p.put(e)
+	return e.Retrieve(req)
+}
+
+// RetrieveN is Engine.RetrieveN, safe for concurrent use.
+func (p *Pool) RetrieveN(req casebase.Request, n int) ([]Result, error) {
+	e := p.get()
+	defer p.put(e)
+	return e.RetrieveN(req, n)
+}
+
+// RetrieveAll is Engine.RetrieveAll, safe for concurrent use.
+func (p *Pool) RetrieveAll(req casebase.Request) ([]Result, error) {
+	e := p.get()
+	defer p.put(e)
+	return e.RetrieveAll(req)
+}
+
+// Stats returns the merged counters of every completed call.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.retired
+}

@@ -1,0 +1,98 @@
+package retrieval
+
+import (
+	"sync"
+	"testing"
+
+	"qosalloc/internal/casebase"
+)
+
+func TestPoolSerialMatchesEngine(t *testing.T) {
+	cb, _ := casebase.PaperCaseBase()
+	p := NewPool(cb, Options{})
+	e := NewEngine(cb, Options{})
+	req := casebase.PaperRequest()
+	want, err := e.Retrieve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Retrieve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Impl != want.Impl || got.Similarity != want.Similarity {
+		t.Errorf("pool %+v vs engine %+v", got, want)
+	}
+	all, err := p.RetrieveAll(req)
+	if err != nil || len(all) != 3 {
+		t.Fatalf("RetrieveAll = %d, %v", len(all), err)
+	}
+	top, err := p.RetrieveN(req, 2)
+	if err != nil || len(top) != 2 {
+		t.Fatalf("RetrieveN = %d, %v", len(top), err)
+	}
+}
+
+// TestPoolConcurrent hammers the pool from many goroutines; run with
+// -race this verifies the concurrency contract, and the merged stats
+// must account for every call exactly once.
+func TestPoolConcurrent(t *testing.T) {
+	cb, _ := casebase.PaperCaseBase()
+	p := NewPool(cb, Options{})
+	req := casebase.PaperRequest()
+
+	const workers = 16
+	const perWorker = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				best, err := p.Retrieve(req)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if best.Impl != 2 {
+					errs <- errWrongBest(best.Impl)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Retrievals != workers*perWorker {
+		t.Errorf("merged retrievals = %d, want %d", st.Retrievals, workers*perWorker)
+	}
+	if st.ImplsScored != workers*perWorker*3 {
+		t.Errorf("merged impls scored = %d", st.ImplsScored)
+	}
+}
+
+type errWrongBest casebase.ImplID
+
+func (e errWrongBest) Error() string { return "pool returned wrong best" }
+
+func TestPoolReusesEngines(t *testing.T) {
+	cb, _ := casebase.PaperCaseBase()
+	p := NewPool(cb, Options{})
+	req := casebase.PaperRequest()
+	for i := 0; i < 10; i++ {
+		if _, err := p.Retrieve(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.mu.Lock()
+	idle := len(p.idle)
+	p.mu.Unlock()
+	if idle != 1 {
+		t.Errorf("serial reuse should keep one idle engine, have %d", idle)
+	}
+}

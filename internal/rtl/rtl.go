@@ -1,0 +1,108 @@
+// Package rtl is a small clocked-simulation kit for modeling synchronous
+// digital hardware at cycle accuracy. It provides the primitives the
+// paper's retrieval unit is built from — registers, synchronous block
+// RAMs matching Virtex-II BRAM semantics (address sampled at the clock
+// edge, data valid the following cycle), 18×18 hardware multipliers with
+// registered products — plus a two-phase simulator that advances them in
+// lock-step.
+//
+// The two-phase discipline mirrors synthesis semantics: during Compute a
+// component reads only the *current* (Q) outputs of other components and
+// schedules its next state; during Commit every component latches its
+// scheduled state simultaneously. Reading another component's output
+// therefore always observes the value it held at the last clock edge,
+// never a value computed in the same cycle — exactly like flip-flop to
+// flip-flop paths in RTL.
+package rtl
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Component is a synchronous hardware block.
+type Component interface {
+	// Compute evaluates combinational logic and schedules state
+	// updates. It must not change any externally visible output.
+	Compute()
+	// Commit latches the scheduled state, like a rising clock edge.
+	Commit()
+}
+
+// ErrMaxCycles is returned by Simulator.Run when the cycle budget is
+// exhausted before the done condition holds — the simulation analogue of
+// a hung FSM.
+var ErrMaxCycles = errors.New("rtl: cycle budget exhausted")
+
+// Simulator drives a set of components with a common clock.
+type Simulator struct {
+	comps []Component
+	cycle uint64
+}
+
+// NewSimulator returns an empty simulator.
+func NewSimulator() *Simulator { return &Simulator{} }
+
+// Add registers components with the clock tree.
+func (s *Simulator) Add(cs ...Component) {
+	s.comps = append(s.comps, cs...)
+}
+
+// Cycle returns the number of elapsed clock cycles.
+func (s *Simulator) Cycle() uint64 { return s.cycle }
+
+// Step advances the simulation by one clock cycle.
+func (s *Simulator) Step() {
+	for _, c := range s.comps {
+		c.Compute()
+	}
+	for _, c := range s.comps {
+		c.Commit()
+	}
+	s.cycle++
+}
+
+// Run steps the clock until done reports true (checked after each edge)
+// or max cycles elapse. It returns the cycles consumed by this call.
+func (s *Simulator) Run(done func() bool, max uint64) (uint64, error) {
+	start := s.cycle
+	for !done() {
+		if s.cycle-start >= max {
+			return s.cycle - start, fmt.Errorf("%w after %d cycles", ErrMaxCycles, max)
+		}
+		s.Step()
+	}
+	return s.cycle - start, nil
+}
+
+// Reg is a D-type register of any value type. Q is the output visible to
+// other logic; Set schedules the D input for the next edge. A Reg keeps
+// its value when Set is not called during a cycle (clock-enable
+// behavior).
+type Reg[T any] struct {
+	q, d    T
+	pending bool
+}
+
+// NewReg returns a register initialized (reset) to v.
+func NewReg[T any](v T) *Reg[T] { return &Reg[T]{q: v, d: v} }
+
+// Q returns the register output as of the last clock edge.
+func (r *Reg[T]) Q() T { return r.q }
+
+// Set schedules v to be latched at the next Commit.
+func (r *Reg[T]) Set(v T) { r.d = v; r.pending = true }
+
+// Reset forces the output immediately, modeling an asynchronous reset.
+func (r *Reg[T]) Reset(v T) { r.q = v; r.d = v; r.pending = false }
+
+// Compute implements Component (registers have no combinational work).
+func (r *Reg[T]) Compute() {}
+
+// Commit implements Component.
+func (r *Reg[T]) Commit() {
+	if r.pending {
+		r.q = r.d
+		r.pending = false
+	}
+}

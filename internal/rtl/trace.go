@@ -1,0 +1,66 @@
+package rtl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Event is one recorded signal change.
+type Event struct {
+	Cycle  uint64
+	Signal string
+	Value  uint64
+}
+
+// Trace records signal changes for debugging FSMs, a lightweight stand-in
+// for a VCD waveform dump. Recording only changes keeps traces compact
+// over long runs.
+type Trace struct {
+	events []Event
+	last   map[string]uint64
+	// Limit bounds the number of stored events; 0 means unlimited.
+	// When exceeded, the oldest events are dropped.
+	Limit int
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{last: make(map[string]uint64)} }
+
+// Sample records signal=value at cycle if it differs from the last
+// recorded value of that signal.
+func (t *Trace) Sample(cycle uint64, signal string, value uint64) {
+	if v, ok := t.last[signal]; ok && v == value {
+		return
+	}
+	t.last[signal] = value
+	t.events = append(t.events, Event{Cycle: cycle, Signal: signal, Value: value})
+	if t.Limit > 0 && len(t.events) > t.Limit {
+		t.events = t.events[len(t.events)-t.Limit:]
+	}
+}
+
+// Events returns the recorded changes in order.
+func (t *Trace) Events() []Event { return t.events }
+
+// Len returns the number of recorded changes.
+func (t *Trace) Len() int { return len(t.events) }
+
+// Signals returns the distinct signal names seen, sorted.
+func (t *Trace) Signals() []string {
+	out := make([]string, 0, len(t.last))
+	for s := range t.last {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the trace as one line per change: "@cycle signal=value".
+func (t *Trace) String() string {
+	var b strings.Builder
+	for _, e := range t.events {
+		fmt.Fprintf(&b, "@%d %s=%d\n", e.Cycle, e.Signal, e.Value)
+	}
+	return b.String()
+}

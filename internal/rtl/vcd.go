@@ -1,0 +1,79 @@
+package rtl
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteVCD renders a Trace as an IEEE 1364 value change dump, so FSM and
+// datapath activity recorded from a simulation can be inspected in any
+// waveform viewer (GTKWave etc.). Signals are emitted as 64-bit vector
+// variables under one module scope; timescale is one clock cycle per
+// time unit.
+func WriteVCD(w io.Writer, t *Trace, module string) error {
+	if module == "" {
+		module = "rtl"
+	}
+	signals := t.Signals()
+	if len(signals) == 0 {
+		return fmt.Errorf("rtl: trace has no signals to dump")
+	}
+	// VCD identifier codes: printable ASCII starting at '!'.
+	code := make(map[string]string, len(signals))
+	for i, s := range signals {
+		code[s] = vcdID(i)
+	}
+
+	if _, err := fmt.Fprintf(w, "$timescale 1ns $end\n$scope module %s $end\n", module); err != nil {
+		return err
+	}
+	for _, s := range signals {
+		if _, err := fmt.Fprintf(w, "$var wire 64 %s %s $end\n", code[s], s); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprint(w, "$upscope $end\n$enddefinitions $end\n"); err != nil {
+		return err
+	}
+
+	// Group events by cycle, preserving signal order within a cycle.
+	events := t.Events()
+	byCycle := make(map[uint64][]Event)
+	var cycles []uint64
+	for _, e := range events {
+		if _, seen := byCycle[e.Cycle]; !seen {
+			cycles = append(cycles, e.Cycle)
+		}
+		byCycle[e.Cycle] = append(byCycle[e.Cycle], e)
+	}
+	sort.Slice(cycles, func(i, j int) bool { return cycles[i] < cycles[j] })
+
+	for _, c := range cycles {
+		if _, err := fmt.Fprintf(w, "#%d\n", c); err != nil {
+			return err
+		}
+		for _, e := range byCycle[c] {
+			if _, err := fmt.Fprintf(w, "b%b %s\n", e.Value, code[e.Signal]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// vcdID converts an index to a compact VCD identifier over the printable
+// range '!'..'~'.
+func vcdID(i int) string {
+	const lo, hi = '!', '~'
+	const n = hi - lo + 1
+	s := ""
+	for {
+		s += string(rune(lo + i%n))
+		i /= n
+		if i == 0 {
+			return s
+		}
+		i--
+	}
+}

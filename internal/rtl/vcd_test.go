@@ -1,0 +1,72 @@
+package rtl
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteVCDBasic(t *testing.T) {
+	tr := NewTrace()
+	tr.Sample(0, "state", 1)
+	tr.Sample(0, "acc", 0)
+	tr.Sample(3, "state", 2)
+	tr.Sample(5, "acc", 32767)
+
+	var buf bytes.Buffer
+	if err := WriteVCD(&buf, tr, "retrieval"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"$timescale", "$scope module retrieval $end",
+		"$var wire 64 ! acc $end", "$var wire 64 \" state $end",
+		"$enddefinitions $end",
+		"#0", "#3", "#5",
+		"b111111111111111 !", // 32767 on acc's code
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q:\n%s", want, out)
+		}
+	}
+	// Time markers in ascending order.
+	if strings.Index(out, "#0") > strings.Index(out, "#3") ||
+		strings.Index(out, "#3") > strings.Index(out, "#5") {
+		t.Error("time markers out of order")
+	}
+}
+
+func TestWriteVCDEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteVCD(&buf, NewTrace(), "m"); err == nil {
+		t.Error("empty trace must error")
+	}
+}
+
+func TestWriteVCDDefaultModule(t *testing.T) {
+	tr := NewTrace()
+	tr.Sample(0, "x", 1)
+	var buf bytes.Buffer
+	if err := WriteVCD(&buf, tr, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "$scope module rtl $end") {
+		t.Error("default module name missing")
+	}
+}
+
+func TestVCDIDUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 10000; i++ {
+		id := vcdID(i)
+		if id == "" || seen[id] {
+			t.Fatalf("vcdID(%d) = %q duplicate or empty", i, id)
+		}
+		seen[id] = true
+		for _, r := range id {
+			if r < '!' || r > '~' {
+				t.Fatalf("vcdID(%d) contains non-printable %q", i, r)
+			}
+		}
+	}
+}

@@ -1,0 +1,292 @@
+// Package rtsys is the run-time system underneath the allocation layer:
+// it owns the system timeline, the hardware/software task lifecycles and
+// the adaptive task priorities of the authors' earlier on-demand FPGA
+// run-time system ("On-Demand FPGA Run-Time System for Dynamical
+// Reconfiguration with Adaptive Priorities", FPL'04 — reference [7] of
+// the paper), which fig. 1 shows as the "Local Run-Time Control" layer.
+//
+// The model is event-free discrete time: the owner advances the clock
+// explicitly and the system resolves state transitions (configuration
+// completing, waiting tasks aging) at each advance. That keeps the
+// simulation deterministic and directly scriptable from experiments.
+package rtsys
+
+import (
+	"fmt"
+	"sort"
+
+	"qosalloc/internal/casebase"
+	"qosalloc/internal/device"
+)
+
+// TaskID is a run-time task handle.
+type TaskID int
+
+// State is a task lifecycle state.
+type State uint8
+
+// Task lifecycle: Pending (not placed), Configuring (placed, bitstream /
+// opcode loading), Running, Preempted (evicted, awaiting re-placement),
+// Done.
+const (
+	Pending State = iota
+	Configuring
+	Running
+	Preempted
+	Done
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Configuring:
+		return "configuring"
+	case Running:
+		return "running"
+	case Preempted:
+		return "preempted"
+	case Done:
+		return "done"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Task is one function instantiation managed by the run-time system.
+type Task struct {
+	ID       TaskID
+	App      string // owning application, for reports
+	Type     casebase.TypeID
+	Impl     casebase.ImplID
+	Dev      device.ID // empty while not placed
+	BasePrio int
+	State    State
+
+	Created  device.Micros
+	ReadyAt  device.Micros // configuration completion time
+	Started  device.Micros // first entered Running
+	Finished device.Micros
+
+	// WaitingSince tracks the start of the current Pending/Preempted
+	// span, the input to priority aging.
+	WaitingSince device.Micros
+	Preemptions  int
+}
+
+// Metrics aggregates system activity.
+type Metrics struct {
+	Created     int
+	Completed   int
+	Preemptions int
+	// TotalWait accumulates time tasks spent Pending or Preempted.
+	TotalWait device.Micros
+	// TotalConfig accumulates time spent in Configuring.
+	TotalConfig device.Micros
+}
+
+// System is the run-time system instance.
+type System struct {
+	now     device.Micros
+	devices []device.Device
+	repo    *device.Repository
+	tasks   map[TaskID]*Task
+	nextID  TaskID
+	metrics Metrics
+
+	// AgingNumerator/AgingDenominator set the adaptive-priority boost:
+	// effective priority = base + waited*num/den. The FPL'04 scheme
+	// raises priorities of starved tasks so they eventually win a
+	// slot. Denominator 0 disables aging.
+	AgingNumerator   int
+	AgingDenominator int
+}
+
+// NewSystem builds a run-time system over the given devices and
+// repository. Default aging: +1 priority level per 10 ms waited.
+func NewSystem(repo *device.Repository, devs ...device.Device) *System {
+	return &System{
+		devices: devs, repo: repo,
+		tasks:            make(map[TaskID]*Task),
+		nextID:           1,
+		AgingNumerator:   1,
+		AgingDenominator: 10_000,
+	}
+}
+
+// Now returns the current simulation time.
+func (s *System) Now() device.Micros { return s.now }
+
+// Devices returns the managed devices.
+func (s *System) Devices() []device.Device { return s.devices }
+
+// Repository returns the configuration repository.
+func (s *System) Repository() *device.Repository { return s.repo }
+
+// Metrics returns a copy of the counters.
+func (s *System) Metrics() Metrics { return s.metrics }
+
+// DevicesByKind returns the devices hosting the given target class.
+func (s *System) DevicesByKind(k casebase.Target) []device.Device {
+	var out []device.Device
+	for _, d := range s.devices {
+		if d.Kind() == k {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Task returns a task by handle.
+func (s *System) Task(id TaskID) (*Task, bool) {
+	t, ok := s.tasks[id]
+	return t, ok
+}
+
+// Tasks returns all tasks sorted by ID.
+func (s *System) Tasks() []*Task {
+	out := make([]*Task, 0, len(s.tasks))
+	for _, t := range s.tasks {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// CreateTask registers a new pending task for a function request.
+func (s *System) CreateTask(app string, ty casebase.TypeID, basePrio int) *Task {
+	t := &Task{
+		ID: s.nextID, App: app, Type: ty, BasePrio: basePrio,
+		State: Pending, Created: s.now, WaitingSince: s.now,
+	}
+	s.nextID++
+	s.tasks[t.ID] = t
+	s.metrics.Created++
+	return t
+}
+
+// EffectivePriority returns the task's aged priority: tasks that have
+// waited longer bid higher, the FPL'04 adaptive-priority rule.
+func (s *System) EffectivePriority(t *Task) int {
+	p := t.BasePrio
+	if s.AgingDenominator > 0 && (t.State == Pending || t.State == Preempted) {
+		waited := int(s.now - t.WaitingSince)
+		p += waited * s.AgingNumerator / s.AgingDenominator
+	}
+	return p
+}
+
+// Place commits a task onto a device with the chosen implementation.
+// The ready time accounts for fetching the configuration from the
+// repository and the device's own setup latency (reconfiguration port or
+// program load).
+func (s *System) Place(t *Task, dev device.Device, im *casebase.Implementation) error {
+	if t.State != Pending && t.State != Preempted {
+		return fmt.Errorf("rtsys: task %d is %v, cannot place", t.ID, t.State)
+	}
+	if dev.Kind() != im.Target {
+		return fmt.Errorf("rtsys: %s hosts %v, implementation targets %v", dev.Name(), dev.Kind(), im.Target)
+	}
+	fetch := device.Micros(0)
+	if s.repo != nil {
+		var err error
+		fetch, err = s.repo.FetchTime(t.Type, im.ID)
+		if err != nil {
+			return fmt.Errorf("rtsys: %w", err)
+		}
+	}
+	pl, err := dev.Place(int(t.ID), t.Type, im.ID, im.Foot, s.EffectivePriority(t), s.now)
+	if err != nil {
+		return err
+	}
+	s.metrics.TotalWait += s.now - t.WaitingSince
+	t.Impl = im.ID
+	t.Dev = dev.Name()
+	t.State = Configuring
+	t.ReadyAt = pl.Ready + fetch
+	return nil
+}
+
+// Preempt evicts a running or configuring task from its device; it
+// returns to the wait pool with its preemption count bumped ("it is
+// possible that the best matching implementation is not currently
+// feasible without preempting other active (hardware) tasks", §2).
+func (s *System) Preempt(t *Task) error {
+	if t.State != Running && t.State != Configuring {
+		return fmt.Errorf("rtsys: task %d is %v, cannot preempt", t.ID, t.State)
+	}
+	dev, err := s.deviceByName(t.Dev)
+	if err != nil {
+		return err
+	}
+	if err := dev.Remove(int(t.ID)); err != nil {
+		return err
+	}
+	t.State = Preempted
+	t.Dev = ""
+	t.WaitingSince = s.now
+	t.Preemptions++
+	s.metrics.Preemptions++
+	return nil
+}
+
+// Complete finishes a task and releases its device capacity.
+func (s *System) Complete(t *Task) error {
+	switch t.State {
+	case Running, Configuring:
+		dev, err := s.deviceByName(t.Dev)
+		if err != nil {
+			return err
+		}
+		if err := dev.Remove(int(t.ID)); err != nil {
+			return err
+		}
+	case Pending, Preempted:
+		s.metrics.TotalWait += s.now - t.WaitingSince
+	default:
+		return fmt.Errorf("rtsys: task %d already %v", t.ID, t.State)
+	}
+	t.State = Done
+	t.Finished = s.now
+	s.metrics.Completed++
+	return nil
+}
+
+// AdvanceTo moves the clock forward and resolves Configuring→Running
+// transitions whose ready times have passed.
+func (s *System) AdvanceTo(t device.Micros) error {
+	if t < s.now {
+		return fmt.Errorf("rtsys: cannot rewind clock from %d to %d", s.now, t)
+	}
+	s.now = t
+	for _, task := range s.tasks {
+		if task.State == Configuring && task.ReadyAt <= s.now {
+			task.State = Running
+			task.Started = task.ReadyAt
+			s.metrics.TotalConfig += task.ReadyAt - task.Created
+		}
+	}
+	return nil
+}
+
+// Advance moves the clock forward by dt.
+func (s *System) Advance(dt device.Micros) error { return s.AdvanceTo(s.now + dt) }
+
+// PowerMW returns the platform's current total power.
+func (s *System) PowerMW() int {
+	p := 0
+	for _, d := range s.devices {
+		p += d.PowerMW()
+	}
+	return p
+}
+
+func (s *System) deviceByName(id device.ID) (device.Device, error) {
+	for _, d := range s.devices {
+		if d.Name() == id {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("rtsys: unknown device %q", id)
+}

@@ -1,0 +1,174 @@
+package similarity
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mahalanobis implements the alternative similarity the paper describes
+// and rejects for hardware: "a well known method comes from statistical
+// decision theory and determines the Mahalanobis distance by calculating
+// the co-variance matrix of the whole set of function attributes. This
+// method is very effective concerning the results but the computational
+// efforts would be too large so we decided to apply Manhattan distance
+// metrics" (§2.2).
+//
+// It is provided here so the rejected design point can be measured: the
+// constructor computes the covariance matrix of the implementation
+// attribute vectors and inverts it (O(n³) at build, O(n²) per
+// comparison, plus a square root — against the datapath's O(n)
+// multiply-accumulate).
+type Mahalanobis struct {
+	inv  [][]float64 // inverse covariance
+	dim  int
+	dmax float64 // largest pairwise distance over the training set
+}
+
+// NewMahalanobis builds the measure from the attribute vectors of the
+// case library (one row per implementation, one column per attribute
+// type; missing attributes should be imputed by the caller). At least
+// dim+1 samples are required for a meaningful covariance; singular
+// covariance matrices are regularized by a small ridge.
+func NewMahalanobis(samples [][]float64) (*Mahalanobis, error) {
+	if len(samples) < 2 {
+		return nil, fmt.Errorf("similarity: mahalanobis needs at least 2 samples, got %d", len(samples))
+	}
+	dim := len(samples[0])
+	if dim == 0 {
+		return nil, fmt.Errorf("similarity: mahalanobis needs at least 1 dimension")
+	}
+	for i, s := range samples {
+		if len(s) != dim {
+			return nil, fmt.Errorf("similarity: sample %d has %d dims, want %d", i, len(s), dim)
+		}
+	}
+
+	// Mean.
+	mean := make([]float64, dim)
+	for _, s := range samples {
+		for j, v := range s {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(len(samples))
+	}
+
+	// Covariance with a ridge for numerical safety.
+	cov := make([][]float64, dim)
+	for i := range cov {
+		cov[i] = make([]float64, dim)
+	}
+	for _, s := range samples {
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				cov[i][j] += (s[i] - mean[i]) * (s[j] - mean[j])
+			}
+		}
+	}
+	n := float64(len(samples) - 1)
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			cov[i][j] /= n
+		}
+		cov[i][i] += 1e-6 // ridge
+	}
+
+	inv, err := invert(cov)
+	if err != nil {
+		return nil, err
+	}
+	m := &Mahalanobis{inv: inv, dim: dim}
+
+	// Design-time dmax: the largest pairwise distance in the library,
+	// the analogue of the supplemental table's max d.
+	for i := range samples {
+		for j := i + 1; j < len(samples); j++ {
+			if d := m.Distance(samples[i], samples[j]); d > m.dmax {
+				m.dmax = d
+			}
+		}
+	}
+	if m.dmax == 0 {
+		m.dmax = 1
+	}
+	return m, nil
+}
+
+// Dim returns the attribute-vector dimensionality.
+func (m *Mahalanobis) Dim() int { return m.dim }
+
+// Distance returns the Mahalanobis distance sqrt((a-b)ᵀ Σ⁻¹ (a-b)).
+func (m *Mahalanobis) Distance(a, b []float64) float64 {
+	diff := make([]float64, m.dim)
+	for i := range diff {
+		diff[i] = a[i] - b[i]
+	}
+	var q float64
+	for i := 0; i < m.dim; i++ {
+		var row float64
+		for j := 0; j < m.dim; j++ {
+			row += m.inv[i][j] * diff[j]
+		}
+		q += diff[i] * row
+	}
+	if q < 0 {
+		q = 0 // numerical noise on near-singular matrices
+	}
+	return math.Sqrt(q)
+}
+
+// Similarity maps the distance into [0, 1] with the same transformation
+// shape as eq. (1): 1 - d/(1+dmax).
+func (m *Mahalanobis) Similarity(a, b []float64) float64 {
+	s := 1 - m.Distance(a, b)/(1+m.dmax)
+	return clamp01(s)
+}
+
+// invert computes the inverse of a square matrix by Gauss-Jordan
+// elimination with partial pivoting.
+func invert(a [][]float64) ([][]float64, error) {
+	n := len(a)
+	// Augment [a | I].
+	aug := make([][]float64, n)
+	for i := range aug {
+		aug[i] = make([]float64, 2*n)
+		copy(aug[i], a[i])
+		aug[i][n+i] = 1
+	}
+	for col := 0; col < n; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(aug[r][col]) > math.Abs(aug[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(aug[p][col]) < 1e-12 {
+			return nil, fmt.Errorf("similarity: covariance matrix is singular")
+		}
+		aug[col], aug[p] = aug[p], aug[col]
+		// Normalize and eliminate.
+		pv := aug[col][col]
+		for j := 0; j < 2*n; j++ {
+			aug[col][j] /= pv
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := aug[r][col]
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < 2*n; j++ {
+				aug[r][j] -= f * aug[col][j]
+			}
+		}
+	}
+	inv := make([][]float64, n)
+	for i := range inv {
+		inv[i] = aug[i][n:]
+	}
+	return inv, nil
+}

@@ -1,0 +1,108 @@
+package similarity
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMahalanobisIdentityAndSymmetry(t *testing.T) {
+	samples := [][]float64{
+		{16, 0, 2, 44},
+		{16, 0, 1, 44},
+		{8, 0, 0, 22},
+		{12, 1, 1, 32},
+		{10, 0, 2, 40},
+	}
+	m, err := NewMahalanobis(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dim() != 4 {
+		t.Errorf("dim = %d", m.Dim())
+	}
+	a, b := samples[0], samples[2]
+	if d := m.Distance(a, a); d > 1e-9 {
+		t.Errorf("d(a,a) = %v", d)
+	}
+	if math.Abs(m.Distance(a, b)-m.Distance(b, a)) > 1e-9 {
+		t.Error("distance must be symmetric")
+	}
+	if m.Similarity(a, a) != 1 {
+		t.Errorf("s(a,a) = %v", m.Similarity(a, a))
+	}
+	s := m.Similarity(a, b)
+	if s <= 0 || s >= 1 {
+		t.Errorf("s(a,b) = %v, want in (0,1)", s)
+	}
+}
+
+func TestMahalanobisWhitensScale(t *testing.T) {
+	// One dimension has 100× the variance of the other; Euclidean
+	// distance would be dominated by it, Mahalanobis normalizes.
+	r := rand.New(rand.NewSource(1))
+	var samples [][]float64
+	for i := 0; i < 200; i++ {
+		samples = append(samples, []float64{r.NormFloat64() * 100, r.NormFloat64()})
+	}
+	m, err := NewMahalanobis(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origin := []float64{0, 0}
+	// 100 units along the high-variance axis ≈ 1 std dev; 1 unit along
+	// the low-variance axis ≈ 1 std dev. Their distances should match
+	// within sampling noise.
+	dBig := m.Distance(origin, []float64{100, 0})
+	dSmall := m.Distance(origin, []float64{0, 1})
+	if ratio := dBig / dSmall; ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("whitening failed: d(100 on wide)=%v vs d(1 on narrow)=%v", dBig, dSmall)
+	}
+}
+
+func TestMahalanobisValidation(t *testing.T) {
+	if _, err := NewMahalanobis(nil); err == nil {
+		t.Error("no samples must fail")
+	}
+	if _, err := NewMahalanobis([][]float64{{1}}); err == nil {
+		t.Error("one sample must fail")
+	}
+	if _, err := NewMahalanobis([][]float64{{}, {}}); err == nil {
+		t.Error("zero dims must fail")
+	}
+	if _, err := NewMahalanobis([][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("ragged samples must fail")
+	}
+}
+
+func TestMahalanobisDegenerateData(t *testing.T) {
+	// All-identical samples: the ridge keeps the covariance invertible
+	// and identical points stay at distance 0.
+	samples := [][]float64{{5, 5}, {5, 5}, {5, 5}}
+	m, err := NewMahalanobis(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := m.Distance([]float64{5, 5}, []float64{5, 5}); d != 0 {
+		t.Errorf("d = %v", d)
+	}
+}
+
+func TestInvertKnownMatrix(t *testing.T) {
+	// [[4,7],[2,6]]⁻¹ = [[0.6,-0.7],[-0.2,0.4]]
+	inv, err := invert([][]float64{{4, 7}, {2, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{0.6, -0.7}, {-0.2, 0.4}}
+	for i := range want {
+		for j := range want[i] {
+			if math.Abs(inv[i][j]-want[i][j]) > 1e-9 {
+				t.Errorf("inv[%d][%d] = %v, want %v", i, j, inv[i][j], want[i][j])
+			}
+		}
+	}
+	if _, err := invert([][]float64{{1, 1}, {1, 1}}); err == nil {
+		t.Error("singular matrix must fail")
+	}
+}

@@ -1,0 +1,224 @@
+package similarity
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"qosalloc/internal/attr"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestLinearTableOneValues(t *testing.T) {
+	// All nine local similarities from Table 1.
+	cases := []struct {
+		req, impl attr.Value
+		dmax      uint16
+		want      float64
+	}{
+		// Impl 1: FPGA
+		{16, 16, 8, 1.0},
+		{1, 2, 2, 1 - 1.0/3.0},
+		{40, 44, 36, 1 - 4.0/37.0},
+		// Impl 2: DSP
+		{16, 16, 8, 1.0},
+		{1, 1, 2, 1.0},
+		{40, 44, 36, 1 - 4.0/37.0},
+		// Impl 3: GP-Proc
+		{16, 8, 8, 1 - 8.0/9.0},
+		{1, 0, 2, 1 - 1.0/3.0},
+		{40, 22, 36, 1 - 18.0/37.0},
+	}
+	for _, c := range cases {
+		got := Linear{}.Similarity(c.req, c.impl, c.dmax)
+		if !almost(got, c.want) {
+			t.Errorf("Linear(%d,%d,dmax=%d) = %v, want %v", c.req, c.impl, c.dmax, got, c.want)
+		}
+	}
+}
+
+func TestWeightedSumTableOneGlobals(t *testing.T) {
+	w := []float64{1.0 / 3, 1.0 / 3, 1.0 / 3}
+	fpga := WeightedSum{}.Combine([]float64{1, 1 - 1.0/3, 1 - 4.0/37}, w)
+	dsp := WeightedSum{}.Combine([]float64{1, 1, 1 - 4.0/37}, w)
+	gpp := WeightedSum{}.Combine([]float64{1 - 8.0/9, 1 - 1.0/3, 1 - 18.0/37}, w)
+	// Table 1 prints 0.85, 0.96, 0.43.
+	if math.Abs(fpga-0.85) > 0.005 {
+		t.Errorf("FPGA global = %v, want ≈0.85", fpga)
+	}
+	if math.Abs(dsp-0.96) > 0.005 {
+		t.Errorf("DSP global = %v, want ≈0.96", dsp)
+	}
+	if math.Abs(gpp-0.43) > 0.005 {
+		t.Errorf("GP-Proc global = %v, want ≈0.43", gpp)
+	}
+	if !(dsp > fpga && fpga > gpp) {
+		t.Error("ranking must be DSP > FPGA > GP-Proc")
+	}
+}
+
+func TestLinearBounds(t *testing.T) {
+	if !almost(Linear{}.Similarity(5, 5, 10), 1) {
+		t.Error("identical values must score 1")
+	}
+	// Max distance still leaves 1/(1+dmax) residue by construction.
+	got := Linear{}.Similarity(0, 10, 10)
+	if !almost(got, 1-10.0/11.0) {
+		t.Errorf("max-distance similarity = %v", got)
+	}
+}
+
+func TestQuadraticOrdering(t *testing.T) {
+	q, l := Quadratic{}, Linear{}
+	// Near a match, quadratic is more forgiving than linear...
+	if q.Similarity(10, 11, 10) <= l.Similarity(10, 11, 10) {
+		t.Error("quadratic should exceed linear near matches")
+	}
+	// ...and both agree at exact matches.
+	if !almost(q.Similarity(7, 7, 10), 1) {
+		t.Error("quadratic exact match must be 1")
+	}
+}
+
+func TestExact(t *testing.T) {
+	if (Exact{}).Similarity(3, 3, 100) != 1 || (Exact{}).Similarity(3, 4, 100) != 0 {
+		t.Error("Exact is 1 iff equal")
+	}
+}
+
+func TestAtLeast(t *testing.T) {
+	a := AtLeast{}
+	if a.Similarity(16, 24, 16) != 1 {
+		t.Error("over-provision must be fully similar")
+	}
+	if a.Similarity(16, 16, 16) != 1 {
+		t.Error("exact must be fully similar")
+	}
+	want := Linear{}.Similarity(16, 8, 16)
+	if !almost(a.Similarity(16, 8, 16), want) {
+		t.Error("shortfall must decay like eq. (1)")
+	}
+}
+
+func TestMinimumMaximum(t *testing.T) {
+	sims := []float64{0.9, 0.2, 0.7}
+	w := []float64{0.5, 0.25, 0.25}
+	if !almost(Minimum{}.Combine(sims, w), 0.2) {
+		t.Error("Minimum picks the worst weighted-in similarity")
+	}
+	if !almost(Maximum{}.Combine(sims, w), 0.9) {
+		t.Error("Maximum picks the best weighted-in similarity")
+	}
+	// Zero weight drops an attribute.
+	w2 := []float64{0.5, 0, 0.5}
+	if !almost(Minimum{}.Combine(sims, w2), 0.7) {
+		t.Error("Minimum must ignore zero-weighted attributes")
+	}
+	if (Minimum{}).Combine(sims, []float64{0, 0, 0}) != 0 {
+		t.Error("Minimum over empty participation is 0")
+	}
+}
+
+func TestWeightedEuclidOrdering(t *testing.T) {
+	// Root-mean-square dominates the mean (Jensen), so the L2
+	// amalgamation is the most optimistic of the three for mixed
+	// similarity vectors: min ≤ sum ≤ euclid.
+	sims := []float64{1.0, 0.25}
+	w := []float64{0.5, 0.5}
+	sum := WeightedSum{}.Combine(sims, w)
+	euc := WeightedEuclid{}.Combine(sims, w)
+	min := Minimum{}.Combine(sims, w)
+	if !(min <= sum && sum <= euc+1e-9) {
+		t.Errorf("expected min ≤ sum ≤ euclid, got %v ≤ %v ≤ %v", min, sum, euc)
+	}
+}
+
+func TestByNameLookups(t *testing.T) {
+	for _, n := range []string{"linear", "quadratic", "exact", "at-least", ""} {
+		if _, err := LocalByName(n); err != nil {
+			t.Errorf("LocalByName(%q): %v", n, err)
+		}
+	}
+	if _, err := LocalByName("nope"); err == nil {
+		t.Error("unknown local name must fail")
+	}
+	for _, n := range []string{"weighted-sum", "minimum", "maximum", "weighted-euclid", ""} {
+		if _, err := AmalgamationByName(n); err != nil {
+			t.Errorf("AmalgamationByName(%q): %v", n, err)
+		}
+	}
+	if _, err := AmalgamationByName("nope"); err == nil {
+		t.Error("unknown amalgamation name must fail")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (Linear{}).Name() != "linear" || (Quadratic{}).Name() != "quadratic" ||
+		(Exact{}).Name() != "exact" || (AtLeast{}).Name() != "at-least" {
+		t.Error("local measure names wrong")
+	}
+	if (WeightedSum{}).Name() != "weighted-sum" || (Minimum{}).Name() != "minimum" ||
+		(Maximum{}).Name() != "maximum" || (WeightedEuclid{}).Name() != "weighted-euclid" {
+		t.Error("amalgamation names wrong")
+	}
+}
+
+// Property: every local measure stays in [0,1] and scores 1 on identity.
+func TestLocalMeasureProperties(t *testing.T) {
+	measures := []Local{Linear{}, Quadratic{}, Exact{}, AtLeast{}}
+	f := func(a, b uint16, dmaxRaw uint16) bool {
+		dmax := dmaxRaw%1000 + 1
+		av := attr.Value(a % (uint16(dmax) + 1))
+		bv := attr.Value(b % (uint16(dmax) + 1))
+		for _, m := range measures {
+			s := m.Similarity(av, bv, dmax)
+			if s < 0 || s > 1 {
+				return false
+			}
+			if !almost(m.Similarity(av, av, dmax), 1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: eq. (2) is monotonous in every argument (the paper states
+// this as the defining property of the amalgamation).
+func TestWeightedSumMonotone(t *testing.T) {
+	f := func(raw [4]uint8, bump uint8, idx uint8) bool {
+		sims := make([]float64, 4)
+		for i, r := range raw {
+			sims[i] = float64(r) / 255
+		}
+		w := []float64{0.25, 0.25, 0.25, 0.25}
+		before := WeightedSum{}.Combine(sims, w)
+		i := int(idx) % 4
+		sims[i] = math.Min(1, sims[i]+float64(bump)/255)
+		after := WeightedSum{}.Combine(sims, w)
+		return after >= before-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: S(0,...,0)=0 and S(1,...,1)=1 for all amalgamations.
+func TestAmalgamationBoundaryConditions(t *testing.T) {
+	ams := []Amalgamation{WeightedSum{}, Minimum{}, Maximum{}, WeightedEuclid{}}
+	zero := []float64{0, 0, 0}
+	one := []float64{1, 1, 1}
+	w := []float64{1.0 / 3, 1.0 / 3, 1.0 / 3}
+	for _, a := range ams {
+		if got := a.Combine(zero, w); !almost(got, 0) {
+			t.Errorf("%s(0,0,0) = %v", a.Name(), got)
+		}
+		if got := a.Combine(one, w); !almost(got, 1) {
+			t.Errorf("%s(1,1,1) = %v", a.Name(), got)
+		}
+	}
+}

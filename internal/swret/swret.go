@@ -1,0 +1,248 @@
+// Package swret is the software implementation of the retrieval
+// algorithm, the baseline of the paper's §4.2 comparison: "Apart from the
+// hardware implementation we also mapped the retrieval algorithm into a C
+// program running on a Xilinx MicroBlaze soft-processor at 66 MHz."
+//
+// The routine is hand-written mb32 assembly operating on exactly the same
+// 16-bit list images the hardware unit reads (fig. 4/5 layouts): the
+// implementation tree and supplemental list in one memory region, the
+// request list in another. It mirrors the fig. 6 control flow — type
+// scan, per-implementation attribute matching with resumable sorted-list
+// scans, eq. (1) local similarity via the pre-computed reciprocal, eq.
+// (2) weighted accumulation, running best — and therefore produces
+// bit-identical Q15 results to the hardware unit and the fixed-point
+// engine (tests enforce this three-way agreement).
+package swret
+
+import (
+	"fmt"
+
+	"qosalloc/internal/casebase"
+	"qosalloc/internal/fixed"
+	"qosalloc/internal/mb32"
+	"qosalloc/internal/memlist"
+)
+
+// Register conventions of the routine.
+const (
+	// RegSuppBase (input): byte address of the supplemental list.
+	RegSuppBase = 20
+	// RegReqBase (input): byte address of the request list.
+	RegReqBase = 21
+	// RegBestSim (output): best global similarity, Q15; -1 if none.
+	RegBestSim = 18
+	// RegBestID (output): implementation ID of the best match.
+	RegBestID = 19
+	// RegError (output): 0 on success, 1 when the requested function
+	// type is not present in the case base.
+	RegError = 25
+)
+
+// Source is the retrieval routine. The implementation tree is assumed at
+// byte address 0; r20/r21 carry the supplemental and request base
+// addresses. Pointers inside the images are word addresses and are
+// rescaled to bytes with one add (×2).
+const Source = `
+; QoS retrieval, most-similar variant (fig. 6).
+; inputs:  r20 = supplemental base (bytes), r21 = request base (bytes)
+; outputs: r18 = best Q15 similarity, r19 = best impl ID, r25 = error
+start:
+	lhu  r3, r21, 0          ; requested function type
+	addi r5, r0, 0           ; tp = tree base
+	addi r24, r0, 32767      ; Q15 one
+typescan:
+	lhu  r6, r5, 0           ; case-base type ID
+	beqz r6, notfound        ; end of type list
+	sub  r22, r6, r3
+	beqz r22, typefound
+	addi r5, r5, 4           ; next (ID, ptr) entry
+	br   typescan
+typefound:
+	lhu  r7, r5, 2           ; implementation list pointer (words)
+	add  r7, r7, r7          ; bytes
+	addi r18, r0, -1         ; best = -1 so an all-zero S still wins once
+	addi r19, r0, 0
+implscan:
+	lhu  r12, r7, 0          ; implementation ID
+	beqz r12, done           ; end of sub-list: deliver best
+	lhu  r8, r7, 2           ; attribute list pointer (words)
+	add  r8, r8, r8          ; bytes
+	add  r9, r8, r0          ; cp = attribute scan (resumable)
+	add  r10, r20, r0        ; sp = supplemental scan (resumable)
+	addi r11, r21, 2         ; rp = first request attribute block
+	addi r17, r0, 0          ; acc = 0
+reqattr:
+	lhu  r13, r11, 0         ; request attribute ID
+	beqz r13, bestcmp        ; last attribute processed
+	lhu  r14, r11, 2         ; requested value
+	lhu  r23, r11, 4         ; weight (Q15)
+suppscan:
+	lhu  r6, r10, 0          ; supplemental entry ID
+	beqz r6, nextattr        ; table miss: s_i = 0
+	sub  r22, r6, r13
+	beqz r22, suppfound
+	bgtz r22, nextattr       ; scanned past: s_i = 0
+	addi r10, r10, 8         ; next 4-word block
+	br   suppscan
+suppfound:
+	lhu  r16, r10, 6         ; (1+dmax)^-1, UQ16
+cbscan:
+	lhu  r6, r9, 0           ; implementation attribute ID
+	beqz r6, nextattr        ; end of list: attribute missing, s_i = 0
+	sub  r22, r6, r13
+	beqz r22, cbfound
+	bgtz r22, nextattr       ; sorted list passed the ID: missing
+	addi r9, r9, 4           ; pass smaller IDs, resume point advances
+	br   cbscan
+cbfound:
+	lhu  r6, r9, 2           ; implementation value
+	addi r9, r9, 4           ; consume matched entry
+	sub  r22, r14, r6        ; d = |Areq - Acb|
+	bgez r22, absok
+	sub  r22, r6, r14
+absok:
+	mul  r22, r22, r16       ; d × recip → UQ16 quotient
+	srli r22, r22, 1         ; align to Q15
+	sub  r22, r24, r22       ; s_i = 1 - d/(1+dmax)
+	bgez r22, sok
+	addi r22, r0, 0          ; saturate at 0
+sok:
+	mul  r22, r22, r23       ; w × s_i, Q30
+	srli r22, r22, 15        ; Q15
+	add  r17, r17, r22       ; S += w·s_i
+	sub  r22, r24, r17
+	bgez r22, nextattr
+	add  r17, r24, r0        ; saturate S at 1.0
+nextattr:
+	addi r11, r11, 6         ; next 3-word request block
+	br   reqattr
+bestcmp:
+	sub  r22, r17, r18       ; S > Sbest ?
+	blez r22, nextimpl
+	add  r18, r17, r0        ; keep S
+	add  r19, r12, r0        ; keep ID
+nextimpl:
+	addi r7, r7, 4
+	br   implscan
+done:
+	addi r25, r0, 0
+	halt
+notfound:
+	addi r25, r0, 1
+	addi r18, r0, -1
+	addi r19, r0, 0
+	halt
+`
+
+// Result of a software retrieval.
+type Result struct {
+	ImplID       uint16
+	Sim          fixed.Q15
+	Cycles       uint64
+	Instructions uint64
+}
+
+// Runner holds the assembled routine.
+type Runner struct {
+	prog  []mb32.Instr
+	costs mb32.CostModel
+}
+
+// NewRunner assembles the routine once, costed for the 2004-era base
+// MicroBlaze configuration (no barrel shifter) the paper's 66 MHz soft
+// core most plausibly used.
+func NewRunner() *Runner {
+	return NewRunnerWithCosts(mb32.MicroBlazeBaseCosts())
+}
+
+// NewRunnerWithCosts assembles the routine with an explicit processor
+// cost model — e.g. mb32.MicroBlazeCosts() for a core with the optional
+// barrel shifter.
+func NewRunnerWithCosts(c mb32.CostModel) *Runner {
+	return &Runner{prog: mb32.MustAssemble(Source), costs: c}
+}
+
+// CodeBytes returns the routine's opcode size — the "1984 bytes of
+// opcode" figure of §4.2 for the paper's C version.
+func (r *Runner) CodeBytes() int { return 4 * len(r.prog) }
+
+// Instructions returns the static instruction count.
+func (r *Runner) Instructions() int { return len(r.prog) }
+
+// Layout describes where the images land in the CPU's data memory.
+type Layout struct {
+	TreeBase  int
+	SuppBase  int
+	ReqBase   int
+	MemBytes  int
+	DataBytes int // total image footprint, the "bytes for variables" share
+}
+
+// LayoutFor computes the memory layout for a case base and request.
+func LayoutFor(tree, supp, req *memlist.Image) Layout {
+	treeBytes := tree.Size()
+	suppBase := treeBytes
+	reqBase := align4(suppBase + supp.Size())
+	total := align4(reqBase+req.Size()) + 64
+	return Layout{
+		TreeBase: 0, SuppBase: suppBase, ReqBase: reqBase,
+		MemBytes:  total,
+		DataBytes: tree.Size() + supp.Size() + req.Size(),
+	}
+}
+
+func align4(n int) int { return (n + 3) &^ 3 }
+
+// Retrieve runs the routine against cb and req and returns the best
+// match with its cycle cost.
+func (r *Runner) Retrieve(cb *casebase.CaseBase, req casebase.Request) (Result, error) {
+	if err := req.Validate(cb); err != nil {
+		return Result{}, err
+	}
+	tree, err := memlist.EncodeTree(cb)
+	if err != nil {
+		return Result{}, err
+	}
+	supp := memlist.EncodeSupplemental(cb.Registry())
+	reqImg, err := memlist.EncodeRequest(req)
+	if err != nil {
+		return Result{}, err
+	}
+	return r.RetrieveImages(tree, supp, reqImg)
+}
+
+// RetrieveImages runs the routine over pre-encoded images.
+func (r *Runner) RetrieveImages(tree, supp, reqImg *memlist.Image) (Result, error) {
+	lay := LayoutFor(tree, supp, reqImg)
+	cpu := mb32.New(r.prog, lay.MemBytes)
+	cpu.Cost = r.costs
+	if err := cpu.LoadHalfwords(lay.TreeBase, tree.Words); err != nil {
+		return Result{}, err
+	}
+	if err := cpu.LoadHalfwords(lay.SuppBase, supp.Words); err != nil {
+		return Result{}, err
+	}
+	if err := cpu.LoadHalfwords(lay.ReqBase, reqImg.Words); err != nil {
+		return Result{}, err
+	}
+	cpu.Regs[RegSuppBase] = int32(lay.SuppBase)
+	cpu.Regs[RegReqBase] = int32(lay.ReqBase)
+
+	cycles, err := cpu.Run(50_000_000)
+	if err != nil {
+		return Result{}, err
+	}
+	if cpu.Regs[RegError] != 0 {
+		return Result{Cycles: cycles}, fmt.Errorf("swret: requested type not found in case base")
+	}
+	sim := cpu.Regs[RegBestSim]
+	if sim < 0 {
+		return Result{Cycles: cycles}, fmt.Errorf("swret: no implementations for requested type")
+	}
+	return Result{
+		ImplID:       uint16(cpu.Regs[RegBestID]),
+		Sim:          fixed.Q15(sim),
+		Cycles:       cycles,
+		Instructions: cpu.Stats.Retired,
+	}, nil
+}

@@ -1,0 +1,204 @@
+package workload
+
+import (
+	"qosalloc/internal/attr"
+	"qosalloc/internal/casebase"
+	"qosalloc/internal/device"
+)
+
+// Attribute vocabulary of the infotainment platform, a superset of the
+// paper's §3 example covering the fig. 1 application mix.
+const (
+	AttrBitwidth   attr.ID = 1 // processing bitwidth, bits
+	AttrProcMode   attr.ID = 2 // 0 integer, 1 float
+	AttrOutputMode attr.ID = 3 // 0 mono, 1 stereo, 2 surround
+	AttrSampleRate attr.ID = 4 // kSamples/s
+	AttrFrameRate  attr.ID = 5 // frames/s
+	AttrLatency    attr.ID = 6 // worst-case response, 100us units (lower better; encode as budget)
+	AttrPower      attr.ID = 7 // power budget class, 10mW units
+)
+
+// Function types of the infotainment platform.
+const (
+	TypeAudioEq     casebase.TypeID = 1 // the paper's FIR equalizer
+	TypeMP3Decode   casebase.TypeID = 2
+	TypeVideoDecode casebase.TypeID = 3
+	TypeCRC         casebase.TypeID = 4
+	TypeEngineCtrl  casebase.TypeID = 5
+	TypeCruiseCtrl  casebase.TypeID = 6
+)
+
+// InfotainmentRegistry defines the attribute dictionary of the demo
+// platform.
+func InfotainmentRegistry() *attr.Registry {
+	r := attr.NewRegistry()
+	r.MustDefine(attr.Def{ID: AttrBitwidth, Name: "bitwidth", Unit: "bits", Kind: attr.Numeric, Lo: 8, Hi: 32})
+	r.MustDefine(attr.Def{ID: AttrProcMode, Name: "proc-mode", Kind: attr.Flag, Lo: 0, Hi: 1,
+		Symbols: []string{"integer", "float"}})
+	r.MustDefine(attr.Def{ID: AttrOutputMode, Name: "output-mode", Kind: attr.Ordinal, Lo: 0, Hi: 2,
+		Symbols: []string{"mono", "stereo", "surround"}})
+	r.MustDefine(attr.Def{ID: AttrSampleRate, Name: "sample-rate", Unit: "kS/s", Kind: attr.Numeric, Lo: 8, Hi: 96})
+	r.MustDefine(attr.Def{ID: AttrFrameRate, Name: "frame-rate", Unit: "fps", Kind: attr.Numeric, Lo: 5, Hi: 60})
+	r.MustDefine(attr.Def{ID: AttrLatency, Name: "latency", Unit: "×100us", Kind: attr.Numeric, Lo: 1, Hi: 200})
+	r.MustDefine(attr.Def{ID: AttrPower, Name: "power-class", Unit: "×10mW", Kind: attr.Numeric, Lo: 5, Hi: 80})
+	return r
+}
+
+// InfotainmentCaseBase builds the demo platform's implementation tree:
+// six function types with FPGA/DSP/GPP variants whose QoS attributes
+// and footprints span realistic trade-offs (hardware: fast, power-hungry
+// to configure, cheap per sample; software: slow, instantly available).
+func InfotainmentCaseBase() (*casebase.CaseBase, *attr.Registry, error) {
+	reg := InfotainmentRegistry()
+	b := casebase.NewBuilder(reg)
+
+	pairs := func(ps ...attr.Pair) []attr.Pair { return ps }
+	p := func(id attr.ID, v attr.Value) attr.Pair { return attr.Pair{ID: id, Value: v} }
+
+	b.AddType(TypeAudioEq, "FIR Equalizer")
+	b.AddImpl(TypeAudioEq, casebase.Implementation{
+		ID: 1, Name: "eq-fpga", Target: casebase.TargetFPGA,
+		Attrs: pairs(p(AttrBitwidth, 16), p(AttrProcMode, 0), p(AttrOutputMode, 2), p(AttrSampleRate, 96), p(AttrLatency, 2), p(AttrPower, 31)),
+		Foot:  casebase.Footprint{Slices: 920, BRAMs: 4, Multipliers: 8, PowerMW: 310, ConfigBytes: 96 * 1024},
+	})
+	b.AddImpl(TypeAudioEq, casebase.Implementation{
+		ID: 2, Name: "eq-dsp", Target: casebase.TargetDSP,
+		Attrs: pairs(p(AttrBitwidth, 16), p(AttrProcMode, 0), p(AttrOutputMode, 1), p(AttrSampleRate, 48), p(AttrLatency, 8), p(AttrPower, 22)),
+		Foot:  casebase.Footprint{CPULoad: 450, MemBytes: 24 * 1024, PowerMW: 220, ConfigBytes: 18 * 1024},
+	})
+	b.AddImpl(TypeAudioEq, casebase.Implementation{
+		ID: 3, Name: "eq-gpp", Target: casebase.TargetGPP,
+		Attrs: pairs(p(AttrBitwidth, 8), p(AttrProcMode, 0), p(AttrOutputMode, 0), p(AttrSampleRate, 22), p(AttrLatency, 40), p(AttrPower, 15)),
+		Foot:  casebase.Footprint{CPULoad: 700, MemBytes: 8 * 1024, PowerMW: 150, ConfigBytes: 2 * 1024},
+	})
+
+	b.AddType(TypeMP3Decode, "MP3 Decoder")
+	b.AddImpl(TypeMP3Decode, casebase.Implementation{
+		ID: 1, Name: "mp3-dsp", Target: casebase.TargetDSP,
+		Attrs: pairs(p(AttrBitwidth, 16), p(AttrProcMode, 0), p(AttrOutputMode, 1), p(AttrSampleRate, 48), p(AttrLatency, 10), p(AttrPower, 20)),
+		Foot:  casebase.Footprint{CPULoad: 350, MemBytes: 32 * 1024, PowerMW: 200, ConfigBytes: 24 * 1024},
+	})
+	b.AddImpl(TypeMP3Decode, casebase.Implementation{
+		ID: 2, Name: "mp3-gpp", Target: casebase.TargetGPP,
+		Attrs: pairs(p(AttrBitwidth, 32), p(AttrProcMode, 1), p(AttrOutputMode, 1), p(AttrSampleRate, 48), p(AttrLatency, 25), p(AttrPower, 28)),
+		Foot:  casebase.Footprint{CPULoad: 400, MemBytes: 64 * 1024, PowerMW: 180, ConfigBytes: 12 * 1024},
+	})
+
+	b.AddType(TypeVideoDecode, "Video Decoder")
+	b.AddImpl(TypeVideoDecode, casebase.Implementation{
+		ID: 1, Name: "video-fpga", Target: casebase.TargetFPGA,
+		Attrs: pairs(p(AttrBitwidth, 16), p(AttrProcMode, 0), p(AttrFrameRate, 60), p(AttrLatency, 3), p(AttrPower, 45)),
+		Foot:  casebase.Footprint{Slices: 1400, BRAMs: 8, Multipliers: 12, PowerMW: 450, ConfigBytes: 128 * 1024},
+	})
+	b.AddImpl(TypeVideoDecode, casebase.Implementation{
+		ID: 2, Name: "video-dsp", Target: casebase.TargetDSP,
+		Attrs: pairs(p(AttrBitwidth, 16), p(AttrProcMode, 0), p(AttrFrameRate, 30), p(AttrLatency, 12), p(AttrPower, 30)),
+		Foot:  casebase.Footprint{CPULoad: 600, MemBytes: 96 * 1024, PowerMW: 300, ConfigBytes: 48 * 1024},
+	})
+	b.AddImpl(TypeVideoDecode, casebase.Implementation{
+		ID: 3, Name: "video-gpp", Target: casebase.TargetGPP,
+		Attrs: pairs(p(AttrBitwidth, 32), p(AttrProcMode, 1), p(AttrFrameRate, 15), p(AttrLatency, 60), p(AttrPower, 35)),
+		Foot:  casebase.Footprint{CPULoad: 800, MemBytes: 128 * 1024, PowerMW: 250, ConfigBytes: 16 * 1024},
+	})
+
+	b.AddType(TypeCRC, "CRC/Checksum")
+	b.AddImpl(TypeCRC, casebase.Implementation{
+		ID: 1, Name: "crc-fpga", Target: casebase.TargetFPGA,
+		Attrs: pairs(p(AttrBitwidth, 32), p(AttrProcMode, 0), p(AttrLatency, 1), p(AttrPower, 8)),
+		Foot:  casebase.Footprint{Slices: 220, BRAMs: 0, Multipliers: 0, PowerMW: 80, ConfigBytes: 24 * 1024},
+	})
+	b.AddImpl(TypeCRC, casebase.Implementation{
+		ID: 2, Name: "crc-gpp", Target: casebase.TargetGPP,
+		Attrs: pairs(p(AttrBitwidth, 32), p(AttrProcMode, 0), p(AttrLatency, 15), p(AttrPower, 10)),
+		Foot:  casebase.Footprint{CPULoad: 150, MemBytes: 4 * 1024, PowerMW: 90, ConfigBytes: 1 * 1024},
+	})
+
+	b.AddType(TypeEngineCtrl, "Engine Control Loop")
+	b.AddImpl(TypeEngineCtrl, casebase.Implementation{
+		ID: 1, Name: "ecu-fpga", Target: casebase.TargetFPGA,
+		Attrs: pairs(p(AttrBitwidth, 16), p(AttrProcMode, 0), p(AttrLatency, 1), p(AttrPower, 25)),
+		Foot:  casebase.Footprint{Slices: 800, BRAMs: 2, Multipliers: 4, PowerMW: 250, ConfigBytes: 64 * 1024},
+	})
+	b.AddImpl(TypeEngineCtrl, casebase.Implementation{
+		ID: 2, Name: "ecu-gpp", Target: casebase.TargetGPP,
+		Attrs: pairs(p(AttrBitwidth, 32), p(AttrProcMode, 1), p(AttrLatency, 10), p(AttrPower, 20)),
+		Foot:  casebase.Footprint{CPULoad: 300, MemBytes: 16 * 1024, PowerMW: 160, ConfigBytes: 8 * 1024},
+	})
+
+	b.AddType(TypeCruiseCtrl, "Cruise Control")
+	b.AddImpl(TypeCruiseCtrl, casebase.Implementation{
+		ID: 1, Name: "cruise-gpp", Target: casebase.TargetGPP,
+		Attrs: pairs(p(AttrBitwidth, 32), p(AttrProcMode, 1), p(AttrLatency, 20), p(AttrPower, 12)),
+		Foot:  casebase.Footprint{CPULoad: 200, MemBytes: 12 * 1024, PowerMW: 110, ConfigBytes: 4 * 1024},
+	})
+	b.AddImpl(TypeCruiseCtrl, casebase.Implementation{
+		ID: 2, Name: "cruise-dsp", Target: casebase.TargetDSP,
+		Attrs: pairs(p(AttrBitwidth, 16), p(AttrProcMode, 0), p(AttrLatency, 5), p(AttrPower, 14)),
+		Foot:  casebase.Footprint{CPULoad: 250, MemBytes: 8 * 1024, PowerMW: 140, ConfigBytes: 6 * 1024},
+	})
+
+	cb, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return cb, reg, nil
+}
+
+// Step is one timed request of an application profile.
+type Step struct {
+	At   device.Micros
+	Req  casebase.Request
+	Hold device.Micros // how long the function stays allocated
+}
+
+// AppProfile is one fig. 1 application: a priority and a script of
+// requests against the Application-API.
+type AppProfile struct {
+	Name  string
+	Prio  int
+	Steps []Step
+}
+
+// con builds a constraint tersely.
+func con(id attr.ID, v attr.Value) casebase.Constraint {
+	return casebase.Constraint{ID: id, Value: v}
+}
+
+// Apps returns the fig. 1 application mix as timed profiles (times in
+// microseconds over a one-second scenario).
+func Apps() []AppProfile {
+	return []AppProfile{
+		{
+			Name: "mp3-player", Prio: 3,
+			Steps: []Step{
+				{At: 1_000, Hold: 800_000, Req: casebase.NewRequest(TypeMP3Decode,
+					con(AttrBitwidth, 16), con(AttrOutputMode, 1), con(AttrSampleRate, 44)).EqualWeights()},
+				{At: 2_000, Hold: 800_000, Req: casebase.NewRequest(TypeAudioEq,
+					con(AttrBitwidth, 16), con(AttrOutputMode, 1), con(AttrSampleRate, 44)).EqualWeights()},
+			},
+		},
+		{
+			Name: "video-player", Prio: 4,
+			Steps: []Step{
+				{At: 100_000, Hold: 700_000, Req: casebase.NewRequest(TypeVideoDecode,
+					con(AttrBitwidth, 16), con(AttrFrameRate, 30), con(AttrLatency, 10)).EqualWeights()},
+			},
+		},
+		{
+			Name: "automotive-ecu", Prio: 9,
+			Steps: []Step{
+				{At: 200_000, Hold: 600_000, Req: casebase.NewRequest(TypeEngineCtrl,
+					con(AttrBitwidth, 16), con(AttrLatency, 2)).EqualWeights()},
+				{At: 210_000, Hold: 500_000, Req: casebase.NewRequest(TypeCRC,
+					con(AttrBitwidth, 32), con(AttrLatency, 5)).EqualWeights()},
+			},
+		},
+		{
+			Name: "cruise-control", Prio: 7,
+			Steps: []Step{
+				{At: 300_000, Hold: 500_000, Req: casebase.NewRequest(TypeCruiseCtrl,
+					con(AttrBitwidth, 16), con(AttrLatency, 8)).EqualWeights()},
+			},
+		},
+	}
+}

@@ -1,0 +1,167 @@
+// Package workload generates case bases, request streams and application
+// profiles for experiments at and beyond the paper's scale. The paper's
+// capacity point (Table 3) is 15 function types × 10 implementations ×
+// 10 attributes; the generators sweep around that point and synthesize
+// the fig. 1 application mix (MP3 player, video, automotive ECU, cruise
+// control) for end-to-end allocation runs.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qosalloc/internal/attr"
+	"qosalloc/internal/casebase"
+)
+
+// CaseBaseSpec parameterizes a synthetic case base.
+type CaseBaseSpec struct {
+	Types        int
+	ImplsPerType int
+	AttrsPerImpl int
+	// AttrUniverse is the number of distinct attribute types defined;
+	// implementations draw AttrsPerImpl of them. Must be ≥
+	// AttrsPerImpl.
+	AttrUniverse int
+	// ValueSpan bounds each attribute's design range (dmax ≤
+	// ValueSpan). Zero means 200.
+	ValueSpan int
+	Seed      int64
+}
+
+// PaperScale returns the Table 3 capacity point.
+func PaperScale() CaseBaseSpec {
+	return CaseBaseSpec{Types: 15, ImplsPerType: 10, AttrsPerImpl: 10, AttrUniverse: 10, Seed: 1}
+}
+
+// GenCaseBase synthesizes a validated case base. Implementations cycle
+// through the FPGA/DSP/GPP targets with plausible footprints so the
+// result also drives allocation experiments.
+func GenCaseBase(spec CaseBaseSpec) (*casebase.CaseBase, *attr.Registry, error) {
+	if spec.Types < 1 || spec.ImplsPerType < 1 || spec.AttrsPerImpl < 1 {
+		return nil, nil, fmt.Errorf("workload: spec must be positive, got %+v", spec)
+	}
+	if spec.AttrUniverse < spec.AttrsPerImpl {
+		spec.AttrUniverse = spec.AttrsPerImpl
+	}
+	span := spec.ValueSpan
+	if span <= 0 {
+		span = 200
+	}
+	r := rand.New(rand.NewSource(spec.Seed))
+
+	reg := attr.NewRegistry()
+	for i := 1; i <= spec.AttrUniverse; i++ {
+		lo := attr.Value(r.Intn(50))
+		hi := lo + attr.Value(1+r.Intn(span))
+		reg.MustDefine(attr.Def{
+			ID: attr.ID(i), Name: fmt.Sprintf("attr%d", i),
+			Kind: attr.Numeric, Lo: lo, Hi: hi,
+		})
+	}
+
+	b := casebase.NewBuilder(reg)
+	for ti := 1; ti <= spec.Types; ti++ {
+		tid := casebase.TypeID(ti)
+		b.AddType(tid, fmt.Sprintf("func%d", ti))
+		for ii := 1; ii <= spec.ImplsPerType; ii++ {
+			perm := r.Perm(spec.AttrUniverse)[:spec.AttrsPerImpl]
+			ps := make([]attr.Pair, 0, spec.AttrsPerImpl)
+			for _, ai := range perm {
+				d, _ := reg.Lookup(attr.ID(ai + 1))
+				v := d.Lo + attr.Value(r.Intn(int(d.Hi-d.Lo)+1))
+				ps = append(ps, attr.Pair{ID: d.ID, Value: v})
+			}
+			target := casebase.Target(ii % 3)
+			b.AddImpl(tid, casebase.Implementation{
+				ID:     casebase.ImplID(ii),
+				Name:   fmt.Sprintf("func%d-impl%d", ti, ii),
+				Target: target,
+				Attrs:  ps,
+				Foot:   randomFootprint(r, target),
+			})
+		}
+	}
+	cb, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return cb, reg, nil
+}
+
+// randomFootprint draws a plausible resource footprint per target class.
+func randomFootprint(r *rand.Rand, t casebase.Target) casebase.Footprint {
+	switch t {
+	case casebase.TargetFPGA:
+		return casebase.Footprint{
+			Slices:      200 + r.Intn(1200),
+			BRAMs:       r.Intn(8),
+			Multipliers: r.Intn(12),
+			PowerMW:     150 + r.Intn(400),
+			ConfigBytes: (32 + r.Intn(128)) * 1024,
+		}
+	case casebase.TargetDSP:
+		return casebase.Footprint{
+			CPULoad:     100 + r.Intn(500),
+			MemBytes:    (4 + r.Intn(48)) * 1024,
+			PowerMW:     80 + r.Intn(250),
+			ConfigBytes: (4 + r.Intn(32)) * 1024,
+		}
+	default:
+		return casebase.Footprint{
+			CPULoad:     150 + r.Intn(700),
+			MemBytes:    (4 + r.Intn(64)) * 1024,
+			PowerMW:     50 + r.Intn(200),
+			ConfigBytes: (1 + r.Intn(16)) * 1024,
+		}
+	}
+}
+
+// RequestStreamSpec parameterizes a request stream.
+type RequestStreamSpec struct {
+	N              int
+	ConstraintsPer int
+	// RepeatFraction is the probability that a request repeats an
+	// earlier one verbatim — the bypass-token hit opportunity.
+	RepeatFraction float64
+	Seed           int64
+}
+
+// GenRequests synthesizes a request stream over cb. Every request is
+// valid (constraints reference defined attributes within bounds, equal
+// weights).
+func GenRequests(cb *casebase.CaseBase, reg *attr.Registry, spec RequestStreamSpec) ([]casebase.Request, error) {
+	if spec.N < 1 {
+		return nil, fmt.Errorf("workload: stream length must be positive")
+	}
+	if spec.ConstraintsPer < 1 {
+		spec.ConstraintsPer = 3
+	}
+	r := rand.New(rand.NewSource(spec.Seed))
+	ids := reg.IDs()
+	if spec.ConstraintsPer > len(ids) {
+		spec.ConstraintsPer = len(ids)
+	}
+	types := cb.Types()
+	out := make([]casebase.Request, 0, spec.N)
+	for i := 0; i < spec.N; i++ {
+		if len(out) > 0 && r.Float64() < spec.RepeatFraction {
+			out = append(out, out[r.Intn(len(out))])
+			continue
+		}
+		ft := types[r.Intn(len(types))]
+		perm := r.Perm(len(ids))[:spec.ConstraintsPer]
+		cs := make([]casebase.Constraint, 0, spec.ConstraintsPer)
+		for _, pi := range perm {
+			d, _ := reg.Lookup(ids[pi])
+			v := d.Lo + attr.Value(r.Intn(int(d.Hi-d.Lo)+1))
+			cs = append(cs, casebase.Constraint{ID: d.ID, Value: v})
+		}
+		req := casebase.NewRequest(ft.ID, cs...).EqualWeights()
+		if err := req.Validate(cb); err != nil {
+			return nil, fmt.Errorf("workload: generated invalid request: %w", err)
+		}
+		out = append(out, req)
+	}
+	return out, nil
+}

@@ -1,0 +1,200 @@
+package workload
+
+import (
+	"testing"
+
+	"qosalloc/internal/casebase"
+	"qosalloc/internal/retrieval"
+)
+
+func TestGenCaseBasePaperScale(t *testing.T) {
+	cb, reg, err := GenCaseBase(PaperScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cb.Stats()
+	if s.Types != 15 || s.Impls != 150 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.MaxAttrs != 10 {
+		t.Errorf("attrs per impl = %d", s.MaxAttrs)
+	}
+	if reg.Len() != 10 {
+		t.Errorf("attribute universe = %d", reg.Len())
+	}
+}
+
+func TestGenCaseBaseDeterministic(t *testing.T) {
+	a, _, _ := GenCaseBase(PaperScale())
+	b, _, _ := GenCaseBase(PaperScale())
+	at, bt := a.Types(), b.Types()
+	for i := range at {
+		if at[i].ID != bt[i].ID || len(at[i].Impls) != len(bt[i].Impls) {
+			t.Fatal("same seed must give the same case base")
+		}
+		for j := range at[i].Impls {
+			ai, bi := at[i].Impls[j], bt[i].Impls[j]
+			if len(ai.Attrs) != len(bi.Attrs) {
+				t.Fatal("impl shape differs")
+			}
+			for k := range ai.Attrs {
+				if ai.Attrs[k] != bi.Attrs[k] {
+					t.Fatal("attr values differ")
+				}
+			}
+		}
+	}
+}
+
+func TestGenCaseBaseRejectsBadSpec(t *testing.T) {
+	if _, _, err := GenCaseBase(CaseBaseSpec{}); err == nil {
+		t.Error("zero spec must fail")
+	}
+}
+
+func TestGenCaseBaseFootprintsMatchTargets(t *testing.T) {
+	cb, _, _ := GenCaseBase(PaperScale())
+	for _, ft := range cb.Types() {
+		for i := range ft.Impls {
+			im := &ft.Impls[i]
+			switch im.Target {
+			case casebase.TargetFPGA:
+				if im.Foot.Slices == 0 || im.Foot.CPULoad != 0 {
+					t.Fatalf("FPGA footprint wrong: %+v", im.Foot)
+				}
+			default:
+				if im.Foot.CPULoad == 0 || im.Foot.Slices != 0 {
+					t.Fatalf("processor footprint wrong: %+v", im.Foot)
+				}
+			}
+			if im.Foot.ConfigBytes == 0 {
+				t.Fatal("config bytes missing")
+			}
+		}
+	}
+}
+
+func TestGenRequestsValidAndRetrievable(t *testing.T) {
+	cb, reg, _ := GenCaseBase(PaperScale())
+	reqs, err := GenRequests(cb, reg, RequestStreamSpec{N: 50, ConstraintsPer: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 50 {
+		t.Fatalf("stream length = %d", len(reqs))
+	}
+	e := retrieval.NewEngine(cb, retrieval.Options{})
+	for i, r := range reqs {
+		if err := r.Validate(cb); err != nil {
+			t.Fatalf("request %d invalid: %v", i, err)
+		}
+		if _, err := e.Retrieve(r); err != nil {
+			t.Fatalf("request %d not retrievable: %v", i, err)
+		}
+	}
+}
+
+func TestGenRequestsRepeats(t *testing.T) {
+	cb, reg, _ := GenCaseBase(PaperScale())
+	reqs, err := GenRequests(cb, reg, RequestStreamSpec{N: 200, RepeatFraction: 0.6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for _, r := range reqs {
+		seen[retrieval.Signature(r)]++
+	}
+	repeats := len(reqs) - len(seen)
+	if repeats < 60 {
+		t.Errorf("repeat fraction too low: %d repeats of %d", repeats, len(reqs))
+	}
+	// Zero repeat fraction yields (almost surely) distinct requests.
+	uniq, _ := GenRequests(cb, reg, RequestStreamSpec{N: 50, RepeatFraction: 0, Seed: 3})
+	seen2 := map[string]bool{}
+	for _, r := range uniq {
+		seen2[retrieval.Signature(r)] = true
+	}
+	if len(seen2) < 45 {
+		t.Errorf("unexpectedly many collisions without repeats: %d distinct", len(seen2))
+	}
+}
+
+func TestGenRequestsRejectsBadSpec(t *testing.T) {
+	cb, reg, _ := GenCaseBase(PaperScale())
+	if _, err := GenRequests(cb, reg, RequestStreamSpec{N: 0}); err == nil {
+		t.Error("empty stream must fail")
+	}
+}
+
+func TestInfotainmentCaseBase(t *testing.T) {
+	cb, reg, err := InfotainmentCaseBase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb.NumTypes() != 6 {
+		t.Errorf("types = %d", cb.NumTypes())
+	}
+	if reg.Len() != 7 {
+		t.Errorf("attributes = %d", reg.Len())
+	}
+	// The audio-eq subtree mirrors the paper's example: the DSP
+	// variant must win the paper request shape.
+	e := retrieval.NewEngine(cb, retrieval.Options{})
+	req := casebase.NewRequest(TypeAudioEq,
+		con(AttrBitwidth, 16), con(AttrOutputMode, 1), con(AttrSampleRate, 44),
+	).EqualWeights()
+	best, err := e.Retrieve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Target != casebase.TargetDSP {
+		t.Errorf("audio-eq best = %v, want DSP", best.Target)
+	}
+}
+
+func TestAppsProfiles(t *testing.T) {
+	cb, _, err := InfotainmentCaseBase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps := Apps()
+	if len(apps) != 4 {
+		t.Fatalf("apps = %d, want the fig. 1 four", len(apps))
+	}
+	names := map[string]bool{}
+	for _, a := range apps {
+		names[a.Name] = true
+		if a.Prio <= 0 {
+			t.Errorf("%s has no priority", a.Name)
+		}
+		if len(a.Steps) == 0 {
+			t.Errorf("%s has no steps", a.Name)
+		}
+		for _, s := range a.Steps {
+			if err := s.Req.Validate(cb); err != nil {
+				t.Errorf("%s request invalid: %v", a.Name, err)
+			}
+			if s.Hold == 0 {
+				t.Errorf("%s step holds for zero time", a.Name)
+			}
+		}
+	}
+	for _, want := range []string{"mp3-player", "video-player", "automotive-ecu", "cruise-control"} {
+		if !names[want] {
+			t.Errorf("missing app %q", want)
+		}
+	}
+	// The safety-critical app outranks infotainment.
+	var ecu, mp3 int
+	for _, a := range apps {
+		switch a.Name {
+		case "automotive-ecu":
+			ecu = a.Prio
+		case "mp3-player":
+			mp3 = a.Prio
+		}
+	}
+	if ecu <= mp3 {
+		t.Error("ECU must outrank the MP3 player")
+	}
+}

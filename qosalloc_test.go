@@ -1,0 +1,322 @@
+package qosalloc_test
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"qosalloc"
+)
+
+// Example reproduces the paper's headline retrieval through the public
+// API alone.
+func Example() {
+	cb, err := qosalloc.PaperCaseBase()
+	if err != nil {
+		panic(err)
+	}
+	eng := qosalloc.NewEngine(cb, qosalloc.EngineOptions{})
+	best, err := eng.Retrieve(qosalloc.PaperRequest())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s on %s, S = %.2f\n", best.Name, best.Target, best.Similarity)
+	// Output: fir-eq-dsp on DSP, S = 0.96
+}
+
+// ExampleNewCaseBaseBuilder shows declaring a custom function library.
+func ExampleNewCaseBaseBuilder() {
+	reg := qosalloc.NewRegistry()
+	reg.MustDefine(qosalloc.AttrDef{ID: 1, Name: "bitwidth", Unit: "bits",
+		Kind: qosalloc.Numeric, Lo: 8, Hi: 32})
+
+	b := qosalloc.NewCaseBaseBuilder(reg)
+	b.AddType(1, "filter")
+	b.AddImpl(1, qosalloc.Implementation{
+		ID: 1, Name: "filter-hw", Target: qosalloc.TargetFPGA,
+		Attrs: []qosalloc.AttrPair{{ID: 1, Value: 16}},
+	})
+	cb, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(cb.NumTypes(), cb.NumImpls())
+	// Output: 1 1
+}
+
+// ExampleHWRetrieve runs the cycle-accurate hardware unit.
+func ExampleHWRetrieve() {
+	cb, _ := qosalloc.PaperCaseBase()
+	res, err := qosalloc.HWRetrieve(cb, qosalloc.PaperRequest(), qosalloc.HWConfig{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("impl %d, S = %.2f\n", res.ImplID, res.Sim.Float())
+	// Output: impl 2, S = 0.96
+}
+
+func TestFacadeFourEnginesAgree(t *testing.T) {
+	cb, err := qosalloc.PaperCaseBase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := qosalloc.PaperRequest()
+
+	eng := qosalloc.NewEngine(cb, qosalloc.EngineOptions{})
+	ref, err := eng.Retrieve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe := qosalloc.NewFixedEngine(cb)
+	fx, err := fe.Retrieve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := qosalloc.HWRetrieve(cb, req, qosalloc.HWConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := qosalloc.NewSWRunner().Retrieve(cb, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Impl != 2 || fx.Impl != 2 || hw.ImplID != 2 || sw.ImplID != 2 {
+		t.Errorf("engines disagree on best: float=%d fixed=%d hw=%d sw=%d",
+			ref.Impl, fx.Impl, hw.ImplID, sw.ImplID)
+	}
+	if fx.Similarity != qosalloc.Q15(hw.Sim) || hw.Sim != sw.Sim {
+		t.Errorf("fixed-point similarities differ: fixed=%d hw=%d sw=%d",
+			fx.Similarity, hw.Sim, sw.Sim)
+	}
+	if math.Abs(ref.Similarity-fx.Similarity.Float()) > 0.001 {
+		t.Errorf("float %.4f vs fixed %.4f", ref.Similarity, fx.Similarity.Float())
+	}
+}
+
+func TestFacadeMemoryImages(t *testing.T) {
+	cb, _ := qosalloc.PaperCaseBase()
+	tree, err := qosalloc.EncodeTree(cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := qosalloc.EncodeRequest(qosalloc.PaperRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	supp := qosalloc.EncodeSupplemental(cb.Registry())
+	u := qosalloc.NewHWUnit(tree, supp, req, qosalloc.HWConfig{})
+	res, err := u.Run(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ImplID != 2 {
+		t.Errorf("unit over explicit images: best = %d", res.ImplID)
+	}
+	rep := qosalloc.MemoryFootprint(15, 10, 10, 10, 10)
+	if rep.RequestBytes != 64 {
+		t.Errorf("request bytes = %d", rep.RequestBytes)
+	}
+}
+
+func TestFacadeSynthesis(t *testing.T) {
+	r := qosalloc.EstimateSynthesis(qosalloc.XC2V3000)
+	if r.BRAMs != 2 || r.Mults != 2 {
+		t.Errorf("synthesis = %+v", r)
+	}
+	if !strings.Contains(r.String(), "XC2V3000") {
+		t.Error("report rendering broken")
+	}
+}
+
+func TestFacadeSystemStack(t *testing.T) {
+	cb, _, err := qosalloc.InfotainmentCaseBase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo := qosalloc.NewRepository(20)
+	if err := repo.PopulateFromCaseBase(cb); err != nil {
+		t.Fatal(err)
+	}
+	fpga := qosalloc.NewFPGADevice("fpga0", []qosalloc.FPGASlot{
+		{Slices: 1500, BRAMs: 8, Multipliers: 16},
+	}, 66)
+	dsp := qosalloc.NewProcessorDevice("dsp0", qosalloc.TargetDSP, 1000, 192*1024)
+	gpp := qosalloc.NewProcessorDevice("gpp0", qosalloc.TargetGPP, 1000, 512*1024)
+	rt := qosalloc.NewRuntime(repo, fpga, dsp, gpp)
+	m := qosalloc.NewManager(cb, rt, qosalloc.ManagerOptions{UseBypassTokens: true})
+
+	apps := qosalloc.FigureOneApps()
+	if len(apps) != 4 {
+		t.Fatalf("apps = %d", len(apps))
+	}
+	d, err := m.Request(apps[0].Name, apps[0].Steps[0].Req, apps[0].Prio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Device == "" || d.Similarity <= 0 {
+		t.Errorf("decision = %+v", d)
+	}
+	if err := m.Release(d.Task.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeWorkloads(t *testing.T) {
+	cb, reg, err := qosalloc.GenCaseBase(qosalloc.PaperScaleSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := qosalloc.GenRequests(cb, reg, qosalloc.RequestStreamSpec{N: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 5 {
+		t.Fatalf("requests = %d", len(reqs))
+	}
+}
+
+func TestFacadeMeasureLookups(t *testing.T) {
+	if _, err := qosalloc.LocalMeasureByName("at-least"); err != nil {
+		t.Error(err)
+	}
+	if _, err := qosalloc.AmalgamationByName("minimum"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	all := qosalloc.Experiments()
+	if len(all) != 17 {
+		t.Fatalf("experiments = %d, want 17", len(all))
+	}
+	e, ok := qosalloc.ExperimentByID("table1")
+	if !ok {
+		t.Fatal("table1 missing")
+	}
+	var buf bytes.Buffer
+	if err := e.Run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "best") {
+		t.Error("table1 output lacks the best marker")
+	}
+}
+
+func TestFacadeSWCostModels(t *testing.T) {
+	cb, _ := qosalloc.PaperCaseBase()
+	req := qosalloc.PaperRequest()
+	base, err := qosalloc.NewSWRunner().Retrieve(cb, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	barrel, err := qosalloc.NewSWRunnerWithCosts(qosalloc.MicroBlazeCosts()).Retrieve(cb, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if barrel.Cycles >= base.Cycles {
+		t.Errorf("barrel shifter core (%d cyc) must beat the base core (%d cyc)",
+			barrel.Cycles, base.Cycles)
+	}
+	if base.ImplID != barrel.ImplID {
+		t.Error("cost model must not change results")
+	}
+}
+
+func TestFacadeSessionAndMonitor(t *testing.T) {
+	cb, err := qosalloc.PaperCaseBase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo := qosalloc.NewRepository(20)
+	if err := repo.PopulateFromCaseBase(cb); err != nil {
+		t.Fatal(err)
+	}
+	rt := qosalloc.NewRuntime(repo,
+		qosalloc.NewProcessorDevice("dsp0", qosalloc.TargetDSP, 1000, 128<<10),
+		qosalloc.NewProcessorDevice("gpp0", qosalloc.TargetGPP, 1000, 256<<10),
+	)
+	m := qosalloc.NewManager(cb, rt, qosalloc.ManagerOptions{})
+	mon := qosalloc.NewPlatformMonitor(rt, 8)
+
+	sess := qosalloc.OpenSession(m, "mp3", 5, qosalloc.AppSessionOptions{
+		RelaxOrder: []qosalloc.AttrID{4},
+	})
+	c, err := sess.Call(qosalloc.PaperRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Trail[len(c.Trail)-1].Outcome != qosalloc.OutcomePlaced {
+		t.Errorf("trail = %+v", c.Trail)
+	}
+	st := mon.Sample()
+	if st.TotalPowerMW == 0 {
+		t.Error("monitor should see the placed task's power")
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	after := qosalloc.PlatformSnapshot(rt)
+	if after.TotalPowerMW != 0 {
+		t.Errorf("power after close = %d", after.TotalPowerMW)
+	}
+}
+
+// ExampleEngine_RetrieveN shows the §5 n-most-similar extension.
+func ExampleEngine_RetrieveN() {
+	cb, _ := qosalloc.PaperCaseBase()
+	eng := qosalloc.NewEngine(cb, qosalloc.EngineOptions{})
+	top, _ := eng.RetrieveN(qosalloc.PaperRequest(), 2)
+	for _, r := range top {
+		fmt.Printf("%s S=%.2f\n", r.Name, r.Similarity)
+	}
+	// Output:
+	// fir-eq-dsp S=0.96
+	// fir-eq-fpga S=0.85
+}
+
+// ExampleNewLearner shows the fig. 2 revise step: observed QoS folds
+// back into the case base.
+func ExampleNewLearner() {
+	cb, _ := qosalloc.PaperCaseBase()
+	learner, _ := qosalloc.NewLearner(cb, 1.0)
+	// The DSP equalizer is observed delivering only 20 kS/s.
+	_ = learner.Observe(qosalloc.Observation{
+		Type: 1, Impl: 2,
+		Measured: []qosalloc.AttrPair{{ID: 4, Value: 20}},
+	})
+	revised, changed, _ := learner.Rebuild()
+	best, _ := qosalloc.NewEngine(revised, qosalloc.EngineOptions{}).Retrieve(qosalloc.PaperRequest())
+	fmt.Println(changed, best.Name)
+	// Output: 1 fir-eq-fpga
+}
+
+// ExampleRequest_Relax shows the §3 constraint-relaxation step.
+func ExampleRequest_Relax() {
+	req := qosalloc.PaperRequest()
+	relaxed, ok := req.Relax(1) // drop the bitwidth constraint
+	fmt.Println(ok, len(req.Constraints), len(relaxed.Constraints))
+	// Output: true 3 2
+}
+
+func TestFacadeEnginePool(t *testing.T) {
+	cb, _ := qosalloc.PaperCaseBase()
+	p := qosalloc.NewEnginePool(cb, qosalloc.EngineOptions{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			best, err := p.Retrieve(qosalloc.PaperRequest())
+			if err != nil || best.Impl != 2 {
+				t.Errorf("pool retrieval = %+v, %v", best, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Stats().Retrievals != 8 {
+		t.Errorf("pool stats = %+v", p.Stats())
+	}
+}
