@@ -1,0 +1,30 @@
+# Standard development targets. `make ci` is the gate every change must
+# pass: build, vet, and the full test suite under the race detector.
+
+GO ?= go
+
+.PHONY: all build vet test race bench fuzz ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+# Short fuzz pass over the decoder; lengthen FUZZTIME for a real hunt.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/cbjson/ -run xxx -fuzz FuzzDecodeCaseBase -fuzztime $(FUZZTIME)
+
+ci: build vet race

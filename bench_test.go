@@ -16,9 +16,11 @@ import (
 	"math/rand"
 	"testing"
 
+	"qosalloc/internal/alloc"
 	"qosalloc/internal/attr"
 	"qosalloc/internal/casebase"
 	"qosalloc/internal/cbjson"
+	"qosalloc/internal/device"
 	"qosalloc/internal/experiments"
 	"qosalloc/internal/fixed"
 	"qosalloc/internal/hwsim"
@@ -26,6 +28,7 @@ import (
 	"qosalloc/internal/mb32"
 	"qosalloc/internal/memlist"
 	"qosalloc/internal/retrieval"
+	"qosalloc/internal/rtsys"
 	"qosalloc/internal/similarity"
 	"qosalloc/internal/swret"
 	"qosalloc/internal/synth"
@@ -437,4 +440,45 @@ func BenchmarkJSONRoundTrip(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkFaultRecovery: the degrade-and-retry path end to end — a
+// device failure strands a placed task, the manager re-runs retrieval
+// excluding the dead target class and re-places the task on a substitute
+// variant. The custom metric reports the simulated recovery latency
+// (fault hit → substitute configuration ready) alongside host ns/op.
+func BenchmarkFaultRecovery(b *testing.B) {
+	cb, req := paperFixtures(b)
+	var simLat float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		repo := device.NewRepository(20)
+		if err := repo.PopulateFromCaseBase(cb); err != nil {
+			b.Fatal(err)
+		}
+		sys := rtsys.NewSystem(repo,
+			device.NewFPGA("fpga0", []device.Slot{
+				{Slices: 1500, BRAMs: 8, Multipliers: 16},
+				{Slices: 1500, BRAMs: 8, Multipliers: 16},
+			}, 66),
+			device.NewProcessor("dsp0", casebase.TargetDSP, 1000, 128*1024),
+			device.NewProcessor("gpp0", casebase.TargetGPP, 1000, 256*1024),
+		)
+		m := alloc.New(cb, sys, alloc.Options{})
+		if _, err := m.Request("mp3", req, 5); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+
+		if _, err := sys.FailDevice("dsp0"); err != nil {
+			b.Fatal(err)
+		}
+		recs := m.RecoverFromFaults()
+		if len(recs) != 1 || recs[0].Decision == nil {
+			b.Fatalf("recovery = %+v", recs)
+		}
+		simLat += float64(recs[0].Decision.ReadyAt - sys.Now())
+	}
+	b.ReportMetric(simLat/float64(b.N), "sim-us/recovery")
 }

@@ -7,6 +7,14 @@
 //
 //	sysim                 # the fig. 1 scenario timeline
 //	sysim -stream 500     # additionally replay a 500-request synthetic stream
+//	sysim -stream 500 -faults "120000:slotfail:fpga0:1;200000:configerr:fpga0"
+//	                      # …while injecting a scripted fault plan
+//
+// The fault plan DSL is ';'-separated "at:kind:device[:slot]" events
+// with kinds slotfail, devfail, configerr and seu; times are simulation
+// microseconds. Every task stranded by a fault is either re-placed on an
+// alternative variant (degrade-and-retry down the N-best list) or
+// rejected with a structured DegradationReport — never silently dropped.
 package main
 
 import (
@@ -21,7 +29,13 @@ func main() {
 	stream := flag.Int("stream", 0, "also replay N generated requests through the manager")
 	seed := flag.Int64("seed", 42, "stream generator seed")
 	repeat := flag.Float64("repeat", 0.5, "stream repeat fraction (bypass-token hits)")
+	faults := flag.String("faults", "", "fault plan to inject during the stream (at:kind:device[:slot];...)")
 	flag.Parse()
+
+	plan, err := qosalloc.ParseFaultPlan(*faults)
+	if err != nil {
+		fatal(err)
+	}
 
 	e, ok := qosalloc.ExperimentByID("system")
 	if !ok {
@@ -32,17 +46,26 @@ func main() {
 		fatal(err)
 	}
 
-	if *stream > 0 {
-		fmt.Printf("\n=== synthetic stream: %d requests, repeat %.2f ===\n", *stream, *repeat)
-		if err := replayStream(*stream, *seed, *repeat); err != nil {
+	if *stream > 0 || len(plan.Events) > 0 {
+		n := *stream
+		if n <= 0 {
+			n = 200
+		}
+		fmt.Printf("\n=== synthetic stream: %d requests, repeat %.2f", n, *repeat)
+		if len(plan.Events) > 0 {
+			fmt.Printf(", %d scripted faults", len(plan.Events))
+		}
+		fmt.Println(" ===")
+		if err := replayStream(n, *seed, *repeat, plan); err != nil {
 			fatal(err)
 		}
 	}
 }
 
 // replayStream pushes a generated request stream through a fresh
-// platform and reports manager statistics.
-func replayStream(n int, seed int64, repeat float64) error {
+// platform — under the given fault plan — and reports manager and
+// fault-recovery statistics.
+func replayStream(n int, seed int64, repeat float64, plan qosalloc.FaultPlan) error {
 	cb, reg, err := qosalloc.GenCaseBase(qosalloc.PaperScaleSpec())
 	if err != nil {
 		return err
@@ -69,14 +92,42 @@ func replayStream(n int, seed int64, repeat float64) error {
 	m := qosalloc.NewManager(cb, rt, qosalloc.ManagerOptions{
 		NBest: 3, AllowPreemption: true, UseBypassTokens: true,
 	})
+	inj := qosalloc.NewFaultInjector(rt, plan)
 
-	var ok, fail int
+	var ok, fail, stranded, recovered, degraded, rejected int
 	var live []qosalloc.TaskID
+	absorb := func(recs []qosalloc.Recovery) {
+		for _, rec := range recs {
+			switch {
+			case rec.Decision != nil:
+				recovered++
+				if rec.Decision.Degraded != nil {
+					degraded++
+					fmt.Printf("  [fault] task %d degraded: impl %d (S=%.2f) -> impl %d (S=%.2f), lost attrs %v\n",
+						rec.Task, rec.Decision.Degraded.FromImpl, rec.Decision.Degraded.FromSim,
+						rec.Decision.Degraded.ToImpl, rec.Decision.Degraded.ToSim,
+						rec.Decision.Degraded.LostAttrs)
+				}
+			case rec.Report != nil:
+				rejected++
+				fmt.Printf("  [fault] task %d rejected: %v\n", rec.Task, rec.Report)
+			}
+		}
+	}
 	for i, req := range reqs {
-		// Advance 1 ms per request; hold each allocation for 10
-		// requests' worth of time by releasing the oldest.
-		if err := rt.Advance(1000); err != nil {
+		// Advance 1 ms per request, stopping at each scripted fault;
+		// hold each allocation for 10 requests' worth of time by
+		// releasing the oldest.
+		applied, err := inj.AdvanceTo(rt.Now() + 1000)
+		if err != nil {
 			return err
+		}
+		for _, a := range applied {
+			fmt.Printf("  [fault] t=%d %v hit %d task(s)\n", a.Event.At, a.Event, len(a.Affected))
+			stranded += len(a.Affected)
+		}
+		if len(applied) > 0 {
+			absorb(m.RecoverFromFaults())
 		}
 		if len(live) >= 10 {
 			_ = m.Release(live[0])
@@ -91,11 +142,33 @@ func replayStream(n int, seed int64, repeat float64) error {
 		ok++
 		live = append(live, d.Task.ID)
 	}
+	// Fire any remaining faults and sweep once more.
+	if _, err := inj.AdvanceTo(rt.Now() + 100_000); err != nil {
+		return err
+	}
+	absorb(m.RecoverFromFaults())
+
 	st := m.Stats()
 	fmt.Printf("requests:    %d\n", st.Requests)
 	fmt.Printf("placed:      %d (failed %d)\n", ok, fail)
 	fmt.Printf("retrievals:  %d (saved by bypass tokens: %d)\n", st.Retrievals, st.TokenHits)
 	fmt.Printf("preemptions: %d\n", st.Preemptions)
+	if len(plan.Events) > 0 {
+		mt := rt.Metrics()
+		dropped := 0
+		for _, t := range rt.Tasks() {
+			if t.State == qosalloc.TaskFailed || (t.State == qosalloc.TaskPending && t.Faults > 0) {
+				dropped++
+			}
+		}
+		fmt.Printf("faults:      %d applied; %d stranded, %d re-placed (%d degraded), %d rejected, %d dropped\n",
+			len(plan.Events), mt.Stranded, recovered, degraded, rejected, dropped)
+		fmt.Printf("fault path:  %d config errors, %d SEUs, %d retries fired, %d requeued\n",
+			mt.ConfigErrors, mt.SEUs, mt.Retries, mt.Requeued)
+		if dropped > 0 {
+			return fmt.Errorf("sysim: %d task(s) dropped without a DegradationReport", dropped)
+		}
+	}
 	fmt.Printf("final power: %d mW across %d devices\n", rt.PowerMW(), len(rt.Devices()))
 	return nil
 }

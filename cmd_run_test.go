@@ -70,6 +70,12 @@ func TestCommandsRun(t *testing.T) {
 			[]string{"lhu r3, r21, 0"}},
 		{"sysim", []string{"run", "./cmd/sysim", "-stream", "50"},
 			[]string{"fig. 1 application-mix", "retrievals:", "preemptions:"}},
+		// The robustness acceptance scenario: permanent FPGA-slot
+		// failures mid-run plus transient configuration errors must
+		// complete with zero tasks dropped without a report.
+		{"sysim-faults", []string{"run", "./cmd/sysim", "-stream", "60",
+			"-faults", "20500:configerr:fpga0;30500:slotfail:fpga0:0;45500:slotfail:fpga0:1;50500:configerr:dsp0"},
+			[]string{"scripted faults", "[fault]", "0 dropped", "fault path:"}},
 	}
 	for _, tc := range cases {
 		tc := tc

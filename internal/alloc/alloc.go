@@ -13,11 +13,17 @@ import (
 	"fmt"
 	"sort"
 
+	"qosalloc/internal/attr"
 	"qosalloc/internal/casebase"
 	"qosalloc/internal/device"
 	"qosalloc/internal/retrieval"
 	"qosalloc/internal/rtsys"
 )
+
+// ErrNoViableVariant is the sentinel wrapped by both ErrNoFeasible and
+// DegradationReport: retrieval produced candidates but none could be
+// placed anywhere, even after falling down the N-best list.
+var ErrNoViableVariant = errors.New("alloc: no viable variant")
 
 // Options tune the manager's policy.
 type Options struct {
@@ -50,6 +56,22 @@ type Decision struct {
 	ReadyAt    device.Micros
 	ViaToken   bool
 	Preempted  []rtsys.TaskID
+	// Degraded is set when this decision recovered a fault-stranded
+	// task onto a worse-matching variant than it originally held.
+	Degraded *Degradation
+}
+
+// Degradation names the QoS lost when a task was recovered onto a
+// lower-ranked variant — the application sees *what* it gave up, not
+// just that something changed.
+type Degradation struct {
+	FromImpl casebase.ImplID
+	ToImpl   casebase.ImplID
+	FromSim  float64
+	ToSim    float64
+	// LostAttrs are the requested attributes whose local similarity
+	// dropped in the substitute variant.
+	LostAttrs []attr.ID
 }
 
 // ErrNoFeasible is returned when retrieval produced matches but none
@@ -65,6 +87,45 @@ func (e *ErrNoFeasible) Error() string {
 		len(e.Alternatives))
 }
 
+// Unwrap makes errors.Is(err, ErrNoViableVariant) work.
+func (e *ErrNoFeasible) Unwrap() error { return ErrNoViableVariant }
+
+// DegradationReport is the structured rejection of the degrade-and-retry
+// policy: a fault stranded the task, retrieval was re-run excluding the
+// failed targets, the whole similarity-ranked N-best list was walked, and
+// nothing fit. It names the QoS attributes the application lost so the
+// caller can renegotiate rather than guess.
+type DegradationReport struct {
+	App  string
+	Task rtsys.TaskID
+	Req  casebase.Request
+	// Excluded are target classes with no device able to accept work.
+	Excluded []casebase.Target
+	// Tried are the candidates examined, best-first.
+	Tried []retrieval.Result
+	// LostAttrs are the requested attributes that could not be honored
+	// by any placeable variant.
+	LostAttrs []attr.ID
+}
+
+func (r *DegradationReport) Error() string {
+	return fmt.Sprintf("alloc: task %d (%s) rejected after degrade-and-retry: %d candidates tried, %d targets excluded, %d QoS attributes lost",
+		r.Task, r.App, len(r.Tried), len(r.Excluded), len(r.LostAttrs))
+}
+
+// Unwrap makes errors.Is(err, ErrNoViableVariant) work.
+func (r *DegradationReport) Unwrap() error { return ErrNoViableVariant }
+
+// Recovery is the outcome of degrade-and-retry for one fault-stranded
+// task: exactly one of Decision (re-placed, possibly degraded) or Report
+// (rejected with the structured degradation report) is set.
+type Recovery struct {
+	Task     rtsys.TaskID
+	App      string
+	Decision *Decision
+	Report   *DegradationReport
+}
+
 // Stats counts manager activity.
 type Stats struct {
 	Requests    int
@@ -74,16 +135,34 @@ type Stats struct {
 	Preemptions int
 	Rejected    int // threshold rejections (whole requests)
 	Infeasible  int
+
+	// Degrade-and-retry counters.
+	Recovered     int // fault-stranded tasks re-placed
+	Degraded      int // …of which on a worse-matching variant
+	FaultRejected int // stranded tasks rejected with a DegradationReport
+}
+
+// origin remembers, per live task, the request and variant the manager
+// granted — the input to degrade-and-retry when a fault strands it.
+type origin struct {
+	app  string
+	req  casebase.Request
+	impl casebase.ImplID
+	sim  float64
 }
 
 // Manager is the function-allocation manager.
 type Manager struct {
 	cb     *casebase.CaseBase
 	engine *retrieval.Engine
-	sys    *rtsys.System
-	tokens *retrieval.TokenCache
-	opt    Options
-	stats  Stats
+	// locEngine keeps per-attribute breakdowns (off the hot path) for
+	// degradation accounting: which QoS attributes got worse.
+	locEngine *retrieval.Engine
+	sys       *rtsys.System
+	tokens    *retrieval.TokenCache
+	opt       Options
+	stats     Stats
+	origins   map[rtsys.TaskID]origin
 }
 
 // New builds a manager over a case base and run-time system.
@@ -92,11 +171,13 @@ func New(cb *casebase.CaseBase, sys *rtsys.System, opt Options) *Manager {
 		opt.NBest = 3
 	}
 	return &Manager{
-		cb:     cb,
-		engine: retrieval.NewEngine(cb, retrieval.Options{Threshold: opt.Threshold}),
-		sys:    sys,
-		tokens: retrieval.NewTokenCache(),
-		opt:    opt,
+		cb:        cb,
+		engine:    retrieval.NewEngine(cb, retrieval.Options{Threshold: opt.Threshold}),
+		locEngine: retrieval.NewEngine(cb, retrieval.Options{KeepLocals: true}),
+		sys:       sys,
+		tokens:    retrieval.NewTokenCache(),
+		opt:       opt,
+		origins:   make(map[rtsys.TaskID]origin),
 	}
 }
 
@@ -207,6 +288,7 @@ func (m *Manager) tryPlace(app string, req casebase.Request, id casebase.ImplID,
 	if err != nil {
 		return nil, err
 	}
+	var lastErr error
 	for _, dev := range m.sys.DevicesByKind(im.Target) {
 		if !dev.CanPlace(im.Foot) {
 			continue
@@ -215,14 +297,19 @@ func (m *Manager) tryPlace(app string, req casebase.Request, id casebase.ImplID,
 		if err := m.sys.Place(task, dev, im); err != nil {
 			// Capacity raced away or repository miss: finish the
 			// tentative task and keep looking.
+			lastErr = err
 			_ = m.sys.Complete(task)
 			continue
 		}
 		m.stats.Placed++
+		m.origins[task.ID] = origin{app: app, req: req, impl: id, sim: sim}
 		return &Decision{
 			Task: task, Impl: id, Target: im.Target, Device: dev.Name(),
 			Similarity: sim, ReadyAt: task.ReadyAt,
 		}, nil
+	}
+	if lastErr != nil {
+		return nil, fmt.Errorf("alloc: no %v device has capacity for impl %d: %w", im.Target, id, lastErr)
 	}
 	return nil, fmt.Errorf("alloc: no %v device has capacity for impl %d", im.Target, id)
 }
@@ -290,7 +377,11 @@ func (m *Manager) Release(id rtsys.TaskID) error {
 	if !ok {
 		return fmt.Errorf("alloc: unknown task %d", id)
 	}
-	return m.sys.Complete(t)
+	if err := m.sys.Complete(t); err != nil {
+		return fmt.Errorf("alloc: release task %d: %w", id, err)
+	}
+	delete(m.origins, id)
+	return nil
 }
 
 // ReplacePending sweeps preempted tasks in descending aged priority and
@@ -355,5 +446,188 @@ func (m *Manager) InvalidateCaseBase(ty casebase.TypeID) int {
 func (m *Manager) UpdateCaseBase(cb *casebase.CaseBase) {
 	m.cb = cb
 	m.engine = retrieval.NewEngine(cb, retrieval.Options{Threshold: m.opt.Threshold})
+	m.locEngine = retrieval.NewEngine(cb, retrieval.Options{KeepLocals: true})
 	m.tokens.InvalidateAll()
+}
+
+// --- Degrade-and-retry recovery ---------------------------------------
+
+// RecoverFromFaults sweeps every fault-stranded task — Failed (retries
+// exhausted) or auto-re-queued Pending with a fault count — and runs the
+// degrade-and-retry policy on each: re-run CBR retrieval excluding
+// targets with no surviving device, walk the similarity-ranked N-best
+// list until a variant fits, and otherwise reject the task with a
+// structured DegradationReport. Every stranded task gets exactly one
+// Recovery; none is silently dropped.
+func (m *Manager) RecoverFromFaults() []Recovery {
+	var out []Recovery
+	for _, t := range m.sys.Tasks() {
+		switch {
+		case t.State == rtsys.Failed:
+			// Exhausted its configuration retries; give it a fresh
+			// shot at a different variant/device.
+			if err := m.sys.Requeue(t); err != nil {
+				continue
+			}
+		case t.State == rtsys.Pending && t.Faults > 0:
+			// Auto-re-queued when its device failed.
+		default:
+			continue
+		}
+		out = append(out, m.recoverTask(t))
+	}
+	return out
+}
+
+// recoverTask runs degrade-and-retry for one re-queued task.
+func (m *Manager) recoverTask(t *rtsys.Task) Recovery {
+	rec := Recovery{Task: t.ID, App: t.App}
+	org, known := m.origins[t.ID]
+	if !known {
+		// The task was placed around the manager; all we know is its
+		// type. Recover with an unconstrained request.
+		org = origin{app: t.App, req: casebase.NewRequest(t.Type), impl: t.Impl}
+	}
+	excluded := m.excludedTargets()
+	candidates, err := m.locEngine.RetrieveN(org.req, m.opt.NBest)
+	if err != nil {
+		rec.Report = m.reject(t, org, excluded, nil)
+		return rec
+	}
+	m.rankForPower(org.req.Type, candidates)
+
+	var tried []retrieval.Result
+	for _, cand := range candidates {
+		im, err := m.implOf(org.req.Type, cand.Impl)
+		if err != nil || excludedTarget(excluded, im.Target) {
+			continue
+		}
+		tried = append(tried, cand)
+		for _, dev := range m.sys.DevicesByKind(im.Target) {
+			if !dev.CanPlace(im.Foot) {
+				continue
+			}
+			if err := m.sys.Place(t, dev, im); err != nil {
+				continue
+			}
+			m.stats.Recovered++
+			d := &Decision{
+				Task: t, Impl: cand.Impl, Target: im.Target, Device: dev.Name(),
+				Similarity: cand.Similarity, ReadyAt: t.ReadyAt,
+			}
+			if known && cand.Impl != org.impl {
+				lost := m.lostAttrs(org.req, org.impl, cand.Impl)
+				if cand.Similarity < org.sim || len(lost) > 0 {
+					m.stats.Degraded++
+					d.Degraded = &Degradation{
+						FromImpl: org.impl, ToImpl: cand.Impl,
+						FromSim: org.sim, ToSim: cand.Similarity,
+						LostAttrs: lost,
+					}
+				}
+			}
+			m.origins[t.ID] = origin{app: org.app, req: org.req, impl: cand.Impl, sim: cand.Similarity}
+			rec.Decision = d
+			return rec
+		}
+	}
+	rec.Report = m.reject(t, org, excluded, tried)
+	return rec
+}
+
+// reject finalizes a stranded task the policy could not re-place: the
+// task is completed (the application cannot call the function, §3) and a
+// structured report names what was lost.
+func (m *Manager) reject(t *rtsys.Task, org origin, excluded []casebase.Target, tried []retrieval.Result) *DegradationReport {
+	m.stats.FaultRejected++
+	rep := &DegradationReport{
+		App: org.app, Task: t.ID, Req: org.req,
+		Excluded: excluded, Tried: tried,
+		LostAttrs: rejectedAttrs(org.req, tried),
+	}
+	_ = m.sys.Complete(t)
+	delete(m.origins, t.ID)
+	return rep
+}
+
+// excludedTargets returns the target classes with no device able to
+// accept new work — the "failed target" the re-run retrieval excludes.
+func (m *Manager) excludedTargets() []casebase.Target {
+	alive := make(map[casebase.Target]bool)
+	seen := make(map[casebase.Target]bool)
+	for _, d := range m.sys.Devices() {
+		seen[d.Kind()] = true
+		if d.Health() != device.Failed {
+			alive[d.Kind()] = true
+		}
+	}
+	var out []casebase.Target
+	for _, k := range []casebase.Target{casebase.TargetFPGA, casebase.TargetDSP, casebase.TargetGPP} {
+		if seen[k] && !alive[k] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func excludedTarget(excluded []casebase.Target, t casebase.Target) bool {
+	for _, e := range excluded {
+		if e == t {
+			return true
+		}
+	}
+	return false
+}
+
+// lostAttrs compares the per-attribute similarity of two variants for
+// the same request and returns the requested attributes the substitute
+// satisfies worse.
+func (m *Manager) lostAttrs(req casebase.Request, from, to casebase.ImplID) []attr.ID {
+	all, err := m.locEngine.RetrieveAll(req)
+	if err != nil {
+		return nil
+	}
+	locals := func(id casebase.ImplID) []retrieval.LocalScore {
+		for _, r := range all {
+			if r.Impl == id {
+				return r.Locals
+			}
+		}
+		return nil
+	}
+	fromLoc, toLoc := locals(from), locals(to)
+	if toLoc == nil {
+		return nil
+	}
+	var out []attr.ID
+	for i, tl := range toLoc {
+		if fromLoc != nil && i < len(fromLoc) {
+			if tl.Sim < fromLoc[i].Sim {
+				out = append(out, attr.ID(tl.ID))
+			}
+		} else if tl.Sim < 1 {
+			out = append(out, attr.ID(tl.ID))
+		}
+	}
+	return out
+}
+
+// rejectedAttrs names the lost QoS attributes of a rejection: the
+// requested attributes the best examined candidate could not fully
+// satisfy, or every requested attribute when nothing was examined.
+func rejectedAttrs(req casebase.Request, tried []retrieval.Result) []attr.ID {
+	if len(tried) == 0 {
+		out := make([]attr.ID, 0, len(req.Constraints))
+		for _, c := range req.Constraints {
+			out = append(out, c.ID)
+		}
+		return out
+	}
+	var out []attr.ID
+	for _, l := range tried[0].Locals {
+		if l.Sim < 1 {
+			out = append(out, attr.ID(l.ID))
+		}
+	}
+	return out
 }

@@ -28,11 +28,15 @@ import (
 // Outcome classifies one negotiation step.
 type Outcome string
 
-// Negotiation step outcomes.
+// Negotiation step outcomes. The last two are post-placement: a fault
+// stranded the call's task and the allocation layer either degraded it
+// onto a substitute variant or rejected it with a DegradationReport.
 const (
 	OutcomePlaced         Outcome = "placed"
 	OutcomeBelowThreshold Outcome = "below-threshold"
 	OutcomeInfeasible     Outcome = "infeasible"
+	OutcomeDegraded       Outcome = "degraded"
+	OutcomeFaultRejected  Outcome = "fault-rejected"
 )
 
 // Step is one round of the negotiation trail.
@@ -45,6 +49,11 @@ type Step struct {
 	// Alternatives carries the manager's counter-offers on an
 	// infeasible round.
 	Alternatives []retrieval.Result
+	// Degradation names the QoS lost on an OutcomeDegraded step.
+	Degradation *alloc.Degradation
+	// Report carries the structured rejection on an
+	// OutcomeFaultRejected step.
+	Report *alloc.DegradationReport
 }
 
 // Call is one sub-function call made through the API.
@@ -56,8 +65,11 @@ type Call struct {
 	Device      string
 	Similarity  float64
 	Relaxations int
-	Trail       []Step
-	released    bool
+	// Degradations counts fault recoveries that moved this call to a
+	// worse variant; the trail's OutcomeDegraded steps carry details.
+	Degradations int
+	Trail        []Step
+	released     bool
 }
 
 // ErrNegotiationFailed reports an exhausted negotiation with its trail.
@@ -84,12 +96,13 @@ type Options struct {
 
 // Session is an application's connection to the allocation layer.
 type Session struct {
-	app  string
-	prio int
-	mgr  *alloc.Manager
-	opt  Options
-	seq  int
-	live map[int]*Call
+	app    string
+	prio   int
+	mgr    *alloc.Manager
+	opt    Options
+	seq    int
+	live   map[int]*Call
+	byTask map[rtsys.TaskID]*Call
 }
 
 // NewSession opens a session for app at the given base priority.
@@ -97,7 +110,11 @@ func NewSession(mgr *alloc.Manager, app string, prio int, opt Options) *Session 
 	if opt.MaxRelaxations <= 0 {
 		opt.MaxRelaxations = len(opt.RelaxOrder)
 	}
-	return &Session{app: app, prio: prio, mgr: mgr, opt: opt, live: make(map[int]*Call)}
+	return &Session{
+		app: app, prio: prio, mgr: mgr, opt: opt,
+		live:   make(map[int]*Call),
+		byTask: make(map[rtsys.TaskID]*Call),
+	}
 }
 
 // App returns the session's application name.
@@ -125,6 +142,7 @@ func (s *Session) Call(req casebase.Request) (*Call, error) {
 			c.Similarity = d.Similarity
 			c.Relaxations = round
 			s.live[c.Seq] = c
+			s.byTask[c.Task] = c
 			return c, nil
 		}
 
@@ -175,7 +193,40 @@ func (s *Session) Release(c *Call) error {
 	}
 	c.released = true
 	delete(s.live, c.Seq)
+	delete(s.byTask, c.Task)
 	return nil
+}
+
+// AbsorbRecovery folds one fault-recovery outcome from the allocation
+// layer into the owning call's trail, so the application sees *what*
+// QoS it lost rather than a bare error. It reports whether the recovery
+// belonged to this session; callers fan a batch of recoveries across
+// every open session.
+func (s *Session) AbsorbRecovery(rec alloc.Recovery) bool {
+	c, ok := s.byTask[rec.Task]
+	if !ok {
+		return false
+	}
+	switch {
+	case rec.Decision != nil:
+		c.Impl = rec.Decision.Impl
+		c.Device = string(rec.Decision.Device)
+		c.Similarity = rec.Decision.Similarity
+		step := Step{Outcome: OutcomePlaced}
+		if rec.Decision.Degraded != nil {
+			c.Degradations++
+			step.Outcome = OutcomeDegraded
+			step.Degradation = rec.Decision.Degraded
+		}
+		c.Trail = append(c.Trail, step)
+	case rec.Report != nil:
+		// The manager already completed the task; the call is dead.
+		c.Trail = append(c.Trail, Step{Outcome: OutcomeFaultRejected, Report: rec.Report})
+		c.released = true
+		delete(s.live, c.Seq)
+		delete(s.byTask, rec.Task)
+	}
+	return true
 }
 
 // Close releases every live call of the session.

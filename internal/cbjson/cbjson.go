@@ -9,6 +9,7 @@ package cbjson
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
@@ -18,6 +19,11 @@ import (
 
 // FormatVersion guards against silently decoding incompatible documents.
 const FormatVersion = 1
+
+// ErrBadDocument is the sentinel wrapped by every Decode failure caused
+// by document content (as opposed to I/O), so callers can errors.Is the
+// format path apart from transport errors.
+var ErrBadDocument = errors.New("cbjson: invalid document")
 
 // Document is the on-disk shape.
 type Document struct {
@@ -113,22 +119,22 @@ func Decode(r io.Reader) (*casebase.CaseBase, error) {
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&doc); err != nil {
-		return nil, fmt.Errorf("cbjson: %w", err)
+		return nil, fmt.Errorf("cbjson: decode: %w (%w)", err, ErrBadDocument)
 	}
 	if doc.Version != FormatVersion {
-		return nil, fmt.Errorf("cbjson: unsupported format version %d (want %d)", doc.Version, FormatVersion)
+		return nil, fmt.Errorf("cbjson: unsupported format version %d (want %d): %w", doc.Version, FormatVersion, ErrBadDocument)
 	}
 	reg := attr.NewRegistry()
 	for _, a := range doc.Attributes {
 		kind, ok := kindByName[a.Kind]
 		if !ok {
-			return nil, fmt.Errorf("cbjson: attribute %d has unknown kind %q", a.ID, a.Kind)
+			return nil, fmt.Errorf("cbjson: attribute %d has unknown kind %q: %w", a.ID, a.Kind, ErrBadDocument)
 		}
 		if err := reg.Define(attr.Def{
 			ID: attr.ID(a.ID), Name: a.Name, Unit: a.Unit, Kind: kind,
 			Lo: attr.Value(a.Lo), Hi: attr.Value(a.Hi), Symbols: a.Symbols,
 		}); err != nil {
-			return nil, fmt.Errorf("cbjson: %w", err)
+			return nil, fmt.Errorf("cbjson: define attribute %d: %w (%w)", a.ID, err, ErrBadDocument)
 		}
 	}
 	b := casebase.NewBuilder(reg)
@@ -137,7 +143,7 @@ func Decode(r io.Reader) (*casebase.CaseBase, error) {
 		for _, ij := range tj.Impls {
 			target, ok := targetByName[ij.Target]
 			if !ok {
-				return nil, fmt.Errorf("cbjson: impl %d has unknown target %q", ij.ID, ij.Target)
+				return nil, fmt.Errorf("cbjson: impl %d has unknown target %q: %w", ij.ID, ij.Target, ErrBadDocument)
 			}
 			var ps []attr.Pair
 			for _, p := range ij.Attrs {
@@ -151,7 +157,7 @@ func Decode(r io.Reader) (*casebase.CaseBase, error) {
 	}
 	cb, err := b.Build()
 	if err != nil {
-		return nil, fmt.Errorf("cbjson: %w", err)
+		return nil, fmt.Errorf("cbjson: rebuild: %w (%w)", err, ErrBadDocument)
 	}
 	return cb, nil
 }

@@ -1,0 +1,62 @@
+package cbjson
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"qosalloc/internal/casebase"
+)
+
+// FuzzDecodeCaseBase asserts the decoder's contract on arbitrary input:
+// it either returns a fully validated case base or an error wrapping
+// ErrBadDocument — it must never panic and never hand back a half-built
+// structure. Seeds cover the valid paper document plus each rejection
+// class so the fuzzer starts from interesting shapes.
+func FuzzDecodeCaseBase(f *testing.F) {
+	cb, err := casebase.PaperCaseBase()
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, cb); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(``)
+	f.Add(`{`)
+	f.Add(`null`)
+	f.Add(`{"version": 99, "attributes": [], "types": []}`)
+	f.Add(`{"version": 1, "attributes": [{"id":1,"name":"a","kind":"weird","lo":0,"hi":1}], "types": []}`)
+	f.Add(`{"version": 1, "attributes": [{"id":1,"name":"a","kind":"numeric","lo":0,"hi":1}], "types": [{"id":1,"name":"t","implementations":[{"id":1,"target":"asic","attributes":[]}]}]}`)
+	f.Add(`{"version": 1, "attributes": [{"id":1,"name":"a","kind":"numeric","lo":5,"hi":2}], "types": []}`)
+	f.Add(`{"version": 1, "attributes": [{"id":1,"name":"a","kind":"numeric","lo":0,"hi":1}], "types": [{"id":1,"name":"t","implementations":[{"id":1,"target":"gpp","attributes":[{"id":7,"value":0}]}]}]}`)
+
+	f.Fuzz(func(t *testing.T, doc string) {
+		got, err := Decode(strings.NewReader(doc))
+		if err != nil {
+			if got != nil {
+				t.Fatalf("Decode returned both a case base and an error: %v", err)
+			}
+			if !errors.Is(err, ErrBadDocument) {
+				t.Fatalf("content error does not wrap ErrBadDocument: %v", err)
+			}
+			return
+		}
+		// A successful decode must be internally consistent: it
+		// re-encodes and decodes to the same shape.
+		var out bytes.Buffer
+		if err := Encode(&out, got); err != nil {
+			t.Fatalf("re-encode of decoded case base failed: %v", err)
+		}
+		back, err := Decode(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if back.NumTypes() != got.NumTypes() || back.NumImpls() != got.NumImpls() {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+				back.NumTypes(), back.NumImpls(), got.NumTypes(), got.NumImpls())
+		}
+	})
+}

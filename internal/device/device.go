@@ -12,6 +12,7 @@
 package device
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -23,6 +24,39 @@ type Micros uint64
 
 // ID names a device instance.
 type ID string
+
+// ErrDeviceFailed is the sentinel wrapped by placement errors on a
+// failed (or fully degraded) device, so callers can `errors.Is` the
+// fault path apart from ordinary capacity exhaustion.
+var ErrDeviceFailed = errors.New("device failed")
+
+// Health is a device's fault state. Faults are injected by the fault
+// layer (package fault) and consulted by the allocation manager's
+// degrade-and-retry policy.
+type Health uint8
+
+// Health states: a Healthy device has full capacity; a Degraded device
+// lost part of it (failed FPGA slots) but still accepts placements; a
+// Failed device accepts nothing.
+const (
+	Healthy Health = iota
+	Degraded
+	Failed
+)
+
+// String returns the health name.
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Failed:
+		return "failed"
+	default:
+		return fmt.Sprintf("Health(%d)", uint8(h))
+	}
+}
 
 // Placement is a live occupancy record: which implementation of which
 // function type occupies which capacity, on behalf of which task.
@@ -57,6 +91,12 @@ type Device interface {
 	Placements() []*Placement
 	// PowerMW returns current dynamic power: the sum over placements.
 	PowerMW() int
+	// Health reports the device's fault state.
+	Health() Health
+	// Fail marks the whole device permanently failed and returns the
+	// placements stranded by the fault (capacity is released; the
+	// run-time system re-queues the owning tasks).
+	Fail() []*Placement
 }
 
 // --- FPGA -------------------------------------------------------------
@@ -88,7 +128,8 @@ type FPGA struct {
 
 	occupied map[int]*Placement // slot index → placement
 	byTask   map[int]*Placement
-	portBusy Micros // reconfiguration port free-at time
+	failed   map[int]bool // slot index → permanently failed
+	portBusy Micros       // reconfiguration port free-at time
 }
 
 // NewFPGA builds an FPGA with the given slots.
@@ -98,6 +139,7 @@ func NewFPGA(name ID, slots []Slot, configBytesPerMicro int) *FPGA {
 		ConfigBytesPerMicro: configBytesPerMicro,
 		occupied:            make(map[int]*Placement),
 		byTask:              make(map[int]*Placement),
+		failed:              make(map[int]bool),
 	}
 }
 
@@ -110,13 +152,26 @@ func (f *FPGA) Kind() casebase.Target { return casebase.TargetFPGA }
 // NumSlots returns the slot count.
 func (f *FPGA) NumSlots() int { return len(f.slots) }
 
-// FreeSlots returns how many slots are unoccupied.
-func (f *FPGA) FreeSlots() int { return len(f.slots) - len(f.occupied) }
+// FreeSlots returns how many slots are unoccupied and not failed.
+func (f *FPGA) FreeSlots() int {
+	free := 0
+	for i := range f.slots {
+		if !f.occupied0(i) && !f.failed[i] {
+			free++
+		}
+	}
+	return free
+}
 
-// findSlot returns the first free slot fitting the footprint.
+// FailedSlots returns how many slots are marked failed.
+func (f *FPGA) FailedSlots() int { return len(f.failed) }
+
+func (f *FPGA) occupied0(i int) bool { _, busy := f.occupied[i]; return busy }
+
+// findSlot returns the first free, healthy slot fitting the footprint.
 func (f *FPGA) findSlot(fp casebase.Footprint) (int, bool) {
 	for i, s := range f.slots {
-		if _, busy := f.occupied[i]; busy {
+		if f.occupied0(i) || f.failed[i] {
 			continue
 		}
 		if s.Fits(fp) {
@@ -145,6 +200,9 @@ func (f *FPGA) ReconfigTime(configBytes int) Micros {
 // bitstream transfer and the port being busy with an earlier
 // reconfiguration.
 func (f *FPGA) Place(task int, ty casebase.TypeID, im casebase.ImplID, fp casebase.Footprint, prio int, now Micros) (*Placement, error) {
+	if f.Health() == Failed {
+		return nil, fmt.Errorf("device: %s: %w", f.name, ErrDeviceFailed)
+	}
 	if _, dup := f.byTask[task]; dup {
 		return nil, fmt.Errorf("device: task %d already placed on %s", task, f.name)
 	}
@@ -181,6 +239,48 @@ func (f *FPGA) Remove(task int) error {
 // Placements implements Device.
 func (f *FPGA) Placements() []*Placement { return sortedPlacements(f.byTask) }
 
+// Health implements Device: Failed when every slot is failed, Degraded
+// when some are, Healthy otherwise.
+func (f *FPGA) Health() Health {
+	switch {
+	case len(f.slots) == 0 || len(f.failed) == len(f.slots):
+		return Failed
+	case len(f.failed) > 0:
+		return Degraded
+	default:
+		return Healthy
+	}
+}
+
+// FailSlot marks one reconfigurable region permanently failed — a
+// configuration-port defect or unrecoverable SEU in the region's static
+// routing. The stranded placement, if any, is released and returned.
+func (f *FPGA) FailSlot(slot int) (*Placement, error) {
+	if slot < 0 || slot >= len(f.slots) {
+		return nil, fmt.Errorf("device: %s has no slot %d", f.name, slot)
+	}
+	f.failed[slot] = true
+	p, busy := f.occupied[slot]
+	if !busy {
+		return nil, nil
+	}
+	delete(f.occupied, slot)
+	delete(f.byTask, p.Task)
+	return p, nil
+}
+
+// Fail implements Device: every slot is marked failed and all stranded
+// placements are released and returned.
+func (f *FPGA) Fail() []*Placement {
+	stranded := sortedPlacements(f.byTask)
+	for i := range f.slots {
+		f.failed[i] = true
+	}
+	f.occupied = make(map[int]*Placement)
+	f.byTask = make(map[int]*Placement)
+	return stranded
+}
+
 // PowerMW implements Device.
 func (f *FPGA) PowerMW() int {
 	p := f.StaticPowerMW
@@ -212,6 +312,7 @@ type Processor struct {
 	usedLoad int
 	usedMem  int
 	byTask   map[int]*Placement
+	health   Health
 }
 
 // NewProcessor builds a processor device.
@@ -235,11 +336,15 @@ func (p *Processor) Load() int { return p.usedLoad }
 
 // CanPlace implements Device.
 func (p *Processor) CanPlace(f casebase.Footprint) bool {
-	return p.usedLoad+f.CPULoad <= p.LoadCapacity && p.usedMem+f.MemBytes <= p.MemCapacity
+	return p.health != Failed &&
+		p.usedLoad+f.CPULoad <= p.LoadCapacity && p.usedMem+f.MemBytes <= p.MemCapacity
 }
 
 // Place implements Device.
 func (p *Processor) Place(task int, ty casebase.TypeID, im casebase.ImplID, f casebase.Footprint, prio int, now Micros) (*Placement, error) {
+	if p.health == Failed {
+		return nil, fmt.Errorf("device: %s: %w", p.name, ErrDeviceFailed)
+	}
 	if _, dup := p.byTask[task]; dup {
 		return nil, fmt.Errorf("device: task %d already placed on %s", task, p.name)
 	}
@@ -272,6 +377,19 @@ func (p *Processor) Remove(task int) error {
 
 // Placements implements Device.
 func (p *Processor) Placements() []*Placement { return sortedPlacements(p.byTask) }
+
+// Health implements Device. Processors fail whole: there is no partial
+// degradation analogue to losing an FPGA slot.
+func (p *Processor) Health() Health { return p.health }
+
+// Fail implements Device.
+func (p *Processor) Fail() []*Placement {
+	stranded := sortedPlacements(p.byTask)
+	p.health = Failed
+	p.usedLoad, p.usedMem = 0, 0
+	p.byTask = make(map[int]*Placement)
+	return stranded
+}
 
 // PowerMW implements Device.
 func (p *Processor) PowerMW() int {

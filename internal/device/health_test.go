@@ -1,0 +1,129 @@
+package device
+
+import (
+	"errors"
+	"testing"
+
+	"qosalloc/internal/casebase"
+)
+
+func TestHealthString(t *testing.T) {
+	for h, want := range map[Health]string{
+		Healthy: "healthy", Degraded: "degraded", Failed: "failed",
+		Health(7): "Health(7)",
+	} {
+		if h.String() != want {
+			t.Errorf("%d → %q, want %q", h, h.String(), want)
+		}
+	}
+}
+
+func TestFPGAHealthTransitions(t *testing.T) {
+	f := NewFPGA("f", []Slot{
+		{Slices: 1000}, {Slices: 1000}, {Slices: 1000},
+	}, 66)
+	if f.Health() != Healthy || f.FreeSlots() != 3 {
+		t.Fatalf("fresh FPGA: %v, %d free", f.Health(), f.FreeSlots())
+	}
+	if _, err := f.FailSlot(0); err != nil {
+		t.Fatal(err)
+	}
+	if f.Health() != Degraded || f.FreeSlots() != 2 || f.FailedSlots() != 1 {
+		t.Errorf("after one slot: %v, %d free, %d failed", f.Health(), f.FreeSlots(), f.FailedSlots())
+	}
+	// A degraded FPGA still places into surviving slots — and never into
+	// the failed one.
+	foot := casebase.Footprint{Slices: 500, ConfigBytes: 1024}
+	pl, err := f.Place(1, 1, 1, foot, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Slot == 0 {
+		t.Error("placement landed in the failed slot")
+	}
+	for _, s := range []int{1, 2} {
+		if _, err := f.FailSlot(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Health() != Failed || f.FreeSlots() != 0 {
+		t.Errorf("all slots dead: %v, %d free", f.Health(), f.FreeSlots())
+	}
+	if f.CanPlace(foot) {
+		t.Error("failed FPGA must refuse placements")
+	}
+	if _, err := f.Place(2, 1, 1, foot, 0, 0); !errors.Is(err, ErrDeviceFailed) {
+		t.Errorf("place on failed FPGA: %v, want ErrDeviceFailed", err)
+	}
+	// Slotless FPGAs count as failed outright.
+	if NewFPGA("empty", nil, 66).Health() != Failed {
+		t.Error("slotless FPGA must report failed")
+	}
+}
+
+func TestFPGAFailSlotReleasesStrandedPlacement(t *testing.T) {
+	f := NewFPGA("f", []Slot{{Slices: 1000}, {Slices: 1000}}, 66)
+	foot := casebase.Footprint{Slices: 500, PowerMW: 100, ConfigBytes: 1024}
+	pl, err := f.Place(7, 1, 1, foot, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.FailSlot(pl.Slot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Task != 7 {
+		t.Fatalf("stranded = %+v", got)
+	}
+	if len(f.Placements()) != 0 || f.PowerMW() != 0 {
+		t.Error("stranded placement not released")
+	}
+	// The task handle is gone: removing again errors.
+	if err := f.Remove(7); err == nil {
+		t.Error("stranded task should no longer be on the device")
+	}
+	if _, err := f.FailSlot(-1); err == nil {
+		t.Error("negative slot must error")
+	}
+}
+
+func TestFPGAFailStrandsEverything(t *testing.T) {
+	f := NewFPGA("f", []Slot{{Slices: 1000}, {Slices: 1000}}, 66)
+	foot := casebase.Footprint{Slices: 500, ConfigBytes: 1024}
+	for task := 1; task <= 2; task++ {
+		if _, err := f.Place(task, 1, 1, foot, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stranded := f.Fail()
+	if len(stranded) != 2 || stranded[0].Task != 1 || stranded[1].Task != 2 {
+		t.Fatalf("stranded = %+v", stranded)
+	}
+	if f.Health() != Failed || len(f.Placements()) != 0 {
+		t.Errorf("after Fail: %v, %d placements", f.Health(), len(f.Placements()))
+	}
+}
+
+func TestProcessorHealth(t *testing.T) {
+	p := NewProcessor("p", casebase.TargetDSP, 1000, 1<<20)
+	if p.Health() != Healthy {
+		t.Fatalf("fresh processor: %v", p.Health())
+	}
+	foot := casebase.Footprint{CPULoad: 300, MemBytes: 1024, PowerMW: 50, ConfigBytes: 1024}
+	if _, err := p.Place(1, 1, 1, foot, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	stranded := p.Fail()
+	if len(stranded) != 1 || stranded[0].Task != 1 {
+		t.Fatalf("stranded = %+v", stranded)
+	}
+	if p.Health() != Failed || p.Load() != 0 || p.PowerMW() != 0 {
+		t.Errorf("after Fail: %v, load %d, power %d", p.Health(), p.Load(), p.PowerMW())
+	}
+	if p.CanPlace(foot) {
+		t.Error("failed processor must refuse placements")
+	}
+	if _, err := p.Place(2, 1, 1, foot, 0, 0); !errors.Is(err, ErrDeviceFailed) {
+		t.Errorf("place on failed processor: %v, want ErrDeviceFailed", err)
+	}
+}

@@ -12,10 +12,10 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
-		"bitwidth", "bypass", "capacity", "compact", "fixedpoint",
-		"latency", "learning", "mahalanobis", "nbest", "negotiate",
-		"policy", "powertrade", "speedup", "system", "table1",
-		"table2", "table3",
+		"bitwidth", "bypass", "capacity", "compact", "faults",
+		"fixedpoint", "latency", "learning", "mahalanobis", "nbest",
+		"negotiate", "policy", "powertrade", "speedup", "system",
+		"table1", "table2", "table3",
 	}
 	all := All()
 	if len(all) != len(want) {

@@ -1,0 +1,366 @@
+package fault
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"qosalloc/internal/casebase"
+	"qosalloc/internal/device"
+	"qosalloc/internal/rtsys"
+)
+
+// platform builds the rtsys test platform: one two-slot FPGA, a DSP, a
+// GPP, repository filled from the paper case base.
+func platform(t *testing.T) (*rtsys.System, *casebase.CaseBase) {
+	t.Helper()
+	cb, err := casebase.PaperCaseBase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo := device.NewRepository(20)
+	if err := repo.PopulateFromCaseBase(cb); err != nil {
+		t.Fatal(err)
+	}
+	fpga := device.NewFPGA("fpga0", []device.Slot{
+		{Slices: 1500, BRAMs: 8, Multipliers: 16},
+		{Slices: 1500, BRAMs: 8, Multipliers: 16},
+	}, 66)
+	dsp := device.NewProcessor("dsp0", casebase.TargetDSP, 1000, 128*1024)
+	gpp := device.NewProcessor("gpp0", casebase.TargetGPP, 1000, 256*1024)
+	return rtsys.NewSystem(repo, fpga, dsp, gpp), cb
+}
+
+func place(t *testing.T, s *rtsys.System, cb *casebase.CaseBase, app string, implID casebase.ImplID, kind casebase.Target) *rtsys.Task {
+	t.Helper()
+	ft, _ := cb.Type(casebase.TypeFIREqualizer)
+	im, ok := ft.Impl(implID)
+	if !ok {
+		t.Fatalf("impl %d missing", implID)
+	}
+	task := s.CreateTask(app, casebase.TypeFIREqualizer, 5)
+	if err := s.Place(task, s.DevicesByKind(kind)[0], im); err != nil {
+		t.Fatal(err)
+	}
+	return task
+}
+
+func TestParsePlanRoundTrip(t *testing.T) {
+	const dsl = "5000:slotfail:fpga0:1;9000:configerr:fpga0;40000:devfail:dsp0;60000:seu:fpga0"
+	p, err := ParsePlan(dsl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Events) != 4 {
+		t.Fatalf("events = %d", len(p.Events))
+	}
+	want := []Event{
+		{At: 5000, Kind: SlotFail, Device: "fpga0", Slot: 1},
+		{At: 9000, Kind: ConfigError, Device: "fpga0"},
+		{At: 40000, Kind: DeviceFail, Device: "dsp0"},
+		{At: 60000, Kind: SEU, Device: "fpga0"},
+	}
+	for i, e := range p.Events {
+		if e != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, e, want[i])
+		}
+	}
+	if p.String() != dsl {
+		t.Errorf("String() = %q, want %q", p.String(), dsl)
+	}
+	back, err := ParsePlan(p.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != dsl {
+		t.Error("round trip not stable")
+	}
+	// Whitespace and empty fragments are tolerated.
+	spaced, err := ParsePlan(" 5000:slotfail:fpga0:1 ;; 9000:configerr:fpga0 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spaced.Events) != 2 {
+		t.Errorf("spaced events = %d", len(spaced.Events))
+	}
+	// Empty string is a valid empty plan.
+	if p, err := ParsePlan("   "); err != nil || len(p.Events) != 0 {
+		t.Errorf("blank plan: %v, %d events", err, len(p.Events))
+	}
+}
+
+func TestParsePlanRejectsMalformedEvents(t *testing.T) {
+	for name, dsl := range map[string]string{
+		"too few fields":     "5000:slotfail",
+		"bad time":           "soon:configerr:fpga0",
+		"negative time":      "-1:configerr:fpga0",
+		"unknown kind":       "5000:meltdown:fpga0",
+		"slotfail no slot":   "5000:slotfail:fpga0",
+		"bad slot":           "5000:slotfail:fpga0:x",
+		"configerr has slot": "5000:configerr:fpga0:1",
+		"devfail has slot":   "5000:devfail:fpga0:0",
+	} {
+		if _, err := ParsePlan(dsl); err == nil {
+			t.Errorf("%s: ParsePlan(%q) should fail", name, dsl)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		SlotFail: "slotfail", DeviceFail: "devfail",
+		ConfigError: "configerr", SEU: "seu", Kind(99): "Kind(99)",
+	} {
+		if k.String() != want {
+			t.Errorf("%d → %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestStormIsDeterministic(t *testing.T) {
+	spec := StormSpec{
+		Horizon:   100_000,
+		SlotFails: 3, DeviceFails: 1, ConfigErrors: 5, SEUs: 4,
+		Targets: []StormTarget{
+			{Device: "fpga0", Slots: 2},
+			{Device: "dsp0"},
+		},
+	}
+	a, err := Storm(rand.New(rand.NewSource(7)), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Storm(rand.New(rand.NewSource(7)), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("same seed, different storms:\n%s\n%s", a, b)
+	}
+	if len(a.Events) != 13 {
+		t.Errorf("events = %d, want 13", len(a.Events))
+	}
+	for _, e := range a.Events {
+		if e.At < 1 || e.At > spec.Horizon {
+			t.Errorf("event time %d outside [1, %d]", e.At, spec.Horizon)
+		}
+		if e.Kind == SlotFail {
+			if e.Device != "fpga0" || e.Slot < 0 || e.Slot >= 2 {
+				t.Errorf("slot failure on %s slot %d", e.Device, e.Slot)
+			}
+		}
+	}
+	c, err := Storm(rand.New(rand.NewSource(8)), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == c.String() {
+		t.Error("different seeds should (overwhelmingly) differ")
+	}
+}
+
+func TestStormRejectsBadSpecs(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	if _, err := Storm(r, StormSpec{Horizon: 100}); err == nil {
+		t.Error("no targets must fail")
+	}
+	if _, err := Storm(r, StormSpec{Targets: []StormTarget{{Device: "x"}}}); err == nil {
+		t.Error("zero horizon must fail")
+	}
+	if _, err := Storm(r, StormSpec{
+		Horizon: 100, SlotFails: 1, Targets: []StormTarget{{Device: "dsp0"}},
+	}); err == nil {
+		t.Error("slot failures without slotted targets must fail")
+	}
+}
+
+func TestInjectorSlotFailStrandsAndRequeues(t *testing.T) {
+	s, cb := platform(t)
+	task := place(t, s, cb, "mp3", 1, casebase.TargetFPGA) // slot 0
+	if err := s.AdvanceTo(task.ReadyAt); err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector(s, Plan{Events: []Event{
+		{At: task.ReadyAt + 100, Kind: SlotFail, Device: "fpga0", Slot: 0},
+	}})
+	applied, err := inj.AdvanceTo(task.ReadyAt + 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(applied) != 1 || applied[0].NoVictim {
+		t.Fatalf("applied = %+v", applied)
+	}
+	if len(applied[0].Affected) != 1 || applied[0].Affected[0] != task.ID {
+		t.Errorf("affected = %v, want [%d]", applied[0].Affected, task.ID)
+	}
+	// The stranded task is auto-requeued so it can re-bid for capacity.
+	if task.State != rtsys.Pending || task.Dev != "" || task.Faults != 1 {
+		t.Errorf("task after slot failure = %+v", task)
+	}
+	m := s.Metrics()
+	if m.SlotFaults != 1 || m.Stranded != 1 || m.Requeued != 1 {
+		t.Errorf("metrics = %+v", m)
+	}
+	fpga := s.DevicesByKind(casebase.TargetFPGA)[0].(*device.FPGA)
+	if fpga.Health() != device.Degraded || fpga.FailedSlots() != 1 {
+		t.Errorf("health = %v, failed slots = %d", fpga.Health(), fpga.FailedSlots())
+	}
+	if inj.Pending() != 0 || len(inj.Log()) != 1 {
+		t.Errorf("pending = %d, log = %d", inj.Pending(), len(inj.Log()))
+	}
+}
+
+func TestInjectorDeviceFailStrandsAll(t *testing.T) {
+	s, cb := platform(t)
+	t1 := place(t, s, cb, "a", 2, casebase.TargetDSP)
+	t2 := place(t, s, cb, "b", 2, casebase.TargetDSP)
+	inj := NewInjector(s, Plan{Events: []Event{
+		{At: 10, Kind: DeviceFail, Device: "dsp0"},
+	}})
+	applied, err := inj.AdvanceTo(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(applied) != 1 || len(applied[0].Affected) != 2 {
+		t.Fatalf("applied = %+v", applied)
+	}
+	if applied[0].Affected[0] != t1.ID || applied[0].Affected[1] != t2.ID {
+		t.Errorf("affected order = %v", applied[0].Affected)
+	}
+	dsp := s.DevicesByKind(casebase.TargetDSP)[0]
+	if dsp.Health() != device.Failed {
+		t.Errorf("health = %v", dsp.Health())
+	}
+	// A failed device refuses placements with the sentinel error.
+	t3 := s.CreateTask("c", casebase.TypeFIREqualizer, 1)
+	ft, _ := cb.Type(casebase.TypeFIREqualizer)
+	im, _ := ft.Impl(2)
+	err = s.Place(t3, dsp, im)
+	if !errors.Is(err, device.ErrDeviceFailed) {
+		t.Errorf("place on failed device: %v, want ErrDeviceFailed", err)
+	}
+}
+
+func TestInjectorConfigErrorHitsConfiguringTask(t *testing.T) {
+	s, cb := platform(t)
+	task := place(t, s, cb, "mp3", 1, casebase.TargetFPGA)
+	if task.ReadyAt <= 200 {
+		t.Fatalf("config window too short for the test: ready at %d", task.ReadyAt)
+	}
+	// AdvanceTo must stop the clock AT the fault time: advancing straight
+	// to ReadyAt would let the task reach Running and the transient
+	// config error would find no victim.
+	inj := NewInjector(s, Plan{Events: []Event{
+		{At: 200, Kind: ConfigError, Device: "fpga0"},
+	}})
+	applied, err := inj.AdvanceTo(task.ReadyAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(applied) != 1 || applied[0].NoVictim || len(applied[0].Affected) != 1 {
+		t.Fatalf("applied = %+v", applied)
+	}
+	// At the horizon the task is still recovering or back to configuring;
+	// the retry pushed ReadyAt out.
+	if task.ConfigRetries != 1 {
+		t.Errorf("retries = %d", task.ConfigRetries)
+	}
+	retryReady := task.NextRetryAt + task.ConfigCost
+	if err := s.AdvanceTo(retryReady); err != nil {
+		t.Fatal(err)
+	}
+	if task.State != rtsys.Running {
+		t.Errorf("state after retry = %v", task.State)
+	}
+	m := s.Metrics()
+	if m.ConfigErrors != 1 || m.Retries != 1 {
+		t.Errorf("metrics = %+v", m)
+	}
+}
+
+func TestInjectorNoVictim(t *testing.T) {
+	s, _ := platform(t)
+	inj := NewInjector(s, Plan{Events: []Event{
+		{At: 10, Kind: ConfigError, Device: "fpga0"},
+		{At: 20, Kind: SEU, Device: "dsp0"},
+		{At: 30, Kind: SlotFail, Device: "fpga0", Slot: 1},
+	}})
+	applied, err := inj.AdvanceTo(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(applied) != 3 {
+		t.Fatalf("applied = %d", len(applied))
+	}
+	for i, a := range applied {
+		if !a.NoVictim || len(a.Affected) != 0 {
+			t.Errorf("event %d on an idle platform must report NoVictim: %+v", i, a)
+		}
+	}
+}
+
+func TestInjectorSEUScrubsRunningTask(t *testing.T) {
+	s, cb := platform(t)
+	task := place(t, s, cb, "mp3", 1, casebase.TargetFPGA)
+	if err := s.AdvanceTo(task.ReadyAt); err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector(s, Plan{Events: []Event{
+		{At: task.ReadyAt + 50, Kind: SEU, Device: "fpga0"},
+	}})
+	if _, err := inj.AdvanceTo(task.ReadyAt + 50); err != nil {
+		t.Fatal(err)
+	}
+	if task.State != rtsys.Recovering {
+		t.Fatalf("state = %v, want recovering (scrubbing)", task.State)
+	}
+	// Scrubbing keeps the placement: the slot is still held.
+	if task.Dev != "fpga0" {
+		t.Errorf("placement lost: dev = %q", task.Dev)
+	}
+	if err := s.AdvanceTo(task.NextRetryAt + task.ConfigCost); err != nil {
+		t.Fatal(err)
+	}
+	if task.State != rtsys.Running {
+		t.Errorf("state after scrub = %v", task.State)
+	}
+	if s.Metrics().SEUs != 1 {
+		t.Errorf("metrics = %+v", s.Metrics())
+	}
+}
+
+func TestInjectorOrdersEventsByTime(t *testing.T) {
+	s, _ := platform(t)
+	inj := NewInjector(s, Plan{Events: []Event{
+		{At: 300, Kind: ConfigError, Device: "fpga0"},
+		{At: 100, Kind: SlotFail, Device: "fpga0", Slot: 0},
+		{At: 200, Kind: SEU, Device: "dsp0"},
+	}})
+	if at, ok := inj.NextAt(); !ok || at != 100 {
+		t.Errorf("NextAt = %d, %v", at, ok)
+	}
+	applied, err := inj.AdvanceTo(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var times []device.Micros
+	for _, a := range applied {
+		times = append(times, a.Event.At)
+	}
+	if len(times) != 3 || times[0] != 100 || times[1] != 200 || times[2] != 300 {
+		t.Errorf("apply order = %v", times)
+	}
+	if _, ok := inj.NextAt(); ok {
+		t.Error("no events should remain")
+	}
+}
+
+func TestInjectorUnknownDevice(t *testing.T) {
+	s, _ := platform(t)
+	inj := NewInjector(s, Plan{Events: []Event{
+		{At: 10, Kind: DeviceFail, Device: "nosuch"},
+	}})
+	if _, err := inj.AdvanceTo(100); err == nil {
+		t.Error("failing an unknown device must error")
+	}
+}

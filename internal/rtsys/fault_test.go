@@ -1,0 +1,338 @@
+package rtsys
+
+import (
+	"errors"
+	"testing"
+
+	"qosalloc/internal/casebase"
+	"qosalloc/internal/device"
+)
+
+// TestTransitionMatrix drives every lifecycle event against every state
+// it does NOT accept and checks the typed guard error. Accepted
+// combinations are exercised by the lifecycle/preemption/fault tests;
+// here we only care that illegal ones are rejected with a
+// TransitionError wrapping ErrBadTransition (and never touch a device).
+func TestTransitionMatrix(t *testing.T) {
+	allStates := []State{Pending, Configuring, Running, Preempted, Done, Failed, Recovering}
+	events := []struct {
+		name    string
+		allowed map[State]bool
+		fire    func(s *System, cb *casebase.CaseBase, task *Task) error
+	}{
+		{
+			name:    "place",
+			allowed: map[State]bool{Pending: true, Preempted: true},
+			fire: func(s *System, cb *casebase.CaseBase, task *Task) error {
+				ft, _ := cb.Type(casebase.TypeFIREqualizer)
+				im, _ := ft.Impl(2)
+				return s.Place(task, s.DevicesByKind(casebase.TargetDSP)[0], im)
+			},
+		},
+		{
+			name:    "preempt",
+			allowed: map[State]bool{Running: true, Configuring: true},
+			fire:    func(s *System, _ *casebase.CaseBase, task *Task) error { return s.Preempt(task) },
+		},
+		{
+			name: "complete",
+			allowed: map[State]bool{
+				Pending: true, Configuring: true, Running: true,
+				Preempted: true, Recovering: true, Failed: true,
+			},
+			fire: func(s *System, _ *casebase.CaseBase, task *Task) error { return s.Complete(task) },
+		},
+		{
+			name:    "config-error",
+			allowed: map[State]bool{Configuring: true},
+			fire:    func(s *System, _ *casebase.CaseBase, task *Task) error { return s.ConfigError(task) },
+		},
+		{
+			name:    "seu",
+			allowed: map[State]bool{Running: true},
+			fire:    func(s *System, _ *casebase.CaseBase, task *Task) error { return s.SEU(task) },
+		},
+		{
+			name:    "requeue",
+			allowed: map[State]bool{Failed: true},
+			fire:    func(s *System, _ *casebase.CaseBase, task *Task) error { return s.Requeue(task) },
+		},
+	}
+	for _, ev := range events {
+		for _, st := range allStates {
+			if ev.allowed[st] {
+				continue
+			}
+			s, cb := paperPlatform(t)
+			task := s.CreateTask("x", casebase.TypeFIREqualizer, 1)
+			task.State = st
+			err := ev.fire(s, cb, task)
+			if err == nil {
+				t.Errorf("%s from %v: want guard error, got nil", ev.name, st)
+				continue
+			}
+			if !errors.Is(err, ErrBadTransition) {
+				t.Errorf("%s from %v: error %v does not wrap ErrBadTransition", ev.name, st, err)
+			}
+			var te *TransitionError
+			if !errors.As(err, &te) {
+				t.Errorf("%s from %v: error %v is not a *TransitionError", ev.name, st, err)
+				continue
+			}
+			if te.Task != task.ID || te.From != st || te.Event != ev.name {
+				t.Errorf("%s from %v: fields = %+v", ev.name, st, te)
+			}
+			if task.State != st {
+				t.Errorf("%s from %v: rejected event changed state to %v", ev.name, st, task.State)
+			}
+		}
+	}
+}
+
+func TestBackoffIsBoundedExponential(t *testing.T) {
+	s, _ := paperPlatform(t)
+	s.RetryBase, s.RetryCeil = 500, 16_000
+	want := []device.Micros{500, 1000, 2000, 4000, 8000, 16_000, 16_000, 16_000}
+	for i, w := range want {
+		if got := s.backoff(i + 1); got != w {
+			t.Errorf("backoff(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+	// Zero base degrades to 1 tick, never 0.
+	s.RetryBase = 0
+	if got := s.backoff(1); got != 1 {
+		t.Errorf("backoff with zero base = %d, want 1", got)
+	}
+	// Zero ceiling means unbounded doubling.
+	s.RetryBase, s.RetryCeil = 500, 0
+	if got := s.backoff(8); got != 500<<7 {
+		t.Errorf("unbounded backoff(8) = %d, want %d", got, 500<<7)
+	}
+}
+
+func TestConfigErrorRetryAndExhaustion(t *testing.T) {
+	s, cb := paperPlatform(t)
+	s.RetryLimit = 2
+	task := s.CreateTask("mp3", casebase.TypeFIREqualizer, 5)
+	im := implOf(t, cb, casebase.TypeFIREqualizer, 2)
+	dsp := s.DevicesByKind(casebase.TargetDSP)[0]
+	if err := s.Place(task, dsp, im); err != nil {
+		t.Fatal(err)
+	}
+	cost := task.ConfigCost
+
+	// First error: backoff RetryBase, placement held.
+	if err := s.ConfigError(task); err != nil {
+		t.Fatal(err)
+	}
+	if task.State != Recovering || task.NextRetryAt != s.Now()+s.RetryBase {
+		t.Fatalf("after error 1: %+v", task)
+	}
+	if dsp.CanPlace(im.Foot) != true && len(dsp.Placements()) != 1 {
+		t.Fatal("placement must be held while recovering")
+	}
+	// Retry fires at NextRetryAt; ReadyAt re-adds the full config cost.
+	if err := s.AdvanceTo(task.NextRetryAt); err != nil {
+		t.Fatal(err)
+	}
+	if task.State != Configuring || task.ReadyAt != task.NextRetryAt+cost {
+		t.Fatalf("after retry 1: %+v", task)
+	}
+
+	// Second error: doubled backoff.
+	if err := s.ConfigError(task); err != nil {
+		t.Fatal(err)
+	}
+	if task.NextRetryAt != s.Now()+s.RetryBase*2 {
+		t.Fatalf("after error 2: backoff not doubled: %+v", task)
+	}
+	if err := s.AdvanceTo(task.NextRetryAt); err != nil {
+		t.Fatal(err)
+	}
+
+	// Third error exhausts the budget (limit 2): placement released,
+	// task Failed.
+	if err := s.ConfigError(task); err != nil {
+		t.Fatal(err)
+	}
+	if task.State != Failed || task.Dev != "" {
+		t.Fatalf("after exhaustion: %+v", task)
+	}
+	if len(dsp.Placements()) != 0 {
+		t.Error("exhausted placement must release capacity")
+	}
+	m := s.Metrics()
+	if m.ConfigErrors != 3 || m.Retries != 2 {
+		t.Errorf("metrics = %+v", m)
+	}
+
+	// A failed task re-queues and can be placed again.
+	if err := s.Requeue(task); err != nil {
+		t.Fatal(err)
+	}
+	if task.State != Pending || task.ConfigRetries != 0 {
+		t.Fatalf("after requeue: %+v", task)
+	}
+	if err := s.Place(task, dsp, im); err != nil {
+		t.Fatalf("re-place after requeue: %v", err)
+	}
+	// Requeue only accepts Failed tasks.
+	if err := s.Requeue(task); !errors.Is(err, ErrBadTransition) {
+		t.Errorf("requeue of a placed task: %v", err)
+	}
+}
+
+func TestZeroRetryLimitFailsFast(t *testing.T) {
+	s, cb := paperPlatform(t)
+	s.RetryLimit = 0
+	task := s.CreateTask("a", casebase.TypeFIREqualizer, 5)
+	im := implOf(t, cb, casebase.TypeFIREqualizer, 2)
+	if err := s.Place(task, s.DevicesByKind(casebase.TargetDSP)[0], im); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ConfigError(task); err != nil {
+		t.Fatal(err)
+	}
+	if task.State != Failed {
+		t.Errorf("zero retry budget must fail on first error, got %v", task.State)
+	}
+}
+
+func TestFailDeviceStrandsAndRequeues(t *testing.T) {
+	s, cb := paperPlatform(t)
+	im := implOf(t, cb, casebase.TypeFIREqualizer, 2)
+	dsp := s.DevicesByKind(casebase.TargetDSP)[0]
+	t1 := s.CreateTask("a", casebase.TypeFIREqualizer, 5)
+	t2 := s.CreateTask("b", casebase.TypeFIREqualizer, 5)
+	for _, task := range []*Task{t1, t2} {
+		if err := s.Place(task, dsp, im); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stranded, err := s.FailDevice("dsp0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stranded) != 2 || stranded[0] != t1 || stranded[1] != t2 {
+		t.Fatalf("stranded = %+v", stranded)
+	}
+	for _, task := range stranded {
+		if task.State != Pending || task.Dev != "" || task.Faults != 1 {
+			t.Errorf("stranded task not requeued: %+v", task)
+		}
+	}
+	if dsp.Health() != device.Failed {
+		t.Errorf("health = %v", dsp.Health())
+	}
+	m := s.Metrics()
+	if m.DeviceFaults != 1 || m.Stranded != 2 || m.Requeued != 2 {
+		t.Errorf("metrics = %+v", m)
+	}
+	// Placing on the dead device now fails with the sentinel.
+	t3 := s.CreateTask("c", casebase.TypeFIREqualizer, 5)
+	if err := s.Place(t3, dsp, im); !errors.Is(err, device.ErrDeviceFailed) {
+		t.Errorf("place on failed device: %v", err)
+	}
+	if _, err := s.FailDevice("nosuch"); err == nil {
+		t.Error("unknown device must error")
+	}
+}
+
+func TestFailSlot(t *testing.T) {
+	s, cb := paperPlatform(t)
+	im := implOf(t, cb, casebase.TypeFIREqualizer, 1) // FPGA variant
+	fpga := s.DevicesByKind(casebase.TargetFPGA)[0]
+	task := s.CreateTask("a", casebase.TypeFIREqualizer, 5)
+	if err := s.Place(task, fpga, im); err != nil {
+		t.Fatal(err)
+	}
+	// Empty slot: fault lands on idle capacity, no victim.
+	victim, err := s.FailSlot("fpga0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if victim != nil {
+		t.Errorf("empty slot produced victim %+v", victim)
+	}
+	// Occupied slot: the task is stranded and requeued.
+	victim, err = s.FailSlot("fpga0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if victim != task || task.State != Pending || task.Faults != 1 {
+		t.Errorf("victim = %+v", victim)
+	}
+	// Both slots dead: the FPGA is failed as a whole.
+	if fpga.Health() != device.Failed {
+		t.Errorf("health = %v", fpga.Health())
+	}
+	if m := s.Metrics(); m.SlotFaults != 2 {
+		t.Errorf("metrics = %+v", m)
+	}
+	// Slot faults only make sense on FPGAs.
+	if _, err := s.FailSlot("dsp0", 0); err == nil {
+		t.Error("slot failure on a processor must error")
+	}
+	if _, err := s.FailSlot("fpga0", 99); err == nil {
+		t.Error("out-of-range slot must error")
+	}
+}
+
+func TestSEURetryKeepsPlacement(t *testing.T) {
+	s, cb := paperPlatform(t)
+	im := implOf(t, cb, casebase.TypeFIREqualizer, 1)
+	fpga := s.DevicesByKind(casebase.TargetFPGA)[0]
+	task := s.CreateTask("a", casebase.TypeFIREqualizer, 5)
+	if err := s.Place(task, fpga, im); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AdvanceTo(task.ReadyAt); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SEU(task); err != nil {
+		t.Fatal(err)
+	}
+	if task.State != Recovering || task.Dev != "fpga0" {
+		t.Fatalf("scrubbing must keep the placement: %+v", task)
+	}
+	if len(fpga.Placements()) != 1 {
+		t.Error("slot released during scrub")
+	}
+	if err := s.AdvanceTo(task.NextRetryAt + task.ConfigCost); err != nil {
+		t.Fatal(err)
+	}
+	if task.State != Running {
+		t.Errorf("state after scrub = %v", task.State)
+	}
+}
+
+func TestCompleteRecoveringAndFailedTasks(t *testing.T) {
+	s, cb := paperPlatform(t)
+	im := implOf(t, cb, casebase.TypeFIREqualizer, 2)
+	dsp := s.DevicesByKind(casebase.TargetDSP)[0]
+
+	// Recovering → Done releases the held placement.
+	rec := s.CreateTask("a", casebase.TypeFIREqualizer, 5)
+	if err := s.Place(rec, dsp, im); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ConfigError(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Complete(rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != Done || len(dsp.Placements()) != 0 {
+		t.Errorf("complete of recovering task: %+v, %d placements", rec, len(dsp.Placements()))
+	}
+
+	// Failed → Done has nothing to release and must not error.
+	failed := s.CreateTask("b", casebase.TypeFIREqualizer, 5)
+	failed.State = Failed
+	if err := s.Complete(failed); err != nil {
+		t.Fatal(err)
+	}
+	if failed.State != Done {
+		t.Errorf("state = %v", failed.State)
+	}
+}

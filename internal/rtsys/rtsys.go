@@ -12,6 +12,7 @@
 package rtsys
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -27,13 +28,17 @@ type State uint8
 
 // Task lifecycle: Pending (not placed), Configuring (placed, bitstream /
 // opcode loading), Running, Preempted (evicted, awaiting re-placement),
-// Done.
+// Done, Failed (placement lost to a fault, or configuration retries
+// exhausted), Recovering (configuration error or SEU hit; the placement
+// is held while a bounded-backoff reconfiguration retry is scheduled).
 const (
 	Pending State = iota
 	Configuring
 	Running
 	Preempted
 	Done
+	Failed
+	Recovering
 )
 
 // String returns the state name.
@@ -49,10 +54,34 @@ func (s State) String() string {
 		return "preempted"
 	case Done:
 		return "done"
+	case Failed:
+		return "failed"
+	case Recovering:
+		return "recovering"
 	default:
 		return fmt.Sprintf("State(%d)", uint8(s))
 	}
 }
+
+// ErrBadTransition is the sentinel wrapped by every state-guard error,
+// so callers can distinguish lifecycle misuse from device/repository
+// failures with errors.Is.
+var ErrBadTransition = errors.New("rtsys: invalid state transition")
+
+// TransitionError reports a lifecycle event applied in a state that does
+// not accept it.
+type TransitionError struct {
+	Task  TaskID
+	From  State
+	Event string
+}
+
+func (e *TransitionError) Error() string {
+	return fmt.Sprintf("rtsys: task %d is %v, cannot %s", e.Task, e.From, e.Event)
+}
+
+// Unwrap makes errors.Is(err, ErrBadTransition) work.
+func (e *TransitionError) Unwrap() error { return ErrBadTransition }
 
 // Task is one function instantiation managed by the run-time system.
 type Task struct {
@@ -73,6 +102,17 @@ type Task struct {
 	// span, the input to priority aging.
 	WaitingSince device.Micros
 	Preemptions  int
+
+	// ConfigCost is the fetch + configuration latency of the current
+	// placement, remembered so a retry can recompute ReadyAt.
+	ConfigCost device.Micros
+	// ConfigRetries counts configuration attempts burned on the
+	// current placement (reset on every fresh Place).
+	ConfigRetries int
+	// NextRetryAt is when a Recovering task re-enters Configuring.
+	NextRetryAt device.Micros
+	// Faults counts device/slot failures that stranded this task.
+	Faults int
 }
 
 // Metrics aggregates system activity.
@@ -84,6 +124,15 @@ type Metrics struct {
 	TotalWait device.Micros
 	// TotalConfig accumulates time spent in Configuring.
 	TotalConfig device.Micros
+
+	// Fault-path counters.
+	ConfigErrors int // transient configuration errors injected
+	SEUs         int // single-event upsets injected into running tasks
+	Retries      int // reconfiguration retries that actually fired
+	DeviceFaults int // whole-device permanent failures
+	SlotFaults   int // FPGA slot permanent failures
+	Stranded     int // tasks knocked off a device by a fault
+	Requeued     int // stranded/failed tasks returned to the wait pool
 }
 
 // System is the run-time system instance.
@@ -101,6 +150,16 @@ type System struct {
 	// slot. Denominator 0 disables aging.
 	AgingNumerator   int
 	AgingDenominator int
+
+	// RetryBase is the first reconfiguration-retry backoff; attempt k
+	// waits RetryBase<<(k-1) clock ticks, capped at RetryCeil.
+	RetryBase device.Micros
+	// RetryCeil bounds the exponential backoff.
+	RetryCeil device.Micros
+	// RetryLimit is how many configuration attempts a placement gets
+	// before the task is marked Failed. Zero disables retries: the
+	// first configuration error fails the task.
+	RetryLimit int
 }
 
 // NewSystem builds a run-time system over the given devices and
@@ -112,6 +171,9 @@ func NewSystem(repo *device.Repository, devs ...device.Device) *System {
 		nextID:           1,
 		AgingNumerator:   1,
 		AgingDenominator: 10_000,
+		RetryBase:        500,
+		RetryCeil:        16_000,
+		RetryLimit:       3,
 	}
 }
 
@@ -183,7 +245,7 @@ func (s *System) EffectivePriority(t *Task) int {
 // program load).
 func (s *System) Place(t *Task, dev device.Device, im *casebase.Implementation) error {
 	if t.State != Pending && t.State != Preempted {
-		return fmt.Errorf("rtsys: task %d is %v, cannot place", t.ID, t.State)
+		return &TransitionError{Task: t.ID, From: t.State, Event: "place"}
 	}
 	if dev.Kind() != im.Target {
 		return fmt.Errorf("rtsys: %s hosts %v, implementation targets %v", dev.Name(), dev.Kind(), im.Target)
@@ -193,18 +255,20 @@ func (s *System) Place(t *Task, dev device.Device, im *casebase.Implementation) 
 		var err error
 		fetch, err = s.repo.FetchTime(t.Type, im.ID)
 		if err != nil {
-			return fmt.Errorf("rtsys: %w", err)
+			return fmt.Errorf("rtsys: fetch (%d, %d): %w", t.Type, im.ID, err)
 		}
 	}
 	pl, err := dev.Place(int(t.ID), t.Type, im.ID, im.Foot, s.EffectivePriority(t), s.now)
 	if err != nil {
-		return err
+		return fmt.Errorf("rtsys: place task %d on %s: %w", t.ID, dev.Name(), err)
 	}
 	s.metrics.TotalWait += s.now - t.WaitingSince
 	t.Impl = im.ID
 	t.Dev = dev.Name()
 	t.State = Configuring
 	t.ReadyAt = pl.Ready + fetch
+	t.ConfigCost = t.ReadyAt - s.now
+	t.ConfigRetries = 0
 	return nil
 }
 
@@ -214,14 +278,14 @@ func (s *System) Place(t *Task, dev device.Device, im *casebase.Implementation) 
 // feasible without preempting other active (hardware) tasks", §2).
 func (s *System) Preempt(t *Task) error {
 	if t.State != Running && t.State != Configuring {
-		return fmt.Errorf("rtsys: task %d is %v, cannot preempt", t.ID, t.State)
+		return &TransitionError{Task: t.ID, From: t.State, Event: "preempt"}
 	}
 	dev, err := s.deviceByName(t.Dev)
 	if err != nil {
 		return err
 	}
 	if err := dev.Remove(int(t.ID)); err != nil {
-		return err
+		return fmt.Errorf("rtsys: preempt task %d: %w", t.ID, err)
 	}
 	t.State = Preempted
 	t.Dev = ""
@@ -231,21 +295,25 @@ func (s *System) Preempt(t *Task) error {
 	return nil
 }
 
-// Complete finishes a task and releases its device capacity.
+// Complete finishes a task and releases its device capacity. Failed
+// tasks may be completed too (the application gives up on them); their
+// capacity was already released when the fault hit.
 func (s *System) Complete(t *Task) error {
 	switch t.State {
-	case Running, Configuring:
+	case Running, Configuring, Recovering:
 		dev, err := s.deviceByName(t.Dev)
 		if err != nil {
 			return err
 		}
 		if err := dev.Remove(int(t.ID)); err != nil {
-			return err
+			return fmt.Errorf("rtsys: complete task %d: %w", t.ID, err)
 		}
 	case Pending, Preempted:
 		s.metrics.TotalWait += s.now - t.WaitingSince
+	case Failed:
+		// Nothing to release.
 	default:
-		return fmt.Errorf("rtsys: task %d already %v", t.ID, t.State)
+		return &TransitionError{Task: t.ID, From: t.State, Event: "complete"}
 	}
 	t.State = Done
 	t.Finished = s.now
@@ -254,13 +322,21 @@ func (s *System) Complete(t *Task) error {
 }
 
 // AdvanceTo moves the clock forward and resolves Configuring→Running
-// transitions whose ready times have passed.
+// and Recovering→Configuring(→Running) transitions whose ready/retry
+// times have passed.
 func (s *System) AdvanceTo(t device.Micros) error {
 	if t < s.now {
 		return fmt.Errorf("rtsys: cannot rewind clock from %d to %d", s.now, t)
 	}
 	s.now = t
 	for _, task := range s.tasks {
+		if task.State == Recovering && task.NextRetryAt <= s.now {
+			// The retried configuration re-streams the image from
+			// the repository at the original cost.
+			task.State = Configuring
+			task.ReadyAt = task.NextRetryAt + task.ConfigCost
+			s.metrics.Retries++
+		}
 		if task.State == Configuring && task.ReadyAt <= s.now {
 			task.State = Running
 			task.Started = task.ReadyAt
@@ -280,6 +356,153 @@ func (s *System) PowerMW() int {
 		p += d.PowerMW()
 	}
 	return p
+}
+
+// --- Fault path -------------------------------------------------------
+
+// backoff returns the bounded exponential backoff for the given attempt
+// number (1-based): RetryBase << (attempt-1), capped at RetryCeil.
+func (s *System) backoff(attempt int) device.Micros {
+	d := s.RetryBase
+	if d == 0 {
+		d = 1
+	}
+	for i := 1; i < attempt; i++ {
+		d <<= 1
+		if d >= s.RetryCeil && s.RetryCeil > 0 {
+			return s.RetryCeil
+		}
+	}
+	if s.RetryCeil > 0 && d > s.RetryCeil {
+		d = s.RetryCeil
+	}
+	return d
+}
+
+// ConfigError injects a transient configuration error into a Configuring
+// task: the bitstream/opcode transfer was corrupted and must be retried.
+// While retry budget remains the task holds its placement and moves to
+// Recovering with a bounded exponential backoff; once the budget is
+// exhausted the placement is released and the task is marked Failed
+// (callers re-queue it through Requeue or the allocation layer's
+// degrade-and-retry policy).
+func (s *System) ConfigError(t *Task) error {
+	if t.State != Configuring {
+		return &TransitionError{Task: t.ID, From: t.State, Event: "config-error"}
+	}
+	s.metrics.ConfigErrors++
+	t.ConfigRetries++
+	if t.ConfigRetries > s.RetryLimit {
+		return s.failPlacement(t)
+	}
+	t.State = Recovering
+	t.NextRetryAt = s.now + s.backoff(t.ConfigRetries)
+	return nil
+}
+
+// SEU injects a single-event upset into a Running task: the configuration
+// memory of its region (or its opcode image) is corrupted and the task
+// must be re-configured in place — scrubbing. The placement is kept; the
+// task re-enters the retry path with the same bounded backoff.
+func (s *System) SEU(t *Task) error {
+	if t.State != Running {
+		return &TransitionError{Task: t.ID, From: t.State, Event: "seu"}
+	}
+	s.metrics.SEUs++
+	t.ConfigRetries++
+	if t.ConfigRetries > s.RetryLimit {
+		return s.failPlacement(t)
+	}
+	t.State = Recovering
+	t.NextRetryAt = s.now + s.backoff(t.ConfigRetries)
+	return nil
+}
+
+// failPlacement releases a task's device capacity and marks it Failed.
+func (s *System) failPlacement(t *Task) error {
+	if t.Dev != "" {
+		dev, err := s.deviceByName(t.Dev)
+		if err != nil {
+			return err
+		}
+		if err := dev.Remove(int(t.ID)); err != nil {
+			return fmt.Errorf("rtsys: fail task %d: %w", t.ID, err)
+		}
+	}
+	t.State = Failed
+	t.Dev = ""
+	return nil
+}
+
+// FailDevice marks a device permanently failed. Every task placed on it
+// is stranded: marked Failed, counted, and automatically re-queued to
+// Pending so the allocation layer can negotiate an alternative. The
+// stranded tasks are returned sorted by ID.
+func (s *System) FailDevice(id device.ID) ([]*Task, error) {
+	dev, err := s.deviceByName(id)
+	if err != nil {
+		return nil, err
+	}
+	s.metrics.DeviceFaults++
+	var out []*Task
+	for _, pl := range dev.Fail() {
+		if t := s.strand(pl.Task); t != nil {
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}
+
+// FailSlot marks one slot of an FPGA permanently failed. The stranded
+// task, if the slot was occupied, is failed and re-queued like in
+// FailDevice and returned (nil for an empty slot).
+func (s *System) FailSlot(id device.ID, slot int) (*Task, error) {
+	dev, err := s.deviceByName(id)
+	if err != nil {
+		return nil, err
+	}
+	fpga, ok := dev.(*device.FPGA)
+	if !ok {
+		return nil, fmt.Errorf("rtsys: %s is not an FPGA, has no slots", id)
+	}
+	pl, err := fpga.FailSlot(slot)
+	if err != nil {
+		return nil, err
+	}
+	s.metrics.SlotFaults++
+	if pl == nil {
+		return nil, nil
+	}
+	return s.strand(pl.Task), nil
+}
+
+// strand records a fault-stranded task and re-queues it.
+func (s *System) strand(taskHandle int) *Task {
+	t, ok := s.tasks[TaskID(taskHandle)]
+	if !ok {
+		return nil
+	}
+	t.Faults++
+	s.metrics.Stranded++
+	t.State = Failed
+	t.Dev = ""
+	_ = s.Requeue(t)
+	return t
+}
+
+// Requeue returns a Failed task to the wait pool: it becomes Pending
+// again (its aged-priority clock restarting now) and will re-bid for
+// capacity through the allocation layer.
+func (s *System) Requeue(t *Task) error {
+	if t.State != Failed {
+		return &TransitionError{Task: t.ID, From: t.State, Event: "requeue"}
+	}
+	t.State = Pending
+	t.Dev = ""
+	t.WaitingSince = s.now
+	t.ConfigRetries = 0
+	s.metrics.Requeued++
+	return nil
 }
 
 func (s *System) deviceByName(id device.ID) (device.Device, error) {

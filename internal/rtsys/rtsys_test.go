@@ -221,7 +221,8 @@ func TestTaskListingAndLookup(t *testing.T) {
 func TestStateString(t *testing.T) {
 	for st, want := range map[State]string{
 		Pending: "pending", Configuring: "configuring", Running: "running",
-		Preempted: "preempted", Done: "done",
+		Preempted: "preempted", Done: "done", Failed: "failed",
+		Recovering: "recovering", State(200): "State(200)",
 	} {
 		if st.String() != want {
 			t.Errorf("%d → %q", st, st.String())

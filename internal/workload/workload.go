@@ -27,6 +27,12 @@ type CaseBaseSpec struct {
 	// ValueSpan). Zero means 200.
 	ValueSpan int
 	Seed      int64
+	// Rand, when non-nil, supplies the random source directly and
+	// takes precedence over Seed — callers composing several
+	// generators (case base, stream, fault storm) thread one explicit
+	// source through all of them so a whole run replays from a single
+	// seed.
+	Rand *rand.Rand
 }
 
 // PaperScale returns the Table 3 capacity point.
@@ -48,7 +54,10 @@ func GenCaseBase(spec CaseBaseSpec) (*casebase.CaseBase, *attr.Registry, error) 
 	if span <= 0 {
 		span = 200
 	}
-	r := rand.New(rand.NewSource(spec.Seed))
+	r := spec.Rand
+	if r == nil {
+		r = rand.New(rand.NewSource(spec.Seed))
+	}
 
 	reg := attr.NewRegistry()
 	for i := 1; i <= spec.AttrUniverse; i++ {
@@ -125,6 +134,9 @@ type RequestStreamSpec struct {
 	// earlier one verbatim — the bypass-token hit opportunity.
 	RepeatFraction float64
 	Seed           int64
+	// Rand, when non-nil, takes precedence over Seed (see
+	// CaseBaseSpec.Rand).
+	Rand *rand.Rand
 }
 
 // GenRequests synthesizes a request stream over cb. Every request is
@@ -137,7 +149,10 @@ func GenRequests(cb *casebase.CaseBase, reg *attr.Registry, spec RequestStreamSp
 	if spec.ConstraintsPer < 1 {
 		spec.ConstraintsPer = 3
 	}
-	r := rand.New(rand.NewSource(spec.Seed))
+	r := spec.Rand
+	if r == nil {
+		r = rand.New(rand.NewSource(spec.Seed))
+	}
 	ids := reg.IDs()
 	if spec.ConstraintsPer > len(ids) {
 		spec.ConstraintsPer = len(ids)

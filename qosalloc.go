@@ -2,6 +2,7 @@ package qosalloc
 
 import (
 	"io"
+	"math/rand"
 
 	"qosalloc/internal/alloc"
 	"qosalloc/internal/appapi"
@@ -10,6 +11,7 @@ import (
 	"qosalloc/internal/cbjson"
 	"qosalloc/internal/device"
 	"qosalloc/internal/experiments"
+	"qosalloc/internal/fault"
 	"qosalloc/internal/fixed"
 	"qosalloc/internal/hwapi"
 	"qosalloc/internal/hwsim"
@@ -321,6 +323,86 @@ func NewRuntime(repo *Repository, devs ...Device) *Runtime { return rtsys.NewSys
 func NewManager(cb *CaseBase, sys *Runtime, opt ManagerOptions) *Manager {
 	return alloc.New(cb, sys, opt)
 }
+
+// --- Fault injection & degradation -------------------------------------------
+
+// Fault-tolerance layer: scripted fault injection against the runtime,
+// health-aware devices, and the allocation manager's degrade-and-retry
+// recovery.
+type (
+	// DeviceHealth is a device fault state (healthy/degraded/failed).
+	DeviceHealth = device.Health
+	// TaskState is a run-time task lifecycle state.
+	TaskState = rtsys.State
+	// FaultKind classifies one injected fault.
+	FaultKind = fault.Kind
+	// FaultEvent is one scripted fault.
+	FaultEvent = fault.Event
+	// FaultPlan is a declarative fault schedule.
+	FaultPlan = fault.Plan
+	// FaultStormSpec parameterizes a seed-driven fault storm.
+	FaultStormSpec = fault.StormSpec
+	// FaultStormTarget names one device a storm may hit.
+	FaultStormTarget = fault.StormTarget
+	// FaultInjector replays a plan against a runtime.
+	FaultInjector = fault.Injector
+	// FaultApplied records one injected event and what it hit.
+	FaultApplied = fault.Applied
+	// Degradation names the QoS lost by a fallback placement.
+	Degradation = alloc.Degradation
+	// DegradationReport is the structured rejection of degrade-and-retry.
+	DegradationReport = alloc.DegradationReport
+	// Recovery is the degrade-and-retry outcome for one stranded task.
+	Recovery = alloc.Recovery
+)
+
+// Device health states.
+const (
+	DeviceHealthy  = device.Healthy
+	DeviceDegraded = device.Degraded
+	DeviceFailed   = device.Failed
+)
+
+// Task lifecycle states, including the fault path.
+const (
+	TaskPending     = rtsys.Pending
+	TaskConfiguring = rtsys.Configuring
+	TaskRunning     = rtsys.Running
+	TaskPreempted   = rtsys.Preempted
+	TaskDone        = rtsys.Done
+	TaskFailed      = rtsys.Failed
+	TaskRecovering  = rtsys.Recovering
+)
+
+// Fault kinds.
+const (
+	FaultSlotFail    = fault.SlotFail
+	FaultDeviceFail  = fault.DeviceFail
+	FaultConfigError = fault.ConfigError
+	FaultSEU         = fault.SEU
+)
+
+// Sentinel errors of the fault path, for errors.Is.
+var (
+	// ErrDeviceFailed marks placement attempts on a failed device.
+	ErrDeviceFailed = device.ErrDeviceFailed
+	// ErrNoViableVariant marks exhausted degrade-and-retry (wrapped by
+	// both ErrNoFeasible and DegradationReport).
+	ErrNoViableVariant = alloc.ErrNoViableVariant
+	// ErrBadTransition marks task-lifecycle misuse.
+	ErrBadTransition = rtsys.ErrBadTransition
+)
+
+// ParseFaultPlan parses the fault-plan DSL: ';'-separated
+// "at:kind:device[:slot]" events, e.g.
+// "5000:slotfail:fpga0:1;9000:configerr:fpga0;40000:devfail:dsp0".
+func ParseFaultPlan(s string) (FaultPlan, error) { return fault.ParsePlan(s) }
+
+// FaultStorm draws a fault schedule from an explicit random source.
+func FaultStorm(r *rand.Rand, spec FaultStormSpec) (FaultPlan, error) { return fault.Storm(r, spec) }
+
+// NewFaultInjector binds a fault plan to a runtime.
+func NewFaultInjector(sys *Runtime, p FaultPlan) *FaultInjector { return fault.NewInjector(sys, p) }
 
 // --- Workloads & experiments -------------------------------------------------
 
