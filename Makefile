@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz ci
+.PHONY: all build vet test race bench bench-smoke fuzz ci
 
 all: ci
 
@@ -22,9 +22,14 @@ race:
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
 
+# One iteration of every benchmark in the repo: catches benchmark code
+# rot without paying for real measurements. Part of the CI gate.
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
 # Short fuzz pass over the decoder; lengthen FUZZTIME for a real hunt.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test ./internal/cbjson/ -run xxx -fuzz FuzzDecodeCaseBase -fuzztime $(FUZZTIME)
 
-ci: build vet race
+ci: build vet race bench-smoke

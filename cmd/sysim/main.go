@@ -15,11 +15,25 @@
 // microseconds. Every task stranded by a fault is either re-placed on an
 // alternative variant (degrade-and-retry down the N-best list) or
 // rejected with a structured DegradationReport — never silently dropped.
+//
+// Observability (DESIGN.md §7):
+//
+//	sysim -stream 500 -metrics prom   # Prometheus text exposition after the run
+//	sysim -stream 500 -metrics json   # JSON snapshot (includes trace-ring events)
+//	sysim -stream 500 -metrics both
+//	sysim -pprof localhost:6060       # serve net/http/pprof while running
+//
+// -metrics instruments the stream's manager, runtime and injector on one
+// shared registry and dumps it after the replay. All metric timestamps
+// are simulation microseconds, so the dump is deterministic for a fixed
+// seed and plan.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"qosalloc"
@@ -30,7 +44,23 @@ func main() {
 	seed := flag.Int64("seed", 42, "stream generator seed")
 	repeat := flag.Float64("repeat", 0.5, "stream repeat fraction (bypass-token hits)")
 	faults := flag.String("faults", "", "fault plan to inject during the stream (at:kind:device[:slot];...)")
+	metrics := flag.String("metrics", "", "dump stream metrics after the run: prom, json or both")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	switch *metrics {
+	case "", "prom", "json", "both":
+	default:
+		fatal(fmt.Errorf("-metrics must be prom, json or both (got %q)", *metrics))
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "sysim: pprof: %v\n", err)
+			}
+		}()
+		fmt.Printf("pprof: serving on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	plan, err := qosalloc.ParseFaultPlan(*faults)
 	if err != nil {
@@ -46,26 +76,42 @@ func main() {
 		fatal(err)
 	}
 
-	if *stream > 0 || len(plan.Events) > 0 {
+	if *stream > 0 || len(plan.Events) > 0 || *metrics != "" {
 		n := *stream
 		if n <= 0 {
 			n = 200
+		}
+		var reg *qosalloc.ObsRegistry
+		if *metrics != "" {
+			reg = qosalloc.NewObsRegistry()
 		}
 		fmt.Printf("\n=== synthetic stream: %d requests, repeat %.2f", n, *repeat)
 		if len(plan.Events) > 0 {
 			fmt.Printf(", %d scripted faults", len(plan.Events))
 		}
 		fmt.Println(" ===")
-		if err := replayStream(n, *seed, *repeat, plan); err != nil {
+		if err := replayStream(n, *seed, *repeat, plan, reg); err != nil {
 			fatal(err)
+		}
+		if *metrics == "prom" || *metrics == "both" {
+			fmt.Println("\n=== metrics (prometheus text exposition) ===")
+			if err := reg.WriteProm(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+		if *metrics == "json" || *metrics == "both" {
+			fmt.Println("\n=== metrics (json snapshot) ===")
+			if err := reg.WriteJSON(os.Stdout); err != nil {
+				fatal(err)
+			}
 		}
 	}
 }
 
 // replayStream pushes a generated request stream through a fresh
 // platform — under the given fault plan — and reports manager and
-// fault-recovery statistics.
-func replayStream(n int, seed int64, repeat float64, plan qosalloc.FaultPlan) error {
+// fault-recovery statistics. A non-nil reg instruments every layer.
+func replayStream(n int, seed int64, repeat float64, plan qosalloc.FaultPlan, oreg *qosalloc.ObsRegistry) error {
 	cb, reg, err := qosalloc.GenCaseBase(qosalloc.PaperScaleSpec())
 	if err != nil {
 		return err
@@ -93,6 +139,11 @@ func replayStream(n int, seed int64, repeat float64, plan qosalloc.FaultPlan) er
 		NBest: 3, AllowPreemption: true, UseBypassTokens: true,
 	})
 	inj := qosalloc.NewFaultInjector(rt, plan)
+	if oreg != nil {
+		m.Instrument(oreg)
+		rt.Instrument(oreg)
+		inj.Instrument(oreg)
+	}
 
 	var ok, fail, stranded, recovered, degraded, rejected int
 	var live []qosalloc.TaskID

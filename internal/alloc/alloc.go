@@ -16,6 +16,7 @@ import (
 	"qosalloc/internal/attr"
 	"qosalloc/internal/casebase"
 	"qosalloc/internal/device"
+	"qosalloc/internal/obs"
 	"qosalloc/internal/retrieval"
 	"qosalloc/internal/rtsys"
 )
@@ -162,6 +163,8 @@ type Manager struct {
 	tokens    *retrieval.TokenCache
 	opt       Options
 	stats     Stats
+	met       *metrics
+	retMet    *retrieval.Metrics // survives UpdateCaseBase engine rebuilds
 	origins   map[rtsys.TaskID]origin
 }
 
@@ -177,8 +180,20 @@ func New(cb *casebase.CaseBase, sys *rtsys.System, opt Options) *Manager {
 		sys:       sys,
 		tokens:    retrieval.NewTokenCache(),
 		opt:       opt,
+		met:       newMetrics(nil),
 		origins:   make(map[rtsys.TaskID]origin),
 	}
+}
+
+// Instrument registers the manager's metric set on reg and threads the
+// retrieval bundle through both engines. The run-time system and devices
+// have their own Instrument hooks; call them separately so each layer's
+// metrics can go to the same or different registries.
+func (m *Manager) Instrument(reg *obs.Registry) {
+	m.met = newMetrics(reg)
+	m.retMet = retrieval.NewMetrics(reg)
+	m.engine.Instrument(m.retMet)
+	m.locEngine.Instrument(m.retMet)
 }
 
 // Stats returns a copy of the counters.
@@ -200,6 +215,7 @@ func (m *Manager) TokenCache() *retrieval.TokenCache { return m.tokens }
 // function is usable.
 func (m *Manager) Request(app string, req casebase.Request, basePrio int) (*Decision, error) {
 	m.stats.Requests++
+	m.met.requests.Inc()
 
 	// Bypass-token shortcut: a repeated call with the same signature
 	// skips retrieval; "only an availability check on the function and
@@ -208,6 +224,8 @@ func (m *Manager) Request(app string, req casebase.Request, basePrio int) (*Deci
 		if tok, ok := m.tokens.Lookup(req); ok {
 			if d, err := m.tryPlace(app, req, tok.Impl, tok.Similarity, basePrio); err == nil {
 				m.stats.TokenHits++
+				m.met.tokenHits.Inc()
+				m.met.event(int64(m.sys.Now()), "token-hit", "app=%s task=%d impl=%d dev=%s", app, d.Task.ID, d.Impl, d.Device)
 				d.ViaToken = true
 				return d, nil
 			}
@@ -217,20 +235,25 @@ func (m *Manager) Request(app string, req casebase.Request, basePrio int) (*Deci
 	}
 
 	m.stats.Retrievals++
+	m.met.retrievals.Inc()
 	candidates, err := m.engine.RetrieveN(req, m.opt.NBest)
 	if err != nil {
 		var nm *retrieval.ErrNoMatch
 		if errors.As(err, &nm) {
 			m.stats.Rejected++
+			m.met.rejected.Inc()
+			m.met.event(int64(m.sys.Now()), "threshold-reject", "app=%s type=%d best=%.3f", app, req.Type, nm.Best)
 		}
 		return nil, err
 	}
 	m.rankForPower(req.Type, candidates)
 
 	// Feasibility check, best candidate first.
-	for _, cand := range candidates {
+	for depth, cand := range candidates {
 		d, err := m.tryPlace(app, req, cand.Impl, cand.Similarity, basePrio)
 		if err == nil {
+			m.met.nbestDepth.Observe(int64(depth + 1))
+			m.met.event(int64(m.sys.Now()), "place", "app=%s task=%d impl=%d dev=%s depth=%d", app, d.Task.ID, d.Impl, d.Device, depth+1)
 			m.tokens.Store(req, retrieval.Token{
 				Type: req.Type, Impl: cand.Impl, Similarity: cand.Similarity,
 			})
@@ -247,6 +270,8 @@ func (m *Manager) Request(app string, req casebase.Request, basePrio int) (*Deci
 	}
 
 	m.stats.Infeasible++
+	m.met.infeasible.Inc()
+	m.met.event(int64(m.sys.Now()), "infeasible", "app=%s type=%d candidates=%d", app, req.Type, len(candidates))
 	return nil, &ErrNoFeasible{Alternatives: candidates}
 }
 
@@ -302,6 +327,7 @@ func (m *Manager) tryPlace(app string, req casebase.Request, id casebase.ImplID,
 			continue
 		}
 		m.stats.Placed++
+		m.met.placed.Inc()
 		m.origins[task.ID] = origin{app: app, req: req, impl: id, sim: sim}
 		return &Decision{
 			Task: task, Impl: id, Target: im.Target, Device: dev.Name(),
@@ -331,6 +357,8 @@ func (m *Manager) tryPreemptivePlace(app string, req casebase.Request, candidate
 				continue
 			}
 			m.stats.Preemptions++
+			m.met.preemptions.Inc()
+			m.met.event(int64(m.sys.Now()), "preempt", "victim=%d dev=%s for app=%s", victim.ID, dev.Name(), app)
 			if !dev.CanPlace(im.Foot) {
 				// Even the freed capacity is not enough; the
 				// victim stays preempted and will re-bid with
@@ -447,6 +475,10 @@ func (m *Manager) UpdateCaseBase(cb *casebase.CaseBase) {
 	m.cb = cb
 	m.engine = retrieval.NewEngine(cb, retrieval.Options{Threshold: m.opt.Threshold})
 	m.locEngine = retrieval.NewEngine(cb, retrieval.Options{KeepLocals: true})
+	if m.retMet != nil {
+		m.engine.Instrument(m.retMet)
+		m.locEngine.Instrument(m.retMet)
+	}
 	m.tokens.InvalidateAll()
 }
 
@@ -511,6 +543,9 @@ func (m *Manager) recoverTask(t *rtsys.Task) Recovery {
 				continue
 			}
 			m.stats.Recovered++
+			m.met.recovered.Inc()
+			m.met.nbestDepth.Observe(int64(len(tried)))
+			m.met.event(int64(m.sys.Now()), "recover", "task=%d impl=%d dev=%s", t.ID, cand.Impl, dev.Name())
 			d := &Decision{
 				Task: t, Impl: cand.Impl, Target: im.Target, Device: dev.Name(),
 				Similarity: cand.Similarity, ReadyAt: t.ReadyAt,
@@ -519,6 +554,8 @@ func (m *Manager) recoverTask(t *rtsys.Task) Recovery {
 				lost := m.lostAttrs(org.req, org.impl, cand.Impl)
 				if cand.Similarity < org.sim || len(lost) > 0 {
 					m.stats.Degraded++
+					m.met.degraded.Inc()
+					m.met.event(int64(m.sys.Now()), "degrade", "task=%d impl %d->%d sim %.3f->%.3f", t.ID, org.impl, cand.Impl, org.sim, cand.Similarity)
 					d.Degraded = &Degradation{
 						FromImpl: org.impl, ToImpl: cand.Impl,
 						FromSim: org.sim, ToSim: cand.Similarity,
@@ -540,6 +577,8 @@ func (m *Manager) recoverTask(t *rtsys.Task) Recovery {
 // structured report names what was lost.
 func (m *Manager) reject(t *rtsys.Task, org origin, excluded []casebase.Target, tried []retrieval.Result) *DegradationReport {
 	m.stats.FaultRejected++
+	m.met.faultRejected.Inc()
+	m.met.event(int64(m.sys.Now()), "fault-reject", "task=%d app=%s tried=%d excluded=%d", t.ID, org.app, len(tried), len(excluded))
 	rep := &DegradationReport{
 		App: org.app, Task: t.ID, Req: org.req,
 		Excluded: excluded, Tried: tried,

@@ -1,0 +1,61 @@
+package alloc
+
+import (
+	"fmt"
+
+	"qosalloc/internal/obs"
+)
+
+// metrics is the manager's observability bundle. A dangling bundle
+// (built over a nil registry) backs every uninstrumented manager, so
+// increment sites never branch; only the trace ring checks enabled, to
+// skip the event formatting cost when nobody is reading.
+type metrics struct {
+	enabled bool
+
+	requests      *obs.Counter
+	tokenHits     *obs.Counter
+	retrievals    *obs.Counter
+	placed        *obs.Counter
+	preemptions   *obs.Counter
+	rejected      *obs.Counter
+	infeasible    *obs.Counter
+	recovered     *obs.Counter
+	degraded      *obs.Counter
+	faultRejected *obs.Counter
+
+	// nbestDepth observes the 1-based position of the candidate that
+	// finally placed — how far down the similarity-ranked N-best list
+	// the feasibility walk had to fall. Depth 1 means the best match
+	// was feasible, the paper's ideal case.
+	nbestDepth *obs.Histogram
+	trace      *obs.Ring
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		enabled:       reg != nil,
+		requests:      reg.Counter("qos_alloc_requests_total", "allocation requests received"),
+		tokenHits:     reg.Counter("qos_alloc_token_hits_total", "requests served by a bypass token (retrieval skipped)"),
+		retrievals:    reg.Counter("qos_alloc_retrievals_total", "requests that ran full CBR retrieval"),
+		placed:        reg.Counter("qos_alloc_placed_total", "successful placements"),
+		preemptions:   reg.Counter("qos_alloc_preemptions_total", "victims evicted to make room"),
+		rejected:      reg.Counter("qos_alloc_threshold_rejections_total", "requests rejected below the similarity threshold"),
+		infeasible:    reg.Counter("qos_alloc_infeasible_total", "requests with matches but no placeable variant"),
+		recovered:     reg.Counter("qos_alloc_recovered_total", "fault-stranded tasks re-placed by degrade-and-retry"),
+		degraded:      reg.Counter("qos_alloc_degraded_total", "recoveries that landed on a worse-matching variant"),
+		faultRejected: reg.Counter("qos_alloc_fault_rejected_total", "stranded tasks rejected with a DegradationReport"),
+		nbestDepth: reg.Histogram("qos_alloc_nbest_depth",
+			"1-based N-best position of the candidate that placed", obs.DepthBuckets),
+		trace: reg.Ring("qos_alloc_trace", "placement-outcome trace (sim micros)", 256),
+	}
+}
+
+// event appends a trace event at sim time, formatting only when a real
+// registry is listening.
+func (m *metrics) event(at int64, kind, format string, args ...any) {
+	if !m.enabled {
+		return
+	}
+	m.trace.Append(obs.Event{At: at, Kind: kind, Detail: fmt.Sprintf(format, args...)})
+}

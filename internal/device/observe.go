@@ -1,0 +1,94 @@
+package device
+
+import (
+	"fmt"
+
+	"qosalloc/internal/obs"
+)
+
+// Observer publishes per-device gauges (health, occupancy, slot state)
+// and a health-transition counter onto an obs registry. Devices are
+// passive capacity models with no clock of their own, so the observer is
+// pull-based: the run-time system calls Sync after every mutating
+// operation (place, remove, fault), giving the gauges transaction-level
+// freshness without touching the device hot paths themselves.
+type Observer struct {
+	reg  *obs.Registry
+	prev map[ID]Health
+
+	transitions *obs.Counter
+	trace       *obs.Ring
+
+	health    map[ID]*obs.Gauge
+	occupancy map[ID]*obs.Gauge
+	slotsFree map[ID]*obs.Gauge
+	slotsBad  map[ID]*obs.Gauge
+	load      map[ID]*obs.Gauge
+}
+
+// NewObserver returns an observer publishing to reg. A nil registry
+// yields an observer whose Sync is a no-op.
+func NewObserver(reg *obs.Registry) *Observer {
+	if reg == nil {
+		return &Observer{}
+	}
+	return &Observer{
+		reg:  reg,
+		prev: make(map[ID]Health),
+		transitions: reg.Counter("qos_device_health_transitions_total",
+			"device health-state changes observed"),
+		trace:     reg.Ring("qos_device_trace", "device health-transition trace (sim micros)", 64),
+		health:    make(map[ID]*obs.Gauge),
+		occupancy: make(map[ID]*obs.Gauge),
+		slotsFree: make(map[ID]*obs.Gauge),
+		slotsBad:  make(map[ID]*obs.Gauge),
+		load:      make(map[ID]*obs.Gauge),
+	}
+}
+
+// Enabled reports whether the observer publishes anywhere.
+func (o *Observer) Enabled() bool { return o != nil && o.reg != nil }
+
+func (o *Observer) gauge(m map[ID]*obs.Gauge, metric string, dev ID, help string) *obs.Gauge {
+	g, ok := m[dev]
+	if !ok {
+		g = o.reg.Gauge(fmt.Sprintf("%s{device=%q}", metric, string(dev)), help)
+		m[dev] = g
+	}
+	return g
+}
+
+// Sync refreshes every gauge from the devices' current state and counts
+// health transitions since the previous Sync. now timestamps trace
+// events (simulation microseconds in deterministic runs).
+func (o *Observer) Sync(now Micros, devs []Device) {
+	if !o.Enabled() {
+		return
+	}
+	for _, d := range devs {
+		name := d.Name()
+		h := d.Health()
+		if prev, seen := o.prev[name]; seen && prev != h {
+			o.transitions.Inc()
+			o.trace.Append(obs.Event{
+				At: int64(now), Kind: "health",
+				Detail: fmt.Sprintf("%s: %v -> %v", name, prev, h),
+			})
+		}
+		o.prev[name] = h
+		o.gauge(o.health, "qos_device_health", name,
+			"device health (0 healthy, 1 degraded, 2 failed)").Set(int64(h))
+		o.gauge(o.occupancy, "qos_device_placements", name,
+			"live placements on the device").Set(int64(len(d.Placements())))
+		switch dd := d.(type) {
+		case *FPGA:
+			o.gauge(o.slotsFree, "qos_device_slots_free", name,
+				"unoccupied healthy FPGA slots").Set(int64(dd.FreeSlots()))
+			o.gauge(o.slotsBad, "qos_device_slots_failed", name,
+				"permanently failed FPGA slots").Set(int64(dd.FailedSlots()))
+		case *Processor:
+			o.gauge(o.load, "qos_device_load_permille", name,
+				"committed processor load in permille").Set(int64(dd.Load()))
+		}
+	}
+}

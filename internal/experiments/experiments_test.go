@@ -14,7 +14,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"bitwidth", "bypass", "capacity", "compact", "faults",
 		"fixedpoint", "latency", "learning", "mahalanobis", "nbest",
-		"negotiate", "policy", "powertrade", "speedup", "system",
+		"negotiate", "obs", "policy", "powertrade", "speedup", "system",
 		"table1", "table2", "table3",
 	}
 	all := All()

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"qosalloc/internal/alloc"
+	"qosalloc/internal/casebase"
+	"qosalloc/internal/device"
+	"qosalloc/internal/fault"
+	"qosalloc/internal/obs"
+	"qosalloc/internal/rtsys"
+	"qosalloc/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "obs",
+		Title: "Observability: deterministic counters across the allocation pipeline",
+		Paper: "§4.2 cycle accounting generalized — every layer's work is counted, and a replay reproduces every number bit-exactly",
+		Run:   Obs,
+	})
+}
+
+// ObsSpec parameterizes the instrumented replay.
+type ObsSpec struct {
+	// Requests is the synthetic stream length. Zero means 200.
+	Requests int
+	// Seed drives the workload and, when Plan is nil, the fault storm.
+	Seed int64
+	// Plan overrides the generated storm with a scripted schedule.
+	Plan *fault.Plan
+}
+
+// ObsRun replays a deterministic request stream under a fault storm with
+// every layer instrumented on one shared registry, and returns that
+// registry. Because the simulation is event-free sim time (no wall
+// clock, no unseeded randomness), every counter, gauge, histogram bucket
+// and trace event is identical across replays of the same spec — which
+// is exactly what the golden test pins.
+func ObsRun(spec ObsSpec) (*obs.Registry, error) {
+	if spec.Requests <= 0 {
+		spec.Requests = 200
+	}
+	reg := obs.NewRegistry()
+
+	cb, areg, err := workload.GenCaseBase(workload.PaperScale())
+	if err != nil {
+		return nil, err
+	}
+	reqs, err := workload.GenRequests(cb, areg, workload.RequestStreamSpec{
+		N: spec.Requests, ConstraintsPer: 4, RepeatFraction: 0.3, Seed: spec.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	repo := device.NewRepository(20)
+	if err := repo.PopulateFromCaseBase(cb); err != nil {
+		return nil, err
+	}
+	slots := []device.Slot{
+		{Slices: 1500, BRAMs: 8, Multipliers: 16},
+		{Slices: 1500, BRAMs: 8, Multipliers: 16},
+		{Slices: 1500, BRAMs: 8, Multipliers: 16},
+	}
+	sys := rtsys.NewSystem(repo,
+		device.NewFPGA("fpga0", slots, 66),
+		device.NewFPGA("fpga1", slots, 66),
+		device.NewProcessor("dsp0", casebase.TargetDSP, 2000, 1<<20),
+		device.NewProcessor("gpp0", casebase.TargetGPP, 2000, 1<<21),
+	)
+	m := alloc.New(cb, sys, alloc.Options{
+		NBest: 5, AllowPreemption: true, UseBypassTokens: true,
+	})
+
+	plan := fault.Plan{}
+	if spec.Plan != nil {
+		plan = *spec.Plan
+	} else {
+		r := rand.New(rand.NewSource(spec.Seed))
+		horizon := device.Micros(spec.Requests) * 1000
+		plan, err = fault.Storm(r, fault.StormSpec{
+			Horizon:   horizon,
+			SlotFails: 2, DeviceFails: 1, ConfigErrors: 6, SEUs: 4,
+			Targets: []fault.StormTarget{
+				{Device: "fpga0", Slots: len(slots)},
+				{Device: "fpga1", Slots: len(slots)},
+				{Device: "dsp0"},
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	inj := fault.NewInjector(sys, plan)
+
+	// One registry, every layer. Manager.Instrument also instruments the
+	// retrieval engines it owns.
+	m.Instrument(reg)
+	sys.Instrument(reg)
+	inj.Instrument(reg)
+
+	var live []rtsys.TaskID
+	for i, req := range reqs {
+		applied, err := inj.AdvanceTo(device.Micros(i+1) * 1000)
+		if err != nil {
+			return nil, err
+		}
+		if len(applied) > 0 {
+			m.RecoverFromFaults()
+		}
+		if len(live) >= 12 {
+			_ = m.Release(live[0])
+			live = live[1:]
+			m.ReplacePending()
+		}
+		dec, err := m.Request(fmt.Sprintf("app%d", i%8), req, 1+i%9)
+		if err != nil {
+			continue
+		}
+		live = append(live, dec.Task.ID)
+	}
+	if _, err := inj.AdvanceTo(sys.Now() + 100_000); err != nil {
+		return nil, err
+	}
+	m.RecoverFromFaults()
+	return reg, nil
+}
+
+// Obs renders the instrumented replay: the full counter set, the
+// sim-time histograms, and the trace-ring totals. Every line is
+// replay-stable.
+func Obs(w io.Writer) error {
+	reg, err := ObsRun(ObsSpec{Seed: 7})
+	if err != nil {
+		return err
+	}
+	snap := reg.Snapshot()
+
+	fmt.Fprintf(w, "counters (deterministic; identical on every replay of seed 7):\n")
+	for _, name := range reg.CounterNames() {
+		v, _ := reg.CounterValue(name)
+		fmt.Fprintf(w, "  %-52s %d\n", name, v)
+	}
+
+	fmt.Fprintf(w, "\nsim-time histograms:\n")
+	for _, name := range []string{"qos_rtsys_wait_micros", "qos_rtsys_config_micros",
+		"qos_retrieval_impls_per_retrieval", "qos_alloc_nbest_depth"} {
+		h, ok := snap.Histograms[name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "  %-36s count %-5d sum %d\n", name, h.Count, h.Sum)
+	}
+
+	fmt.Fprintf(w, "\ntrace rings:\n")
+	ringNames := make([]string, 0, len(snap.Rings))
+	for name := range snap.Rings {
+		ringNames = append(ringNames, name)
+	}
+	sort.Strings(ringNames)
+	for _, name := range ringNames {
+		r := snap.Rings[name]
+		fmt.Fprintf(w, "  %-24s %d event(s) recorded, last %d retained\n",
+			name, r.Total, len(r.Events))
+	}
+
+	fmt.Fprintf(w, "\nThe registry never reads the wall clock or an unseeded random\n")
+	fmt.Fprintf(w, "source: timestamps are simulation microseconds supplied by the\n")
+	fmt.Fprintf(w, "caller, so the numbers above are bit-exact across replays — the\n")
+	fmt.Fprintf(w, "same property the paper's cycle counts rely on.\n")
+	return nil
+}

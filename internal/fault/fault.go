@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"qosalloc/internal/device"
+	"qosalloc/internal/obs"
 	"qosalloc/internal/rtsys"
 )
 
@@ -210,14 +211,43 @@ type Injector struct {
 	events []Event // sorted by At, stable
 	next   int
 	log    []Applied
+	met    *injMetrics
+}
+
+// injMetrics is the injector's observability bundle: injections by
+// kind, no-victim hits, and a trace of applied events at sim time.
+type injMetrics struct {
+	enabled  bool
+	byKind   map[Kind]*obs.Counter
+	noVictim *obs.Counter
+	trace    *obs.Ring
+}
+
+func newInjMetrics(reg *obs.Registry) *injMetrics {
+	m := &injMetrics{
+		enabled: reg != nil,
+		byKind:  make(map[Kind]*obs.Counter, len(kindNames)),
+		noVictim: reg.Counter("qos_fault_no_victim_total",
+			"injected faults that hit idle capacity"),
+		trace: reg.Ring("qos_fault_trace", "applied fault events (sim micros)", 128),
+	}
+	for k, name := range kindNames {
+		m.byKind[k] = reg.Counter(
+			fmt.Sprintf("qos_fault_injections_total{kind=%q}", name),
+			"faults injected by kind")
+	}
+	return m
 }
 
 // NewInjector binds a plan to a system.
 func NewInjector(sys *rtsys.System, p Plan) *Injector {
 	evs := append([]Event(nil), p.Events...)
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
-	return &Injector{sys: sys, events: evs}
+	return &Injector{sys: sys, events: evs, met: newInjMetrics(nil)}
 }
+
+// Instrument registers the injector's metric set on reg.
+func (in *Injector) Instrument(reg *obs.Registry) { in.met = newInjMetrics(reg) }
 
 // Pending returns how many events have not fired yet.
 func (in *Injector) Pending() int { return len(in.events) - in.next }
@@ -244,9 +274,29 @@ func (in *Injector) ApplyDue() ([]Applied, error) {
 		}
 		in.next++
 		in.log = append(in.log, a)
+		in.record(a)
 		out = append(out, a)
 	}
 	return out, nil
+}
+
+// record accounts one applied event on the metric bundle.
+func (in *Injector) record(a Applied) {
+	if c, ok := in.met.byKind[a.Event.Kind]; ok {
+		c.Inc()
+	}
+	if a.NoVictim {
+		in.met.noVictim.Inc()
+	}
+	if in.met.enabled {
+		detail := fmt.Sprintf("%s: %d victim(s)", a.Event, len(a.Affected))
+		if a.NoVictim {
+			detail = fmt.Sprintf("%s: no victim", a.Event)
+		}
+		in.met.trace.Append(obs.Event{
+			At: int64(a.Event.At), Kind: a.Event.Kind.String(), Detail: detail,
+		})
+	}
 }
 
 // AdvanceTo advances the system clock to t, stopping at each due fault

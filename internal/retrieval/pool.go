@@ -6,6 +6,12 @@ import (
 	"qosalloc/internal/casebase"
 )
 
+// DefaultMaxIdle is the idle-list retention cap of a Pool. Engines are a
+// few hundred bytes plus their options, so a burst of N concurrent
+// callers would otherwise pin N engines forever; the cap bounds the
+// steady-state footprint to the worst sustained (not peak) concurrency.
+const DefaultMaxIdle = 16
+
 // Engine and FixedEngine are deliberately single-threaded, like the
 // paper's FSM: per-retrieval statistics accumulate without locks. Pool
 // is the concurrency layer for hosts that serve many applications at
@@ -14,31 +20,101 @@ import (
 type Pool struct {
 	cb  *casebase.CaseBase
 	opt Options
+	met *Metrics
 
-	mu      sync.Mutex
-	idle    []*Engine
-	retired Stats // stats folded in from returned engines
+	mu       sync.Mutex
+	idle     []*Engine
+	maxIdle  int
+	inFlight int
+	borrows  int
+	misses   int
+	discards int
+	retired  Stats // stats folded in from returned engines
 }
 
-// NewPool returns a concurrency-safe retrieval front end over cb.
+// PoolStats extends the merged engine counters with the pool's own
+// traffic accounting. Snapshot semantics: Merged folds in an engine's
+// counters when the engine is returned, so a snapshot taken mid-burst
+// excludes the partial work of the InFlight engines still checked out —
+// Merged is exact over *completed* calls, and InFlight tells the reader
+// how many calls are still unaccounted. (Folding at return, rather than
+// sharing atomics across engines, keeps the single-threaded engine hot
+// path free of synchronization.)
+type PoolStats struct {
+	Merged   Stats // counters of every completed call
+	InFlight int   // engines currently checked out (work not yet folded)
+	Idle     int   // engines parked for reuse
+	Borrows  int   // total borrows (hits + misses)
+	Misses   int   // borrows that constructed a new engine
+	Discards int   // returned engines dropped by the idle cap
+}
+
+// NewPool returns a concurrency-safe retrieval front end over cb with
+// the DefaultMaxIdle retention cap.
 func NewPool(cb *casebase.CaseBase, opt Options) *Pool {
-	return &Pool{cb: cb, opt: opt}
+	return &Pool{cb: cb, opt: opt, maxIdle: DefaultMaxIdle, met: NewMetrics(nil)}
+}
+
+// SetMaxIdle bounds the idle list to n engines (n < 1 keeps no idle
+// engines: every borrow constructs, every return discards).
+func (p *Pool) SetMaxIdle(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	p.maxIdle = n
+	if len(p.idle) > n {
+		p.discards += len(p.idle) - n
+		p.idle = p.idle[:n]
+	}
+	p.met.PoolIdle.Set(int64(len(p.idle)))
+}
+
+// Instrument points the pool's observability at the given bundle; the
+// bundle is handed to every engine the pool constructs from now on.
+func (p *Pool) Instrument(m *Metrics) {
+	if m == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.met = m
+	for _, e := range p.idle {
+		e.Instrument(m)
+	}
 }
 
 // get borrows an engine.
 func (p *Pool) get() *Engine {
 	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.borrows++
+	p.inFlight++
 	if n := len(p.idle); n > 0 {
 		e := p.idle[n-1]
+		p.idle[n-1] = nil
 		p.idle = p.idle[:n-1]
+		p.met.PoolBorrowHits.Inc()
+		p.met.PoolInFlight.Set(int64(p.inFlight))
+		p.met.PoolIdle.Set(int64(len(p.idle)))
+		p.mu.Unlock()
 		return e
 	}
-	return NewEngine(p.cb, p.opt)
+	p.misses++
+	p.met.PoolBorrowMisses.Inc()
+	p.met.PoolInFlight.Set(int64(p.inFlight))
+	met := p.met
+	p.mu.Unlock()
+	// Construct outside the lock: a burst of misses must not serialize
+	// on engine construction.
+	e := NewEngine(p.cb, p.opt)
+	e.Instrument(met)
+	return e
 }
 
 // put returns an engine, folding its stats into the pool totals so they
-// are not double-counted on reuse.
+// are not double-counted on reuse. Engines beyond the idle cap are
+// dropped for the garbage collector.
 func (p *Pool) put(e *Engine) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -48,7 +124,15 @@ func (p *Pool) put(e *Engine) {
 	p.retired.AttrsCompared += s.AttrsCompared
 	p.retired.BelowThreshold += s.BelowThreshold
 	e.stats = Stats{}
-	p.idle = append(p.idle, e)
+	p.inFlight--
+	if len(p.idle) < p.maxIdle {
+		p.idle = append(p.idle, e)
+	} else {
+		p.discards++
+		p.met.PoolDiscards.Inc()
+	}
+	p.met.PoolInFlight.Set(int64(p.inFlight))
+	p.met.PoolIdle.Set(int64(len(p.idle)))
 }
 
 // Retrieve is Engine.Retrieve, safe for concurrent use.
@@ -72,9 +156,26 @@ func (p *Pool) RetrieveAll(req casebase.Request) ([]Result, error) {
 	return e.RetrieveAll(req)
 }
 
-// Stats returns the merged counters of every completed call.
+// Stats returns the merged counters of every completed call. Partial
+// work of engines still checked out is excluded; use PoolStats to see
+// how many calls are in flight when reading mid-burst.
 func (p *Pool) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.retired
+}
+
+// PoolStats returns the merged counters plus the pool's own traffic
+// accounting (see the PoolStats type for the snapshot semantics).
+func (p *Pool) PoolStats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolStats{
+		Merged:   p.retired,
+		InFlight: p.inFlight,
+		Idle:     len(p.idle),
+		Borrows:  p.borrows,
+		Misses:   p.misses,
+		Discards: p.discards,
+	}
 }

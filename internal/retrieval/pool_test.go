@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"qosalloc/internal/casebase"
+	"qosalloc/internal/obs"
 )
 
 func TestPoolSerialMatchesEngine(t *testing.T) {
@@ -95,4 +96,168 @@ func TestPoolReusesEngines(t *testing.T) {
 	if idle != 1 {
 		t.Errorf("serial reuse should keep one idle engine, have %d", idle)
 	}
+}
+
+// TestPoolIdleListBounded is the satellite bugfix's regression test: a
+// burst of concurrent borrows must not pin every engine forever. The
+// idle list is capped, discards are counted, and the accounting
+// identity Borrows = Misses + reuses holds.
+func TestPoolIdleListBounded(t *testing.T) {
+	cb, _ := casebase.PaperCaseBase()
+	p := NewPool(cb, Options{})
+	p.SetMaxIdle(4)
+	req := casebase.PaperRequest()
+
+	// Check out far more engines than the cap, then return them all.
+	const burst = 32
+	engines := make([]*Engine, burst)
+	for i := range engines {
+		engines[i] = p.get()
+	}
+	for _, e := range engines {
+		if _, err := e.Retrieve(req); err != nil {
+			t.Fatal(err)
+		}
+		p.put(e)
+	}
+	st := p.PoolStats()
+	if st.Idle > 4 {
+		t.Errorf("idle = %d, cap is 4", st.Idle)
+	}
+	if st.Discards != burst-4 {
+		t.Errorf("discards = %d, want %d", st.Discards, burst-4)
+	}
+	if st.InFlight != 0 {
+		t.Errorf("in flight = %d after full return", st.InFlight)
+	}
+	if st.Borrows != burst || st.Misses != burst {
+		t.Errorf("borrows/misses = %d/%d, want %d/%d", st.Borrows, st.Misses, burst, burst)
+	}
+	if st.Merged.Retrievals != burst {
+		t.Errorf("merged retrievals = %d, want %d", st.Merged.Retrievals, burst)
+	}
+
+	// Shrinking the cap truncates and counts the drop.
+	p.SetMaxIdle(1)
+	if st := p.PoolStats(); st.Idle != 1 || st.Discards != burst-4+3 {
+		t.Errorf("after shrink: idle %d discards %d", st.Idle, st.Discards)
+	}
+
+	// A zero cap pools nothing.
+	p.SetMaxIdle(0)
+	if _, err := p.Retrieve(req); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.PoolStats(); st.Idle != 0 {
+		t.Errorf("idle = %d with zero cap", st.Idle)
+	}
+}
+
+// TestPoolMidBurstStatsSnapshot pins the documented snapshot semantics:
+// mid-burst, Merged counts only completed calls and InFlight reports the
+// engines still checked out, so readers can tell an undercount from a
+// quiesced pool.
+func TestPoolMidBurstStatsSnapshot(t *testing.T) {
+	cb, _ := casebase.PaperCaseBase()
+	p := NewPool(cb, Options{})
+	req := casebase.PaperRequest()
+
+	// Two engines held mid-call, one call completed.
+	a, b := p.get(), p.get()
+	if _, err := p.Retrieve(req); err != nil {
+		t.Fatal(err)
+	}
+	st := p.PoolStats()
+	if st.InFlight != 2 {
+		t.Errorf("in flight = %d, want 2", st.InFlight)
+	}
+	if st.Merged.Retrievals != 1 {
+		t.Errorf("merged mid-burst = %d, want 1 (completed calls only)", st.Merged.Retrievals)
+	}
+	// Work the held engines, return them: the totals catch up exactly.
+	for _, e := range []*Engine{a, b} {
+		if _, err := e.Retrieve(req); err != nil {
+			t.Fatal(err)
+		}
+		p.put(e)
+	}
+	st = p.PoolStats()
+	if st.InFlight != 0 || st.Merged.Retrievals != 3 {
+		t.Errorf("after return: in flight %d, merged %d; want 0, 3", st.InFlight, st.Merged.Retrievals)
+	}
+}
+
+// TestPoolConcurrentInstrumented hammers an instrumented pool under
+// -race: the obs counters are atomic and must agree with the pool's own
+// locked accounting once the burst drains.
+func TestPoolConcurrentInstrumented(t *testing.T) {
+	cb, _ := casebase.PaperCaseBase()
+	p := NewPool(cb, Options{})
+	reg := obs.NewRegistry()
+	p.Instrument(NewMetrics(reg))
+	req := casebase.PaperRequest()
+
+	const workers = 8
+	const perWorker = 40
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if _, err := p.Retrieve(req); err != nil {
+					t.Error(err)
+					return
+				}
+				// Interleave stats reads with traffic.
+				_ = p.PoolStats()
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := p.PoolStats()
+	hits, _ := reg.CounterValue(`qos_retrieval_pool_borrows_total{kind="hit"}`)
+	misses, _ := reg.CounterValue(`qos_retrieval_pool_borrows_total{kind="miss"}`)
+	if int(hits+misses) != st.Borrows || int(misses) != st.Misses {
+		t.Errorf("obs borrows %d+%d disagree with pool accounting %+v", hits, misses, st)
+	}
+	retrievals, _ := reg.CounterValue("qos_retrieval_total")
+	if retrievals != int64(workers*perWorker) {
+		t.Errorf("obs retrievals = %d, want %d", retrievals, workers*perWorker)
+	}
+}
+
+// BenchmarkPoolParallel measures the pool's hot path under contention —
+// the bench-smoke CI target runs one iteration of this to catch
+// regressions that only appear with -race or under parallelism.
+func BenchmarkPoolParallel(b *testing.B) {
+	cb, _ := casebase.PaperCaseBase()
+	p := NewPool(cb, Options{})
+	req := casebase.PaperRequest()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := p.Retrieve(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPoolParallelInstrumented is the same path with a live
+// registry, pinning the observability overhead.
+func BenchmarkPoolParallelInstrumented(b *testing.B) {
+	cb, _ := casebase.PaperCaseBase()
+	p := NewPool(cb, Options{})
+	p.Instrument(NewMetrics(obs.NewRegistry()))
+	req := casebase.PaperRequest()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := p.Retrieve(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -63,6 +63,7 @@ type Engine struct {
 	cb    *casebase.CaseBase
 	opt   Options
 	stats Stats
+	met   *Metrics
 }
 
 // Stats counts engine activity.
@@ -82,7 +83,15 @@ func NewEngine(cb *casebase.CaseBase, opt Options) *Engine {
 	if opt.Amalgamation == nil {
 		opt.Amalgamation = similarity.WeightedSum{}
 	}
-	return &Engine{cb: cb, opt: opt}
+	return &Engine{cb: cb, opt: opt, met: NewMetrics(nil)}
+}
+
+// Instrument points the engine's observability at the given bundle
+// (typically shared with the pool or the allocation manager's registry).
+func (e *Engine) Instrument(m *Metrics) {
+	if m != nil {
+		e.met = m
+	}
 }
 
 // CaseBase returns the engine's case base.
@@ -129,6 +138,7 @@ func (e *Engine) score(im *casebase.Implementation, req casebase.Request) (float
 		}
 		sims[i] = s
 		e.stats.AttrsCompared++
+		e.met.AttrsCompared.Inc()
 		if e.opt.KeepLocals {
 			locals[i] = LocalScore{
 				ID: uint16(c.ID), Req: uint16(c.Value), Impl: uint16(v),
@@ -147,13 +157,17 @@ func (e *Engine) RetrieveAll(req casebase.Request) ([]Result, error) {
 	if err := req.Validate(e.cb); err != nil {
 		return nil, err
 	}
+	start := e.met.start()
 	ft, _ := e.cb.Type(req.Type)
 	e.stats.Retrievals++
+	e.met.Retrievals.Inc()
+	e.met.ImplsPerRetrieval.Observe(int64(len(ft.Impls)))
 	out := make([]Result, 0, len(ft.Impls))
 	for i := range ft.Impls {
 		im := &ft.Impls[i]
 		s, locals := e.score(im, req)
 		e.stats.ImplsScored++
+		e.met.ImplsScored.Inc()
 		out = append(out, Result{
 			Type: req.Type, Impl: im.ID, Target: im.Target, Name: im.Name,
 			Similarity: s, Locals: locals,
@@ -165,6 +179,7 @@ func (e *Engine) RetrieveAll(req casebase.Request) ([]Result, error) {
 		}
 		return out[i].Impl < out[j].Impl
 	})
+	e.met.observeLatency(start)
 	return out, nil
 }
 
@@ -179,11 +194,14 @@ func (e *Engine) Retrieve(req casebase.Request) (Result, error) {
 	best := all[0]
 	if best.Similarity < e.opt.Threshold {
 		e.stats.BelowThreshold += len(all)
+		e.met.BelowThreshold.Add(int64(len(all)))
+		e.met.NoMatch.Inc()
 		return Result{}, &ErrNoMatch{Type: req.Type, Threshold: e.opt.Threshold, Best: best.Similarity}
 	}
 	for _, r := range all {
 		if r.Similarity < e.opt.Threshold {
 			e.stats.BelowThreshold++
+			e.met.BelowThreshold.Inc()
 		}
 	}
 	return best, nil
@@ -204,6 +222,7 @@ func (e *Engine) RetrieveN(req casebase.Request, n int) ([]Result, error) {
 	for _, r := range all {
 		if r.Similarity < e.opt.Threshold {
 			e.stats.BelowThreshold++
+			e.met.BelowThreshold.Inc()
 			continue
 		}
 		if len(out) < n {
@@ -211,6 +230,7 @@ func (e *Engine) RetrieveN(req casebase.Request, n int) ([]Result, error) {
 		}
 	}
 	if len(out) == 0 {
+		e.met.NoMatch.Inc()
 		return nil, &ErrNoMatch{Type: req.Type, Threshold: e.opt.Threshold, Best: all[0].Similarity}
 	}
 	return out, nil

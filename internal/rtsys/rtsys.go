@@ -18,6 +18,7 @@ import (
 
 	"qosalloc/internal/casebase"
 	"qosalloc/internal/device"
+	"qosalloc/internal/obs"
 )
 
 // TaskID is a run-time task handle.
@@ -143,6 +144,8 @@ type System struct {
 	tasks   map[TaskID]*Task
 	nextID  TaskID
 	metrics Metrics
+	met     *rtMetrics
+	devObs  *device.Observer
 
 	// AgingNumerator/AgingDenominator set the adaptive-priority boost:
 	// effective priority = base + waited*num/den. The FPL'04 scheme
@@ -169,6 +172,8 @@ func NewSystem(repo *device.Repository, devs ...device.Device) *System {
 		devices: devs, repo: repo,
 		tasks:            make(map[TaskID]*Task),
 		nextID:           1,
+		met:              newRTMetrics(nil),
+		devObs:           device.NewObserver(nil),
 		AgingNumerator:   1,
 		AgingDenominator: 10_000,
 		RetryBase:        500,
@@ -225,6 +230,12 @@ func (s *System) CreateTask(app string, ty casebase.TypeID, basePrio int) *Task 
 	s.nextID++
 	s.tasks[t.ID] = t
 	s.metrics.Created++
+	s.met.tasksByState[Pending].Add(1)
+	s.met.transitions["create"].Inc()
+	if s.met.enabled {
+		s.met.trace.Append(obs.Event{At: int64(s.now), Kind: "create",
+			Detail: fmt.Sprintf("task %d: %s type %d", t.ID, app, ty)})
+	}
 	return t
 }
 
@@ -263,12 +274,14 @@ func (s *System) Place(t *Task, dev device.Device, im *casebase.Implementation) 
 		return fmt.Errorf("rtsys: place task %d on %s: %w", t.ID, dev.Name(), err)
 	}
 	s.metrics.TotalWait += s.now - t.WaitingSince
+	s.met.waitMicros.Observe(int64(s.now - t.WaitingSince))
 	t.Impl = im.ID
 	t.Dev = dev.Name()
-	t.State = Configuring
+	s.setState(t, Configuring, "place")
 	t.ReadyAt = pl.Ready + fetch
 	t.ConfigCost = t.ReadyAt - s.now
 	t.ConfigRetries = 0
+	s.devSync()
 	return nil
 }
 
@@ -287,11 +300,12 @@ func (s *System) Preempt(t *Task) error {
 	if err := dev.Remove(int(t.ID)); err != nil {
 		return fmt.Errorf("rtsys: preempt task %d: %w", t.ID, err)
 	}
-	t.State = Preempted
+	s.setState(t, Preempted, "preempt")
 	t.Dev = ""
 	t.WaitingSince = s.now
 	t.Preemptions++
 	s.metrics.Preemptions++
+	s.devSync()
 	return nil
 }
 
@@ -310,14 +324,16 @@ func (s *System) Complete(t *Task) error {
 		}
 	case Pending, Preempted:
 		s.metrics.TotalWait += s.now - t.WaitingSince
+		s.met.waitMicros.Observe(int64(s.now - t.WaitingSince))
 	case Failed:
 		// Nothing to release.
 	default:
 		return &TransitionError{Task: t.ID, From: t.State, Event: "complete"}
 	}
-	t.State = Done
+	s.setState(t, Done, "complete")
 	t.Finished = s.now
 	s.metrics.Completed++
+	s.devSync()
 	return nil
 }
 
@@ -329,18 +345,21 @@ func (s *System) AdvanceTo(t device.Micros) error {
 		return fmt.Errorf("rtsys: cannot rewind clock from %d to %d", s.now, t)
 	}
 	s.now = t
-	for _, task := range s.tasks {
+	// Resolve in task-ID order, not map order: same-tick transitions must
+	// land in the trace ring identically on every replay.
+	for _, task := range s.Tasks() {
 		if task.State == Recovering && task.NextRetryAt <= s.now {
 			// The retried configuration re-streams the image from
 			// the repository at the original cost.
-			task.State = Configuring
+			s.setState(task, Configuring, "retry")
 			task.ReadyAt = task.NextRetryAt + task.ConfigCost
 			s.metrics.Retries++
 		}
 		if task.State == Configuring && task.ReadyAt <= s.now {
-			task.State = Running
+			s.setState(task, Running, "run")
 			task.Started = task.ReadyAt
 			s.metrics.TotalConfig += task.ReadyAt - task.Created
+			s.met.configMicros.Observe(int64(task.ConfigCost))
 		}
 	}
 	return nil
@@ -395,7 +414,7 @@ func (s *System) ConfigError(t *Task) error {
 	if t.ConfigRetries > s.RetryLimit {
 		return s.failPlacement(t)
 	}
-	t.State = Recovering
+	s.setState(t, Recovering, "config-error")
 	t.NextRetryAt = s.now + s.backoff(t.ConfigRetries)
 	return nil
 }
@@ -413,7 +432,7 @@ func (s *System) SEU(t *Task) error {
 	if t.ConfigRetries > s.RetryLimit {
 		return s.failPlacement(t)
 	}
-	t.State = Recovering
+	s.setState(t, Recovering, "seu")
 	t.NextRetryAt = s.now + s.backoff(t.ConfigRetries)
 	return nil
 }
@@ -429,8 +448,9 @@ func (s *System) failPlacement(t *Task) error {
 			return fmt.Errorf("rtsys: fail task %d: %w", t.ID, err)
 		}
 	}
-	t.State = Failed
+	s.setState(t, Failed, "fail")
 	t.Dev = ""
+	s.devSync()
 	return nil
 }
 
@@ -444,12 +464,14 @@ func (s *System) FailDevice(id device.ID) ([]*Task, error) {
 		return nil, err
 	}
 	s.metrics.DeviceFaults++
+	s.met.deviceFaults.Inc()
 	var out []*Task
 	for _, pl := range dev.Fail() {
 		if t := s.strand(pl.Task); t != nil {
 			out = append(out, t)
 		}
 	}
+	s.devSync()
 	return out, nil
 }
 
@@ -470,6 +492,8 @@ func (s *System) FailSlot(id device.ID, slot int) (*Task, error) {
 		return nil, err
 	}
 	s.metrics.SlotFaults++
+	s.met.slotFaults.Inc()
+	defer s.devSync()
 	if pl == nil {
 		return nil, nil
 	}
@@ -484,7 +508,7 @@ func (s *System) strand(taskHandle int) *Task {
 	}
 	t.Faults++
 	s.metrics.Stranded++
-	t.State = Failed
+	s.setState(t, Failed, "strand")
 	t.Dev = ""
 	_ = s.Requeue(t)
 	return t
@@ -497,7 +521,7 @@ func (s *System) Requeue(t *Task) error {
 	if t.State != Failed {
 		return &TransitionError{Task: t.ID, From: t.State, Event: "requeue"}
 	}
-	t.State = Pending
+	s.setState(t, Pending, "requeue")
 	t.Dev = ""
 	t.WaitingSince = s.now
 	t.ConfigRetries = 0

@@ -1,0 +1,65 @@
+package similarity
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qosalloc/internal/attr"
+	"qosalloc/internal/fixed"
+)
+
+// TestLocalMeasuresAlwaysInUnitRange is the satellite bugfix's property
+// test: every local measure must stay in [0, 1] for arbitrary value
+// pairs — including pairs whose distance exceeds 1+dmax, which the
+// unclamped eq. (1) formula maps below zero. Random dmax values are
+// deliberately drawn smaller than the worst-case distance so the
+// out-of-range branch is exercised constantly.
+func TestLocalMeasuresAlwaysInUnitRange(t *testing.T) {
+	measures := []Local{Linear{}, Quadratic{}, Exact{}, AtLeast{}}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		req := attr.Value(r.Uint32())
+		impl := attr.Value(r.Uint32())
+		dmax := uint16(r.Intn(1 << uint(1+r.Intn(16)))) // mostly small: forces d > 1+dmax
+		for _, m := range measures {
+			s := m.Similarity(req, impl, dmax)
+			if s < 0 || s > 1 || math.IsNaN(s) {
+				t.Fatalf("%s(%d, %d, dmax=%d) = %v, out of [0, 1]",
+					m.Name(), req, impl, dmax, s)
+			}
+		}
+	}
+}
+
+// TestLinearMatchesFixedPointUnderClamp cross-checks the float reference
+// against the Q15 hardware datapath on random in- and out-of-range
+// pairs. Before the clamp the two disagreed wildly whenever the distance
+// exceeded 1+dmax (float went negative, hardware saturated at 0); now
+// they must agree within Q15 quantization everywhere.
+func TestLinearMatchesFixedPointUnderClamp(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	var lin Linear
+	for i := 0; i < 20000; i++ {
+		req := uint16(r.Uint32())
+		impl := uint16(r.Uint32())
+		dmax := uint16(r.Intn(1 << uint(1+r.Intn(16))))
+
+		f := lin.Similarity(attr.Value(req), attr.Value(impl), dmax)
+		q := fixed.LocalSim(fixed.Dist(req, impl), fixed.Recip(dmax)).Float()
+
+		if q < 0 || q > 1 {
+			t.Fatalf("fixed path out of range: LocalSim(|%d-%d|, recip(%d)) = %v",
+				req, impl, dmax, q)
+		}
+		// The hardware stores 1/(1+dmax) rounded to UQ16, so its half-ULP
+		// rounding error (≤ 2^-17) is amplified by the distance before
+		// the subtract — the datapath's intrinsic precision limit, not a
+		// bug. Everything else (Q15 truncation, the clamp) adds O(2^-15).
+		tol := float64(fixed.Dist(req, impl))/(2*65536) + 2e-3
+		if math.Abs(f-q) > tol {
+			t.Fatalf("float %v vs fixed %v for |%d-%d|, dmax=%d (diff %v > tol %v)",
+				f, q, req, impl, dmax, math.Abs(f-q), tol)
+		}
+	}
+}

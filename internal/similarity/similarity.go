@@ -38,7 +38,11 @@ type Linear struct{}
 // Similarity implements Local.
 func (Linear) Similarity(req, impl attr.Value, dmax uint16) float64 {
 	d := dist(req, impl)
-	return 1 - d/(1+float64(dmax))
+	// Clamp: when the actual distance exceeds 1+dmax (dmax understated,
+	// or an out-of-range request), the raw formula goes negative. The
+	// hardware path saturates at 0 (swret's mb32 kernel and the Q15
+	// fixed-point engine both do), so the float reference must too.
+	return clamp01(1 - d/(1+float64(dmax)))
 }
 
 // Name implements Local.
@@ -52,7 +56,8 @@ type Quadratic struct{}
 // Similarity implements Local.
 func (Quadratic) Similarity(req, impl attr.Value, dmax uint16) float64 {
 	d := dist(req, impl) / (1 + float64(dmax))
-	return 1 - d*d
+	// Clamped for the same reason as Linear: d > 1 must score 0, not < 0.
+	return clamp01(1 - d*d)
 }
 
 // Name implements Local.
@@ -76,7 +81,9 @@ func (Exact) Name() string { return "exact" }
 // AtLeast treats the request as a lower bound: implementations meeting or
 // exceeding the requested value are fully similar, shortfalls decay
 // linearly as in eq. (1). This models QoS attributes like bitwidth or
-// sample rate where over-provisioning costs nothing in quality.
+// sample rate where over-provisioning costs nothing in quality. The
+// shortfall branch inherits Linear's clamp, so results stay in [0, 1]
+// even for out-of-range requests.
 type AtLeast struct{}
 
 // Similarity implements Local.

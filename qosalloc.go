@@ -18,6 +18,7 @@ import (
 	"qosalloc/internal/learn"
 	"qosalloc/internal/mb32"
 	"qosalloc/internal/memlist"
+	"qosalloc/internal/obs"
 	"qosalloc/internal/retrieval"
 	"qosalloc/internal/rtl"
 	"qosalloc/internal/rtsys"
@@ -443,6 +444,35 @@ func ExperimentByID(id string) (PaperExperiment, bool) { return experiments.ByID
 
 // RunAllExperiments regenerates every table and figure into w.
 func RunAllExperiments(w io.Writer) error { return experiments.RunAll(w) }
+
+// --- Observability -------------------------------------------------------------
+
+// Metric registry and snapshot types (DESIGN.md §7). Attach one registry
+// to the pipeline via Manager.Instrument, Runtime.Instrument and
+// FaultInjector.Instrument; uninstrumented components cost a few atomic
+// ops and record nothing.
+type (
+	// ObsRegistry collects counters, gauges, histograms and trace rings
+	// for every instrumented layer.
+	ObsRegistry = obs.Registry
+	// ObsSnapshot is a point-in-time, JSON-serializable metric copy.
+	ObsSnapshot = obs.Snapshot
+	// ObsEvent is one trace-ring entry (sim-time stamped).
+	ObsEvent = obs.Event
+	// RetrievalMetrics is the retrieval layer's metric bundle, for
+	// instrumenting standalone engines and pools (Manager.Instrument
+	// wires its own engines automatically).
+	RetrievalMetrics = retrieval.Metrics
+)
+
+// NewObsRegistry returns an empty metric registry. It never reads the
+// wall clock or a random source: deterministic simulations produce
+// bit-exact metric snapshots on every replay.
+func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
+
+// NewRetrievalMetrics registers the retrieval metric set on reg, for use
+// with Engine.Instrument or EnginePool.Instrument.
+func NewRetrievalMetrics(reg *ObsRegistry) *RetrievalMetrics { return retrieval.NewMetrics(reg) }
 
 // --- Learning: the fig. 2 CBR cycle ------------------------------------------
 

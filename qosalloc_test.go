@@ -189,8 +189,8 @@ func TestFacadeMeasureLookups(t *testing.T) {
 
 func TestFacadeExperiments(t *testing.T) {
 	all := qosalloc.Experiments()
-	if len(all) != 18 {
-		t.Fatalf("experiments = %d, want 18", len(all))
+	if len(all) != 19 {
+		t.Fatalf("experiments = %d, want 19", len(all))
 	}
 	e, ok := qosalloc.ExperimentByID("table1")
 	if !ok {
