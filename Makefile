@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke fuzz ci
+.PHONY: all build vet test race bench bench-smoke fuzz api api-check ci
 
 all: ci
 
@@ -32,4 +32,12 @@ FUZZTIME ?= 30s
 fuzz:
 	$(GO) test ./internal/cbjson/ -run xxx -fuzz FuzzDecodeCaseBase -fuzztime $(FUZZTIME)
 
-ci: build vet race bench-smoke
+# Regenerate the committed API-surface snapshot after a deliberate
+# exported-surface change; api-check is the CI half that fails on drift.
+api:
+	$(GO) doc -all . > api.txt
+
+api-check:
+	$(GO) doc -all . | diff -u api.txt -
+
+ci: build vet race bench-smoke api-check

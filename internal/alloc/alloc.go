@@ -246,6 +246,26 @@ func (m *Manager) Request(app string, req casebase.Request, basePrio int) (*Deci
 		}
 		return nil, err
 	}
+	return m.placeCandidates(app, req, candidates, basePrio)
+}
+
+// PlaceCandidates is the placement half of Request for callers that run
+// retrieval on their own engines — the serve layer retrieves on sharded,
+// deduplicated engines and feeds the candidate lists here. The list must
+// be similarity-ranked best first (the order RetrieveN returns); the
+// manager applies its power ranking, walks feasibility, optionally
+// preempts, and stores a bypass token on success. Counted as a request
+// in Stats; the caller owns the slice (it may be re-ordered in place).
+func (m *Manager) PlaceCandidates(app string, req casebase.Request, candidates []retrieval.Result, basePrio int) (*Decision, error) {
+	m.stats.Requests++
+	m.met.requests.Inc()
+	return m.placeCandidates(app, req, candidates, basePrio)
+}
+
+// placeCandidates walks a similarity-ranked candidate list: feasibility
+// check best first, then preemption, then the structured infeasibility
+// error carrying the alternatives.
+func (m *Manager) placeCandidates(app string, req casebase.Request, candidates []retrieval.Result, basePrio int) (*Decision, error) {
 	m.rankForPower(req.Type, candidates)
 
 	// Feasibility check, best candidate first.

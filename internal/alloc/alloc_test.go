@@ -340,3 +340,36 @@ func TestPowerWeightPrefersLowPowerVariant(t *testing.T) {
 		t.Errorf("power-aware fallback = %v, want GP-Proc", d3.Target)
 	}
 }
+
+func TestPlaceCandidatesMatchesRequest(t *testing.T) {
+	// PlaceCandidates with the engine's own N-best list must reach the
+	// same decision as the fused Request path — the contract the serve
+	// layer's sharded retrieval relies on.
+	m, _ := platform(t, Options{})
+	req := casebase.PaperRequest()
+	candidates, err := m.Engine().RetrieveN(req, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := m.PlaceCandidates("mp3", req, candidates, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Impl != 2 || d.Target != casebase.TargetDSP || d.Device != "dsp0" {
+		t.Errorf("decision = %+v, want DSP impl 2 on dsp0", d)
+	}
+	st := m.Stats()
+	if st.Requests != 1 || st.Placed != 1 {
+		t.Errorf("stats = %+v, want 1 request / 1 placed", st)
+	}
+	// A bypass token was stored for the signature.
+	if _, ok := m.TokenCache().Lookup(req); !ok {
+		t.Error("PlaceCandidates did not store a bypass token")
+	}
+	// An empty candidate list is a structured infeasibility.
+	_, err = m.PlaceCandidates("mp3", req, nil, 5)
+	var nf *ErrNoFeasible
+	if !errors.As(err, &nf) {
+		t.Errorf("empty candidates = %v, want ErrNoFeasible", err)
+	}
+}

@@ -14,8 +14,8 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"bitwidth", "bypass", "capacity", "compact", "faults",
 		"fixedpoint", "latency", "learning", "mahalanobis", "nbest",
-		"negotiate", "obs", "policy", "powertrade", "speedup", "system",
-		"table1", "table2", "table3",
+		"negotiate", "obs", "policy", "powertrade", "serve", "speedup",
+		"system", "table1", "table2", "table3",
 	}
 	all := All()
 	if len(all) != len(want) {

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+
+	"qosalloc/internal/alloc"
+	"qosalloc/internal/casebase"
+	"qosalloc/internal/device"
+	"qosalloc/internal/retrieval"
+	"qosalloc/internal/rtsys"
+	"qosalloc/internal/serve"
+	"qosalloc/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "serve",
+		Title: "Service layer: sharded micro-batch retrieval equals sequential, deterministically",
+		Paper: "§3 system model scaled out — many concurrent applications against one allocation manager, with the bypass-token shortcut amortized across clients",
+		Run:   Serve,
+	})
+}
+
+// ServeSpec parameterizes the service-layer replay.
+type ServeSpec struct {
+	// Requests is the synthetic stream length. Zero means 240.
+	Requests int
+	// Shards is the service partition count. Zero means 4.
+	Shards int
+	// Seed drives the workload.
+	Seed int64
+}
+
+// ServeOutcome is the deterministic result of one replay: batch
+// composition and placement decisions depend only on the spec, never on
+// goroutine interleaving, so every field is replay-stable.
+type ServeOutcome struct {
+	Requests    int
+	Mismatches  int // batched results differing from sequential retrieval
+	Retrieval   serve.Stats
+	Placed      int
+	NoFeasible  int
+	OtherErrors int
+}
+
+// ServeRun drives the serve experiment: phase A checks every batched
+// retrieval against a plain sequential engine walk; phase B allocates
+// the same stream in batches with releases between chunks.
+func ServeRun(spec ServeSpec) (ServeOutcome, error) {
+	if spec.Requests <= 0 {
+		spec.Requests = 240
+	}
+	if spec.Shards <= 0 {
+		spec.Shards = 4
+	}
+	out := ServeOutcome{Requests: spec.Requests}
+
+	cb, areg, err := workload.GenCaseBase(workload.PaperScale())
+	if err != nil {
+		return out, err
+	}
+	reqs, err := workload.GenRequests(cb, areg, workload.RequestStreamSpec{
+		N: spec.Requests, ConstraintsPer: 4, RepeatFraction: 0.4, Seed: spec.Seed,
+	})
+	if err != nil {
+		return out, err
+	}
+	newSystem := func() (*rtsys.System, error) {
+		repo := device.NewRepository(20)
+		if err := repo.PopulateFromCaseBase(cb); err != nil {
+			return nil, err
+		}
+		slots := []device.Slot{
+			{Slices: 1500, BRAMs: 8, Multipliers: 16},
+			{Slices: 1500, BRAMs: 8, Multipliers: 16},
+		}
+		return rtsys.NewSystem(repo,
+			device.NewFPGA("fpga0", slots, 66),
+			device.NewProcessor("dsp0", casebase.TargetDSP, 2000, 1<<20),
+			device.NewProcessor("gpp0", casebase.TargetGPP, 2000, 1<<21),
+		), nil
+	}
+
+	// Phase A: batched retrieval must be bit-identical to a sequential
+	// engine walk over the same stream.
+	sys, err := newSystem()
+	if err != nil {
+		return out, err
+	}
+	svc := serve.New(cb, sys, serve.Config{Shards: spec.Shards, MaxBatch: 16})
+	defer svc.Close()
+	eng := retrieval.NewEngine(cb, retrieval.Options{})
+	ctx := context.Background()
+	for lo := 0; lo < len(reqs); lo += 48 {
+		hi := min(lo+48, len(reqs))
+		got, err := svc.RetrieveBatch(ctx, reqs[lo:hi])
+		if err != nil {
+			return out, err
+		}
+		for k, o := range got {
+			want, wantErr := eng.Retrieve(reqs[lo+k])
+			if !reflect.DeepEqual(o.Result, want) || (o.Err == nil) != (wantErr == nil) {
+				out.Mismatches++
+			}
+		}
+	}
+	out.Retrieval = svc.Stats()
+
+	// Phase B: batched allocation of the same stream on a fresh
+	// platform, releasing each chunk's placements before the next.
+	sysB, err := newSystem()
+	if err != nil {
+		return out, err
+	}
+	svcB := serve.New(cb, sysB, serve.Config{
+		Shards:  spec.Shards,
+		Manager: alloc.Options{NBest: 4, AllowPreemption: true},
+	})
+	defer svcB.Close()
+	for lo := 0; lo < len(reqs); lo += 32 {
+		hi := min(lo+32, len(reqs))
+		placed, err := svcB.AllocateBatch(ctx, fmt.Sprintf("app%d", lo/32), reqs[lo:hi], 5)
+		if err != nil {
+			return out, err
+		}
+		for _, r := range placed {
+			switch {
+			case r.Err == nil:
+				out.Placed++
+				if err := svcB.Release(r.Decision.Task.ID); err != nil {
+					return out, err
+				}
+			case isNoFeasibleErr(r.Err):
+				out.NoFeasible++
+			default:
+				out.OtherErrors++
+			}
+		}
+		if err := svcB.Advance(svcB.System().Now() + 1000); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+func isNoFeasibleErr(err error) bool {
+	var nf *alloc.ErrNoFeasible
+	return errors.As(err, &nf)
+}
+
+// Serve renders the service-layer replay. Every line is replay-stable:
+// pre-formed batch composition and in-order placement make the
+// concurrent service deterministic for a deterministic stream.
+func Serve(w io.Writer) error {
+	spec := ServeSpec{Requests: 240, Shards: 4, Seed: 9}
+	out, err := ServeRun(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "service layer over the Table 3 case base (%d requests, %d shards, seed %d):\n\n",
+		out.Requests, spec.Shards, spec.Seed)
+	fmt.Fprintf(w, "phase A — batched retrieval vs sequential engine:\n")
+	fmt.Fprintf(w, "  results differing from sequential   %d\n", out.Mismatches)
+	fmt.Fprintf(w, "  micro-batches                       %d\n", out.Retrieval.Batches)
+	fmt.Fprintf(w, "  largest batch coalesced             %d\n", out.Retrieval.MaxBatch)
+	fmt.Fprintf(w, "  engine list walks                   %d\n", out.Retrieval.EngineRetrievals)
+	fmt.Fprintf(w, "  singleflight dedup hits             %d\n", out.Retrieval.DedupHits)
+	fmt.Fprintf(w, "  bypass-token hits                   %d\n", out.Retrieval.TokenHits)
+	saved := out.Retrieval.DedupHits + out.Retrieval.TokenHits
+	fmt.Fprintf(w, "  walks saved                         %d of %d (%.0f%%)\n",
+		saved, out.Requests, 100*float64(saved)/float64(out.Requests))
+	fmt.Fprintf(w, "\nphase B — batched allocation with releases between chunks:\n")
+	fmt.Fprintf(w, "  placed                              %d\n", out.Placed)
+	fmt.Fprintf(w, "  no feasible variant                 %d\n", out.NoFeasible)
+	fmt.Fprintf(w, "  other errors                        %d\n", out.OtherErrors)
+	fmt.Fprintf(w, "\nBatch composition is pre-formed from the input order and placement\n")
+	fmt.Fprintf(w, "runs in input order under one lock, so these numbers are identical\n")
+	fmt.Fprintf(w, "on every replay — shard parallelism never leaks into the outcome.\n")
+	return nil
+}

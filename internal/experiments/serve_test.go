@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestServeGoldenOutcome pins the exact replay outcome of the serve
+// experiment: batch composition is pre-formed from the input order and
+// placement runs in input order, so shard concurrency must never move
+// these numbers. Drift here means the batching, dedup, or token-bypass
+// behavior changed — a deliberate-change-only event.
+func TestServeGoldenOutcome(t *testing.T) {
+	out, err := ServeRun(ServeSpec{Requests: 240, Shards: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Mismatches != 0 {
+		t.Errorf("batched retrieval diverged from sequential %d time(s)", out.Mismatches)
+	}
+	if out.Retrieval.Batches != 23 || out.Retrieval.MaxBatch != 16 {
+		t.Errorf("batches = %d, max %d; want 23, 16", out.Retrieval.Batches, out.Retrieval.MaxBatch)
+	}
+	if out.Retrieval.EngineRetrievals != 122 || out.Retrieval.DedupHits != 62 || out.Retrieval.TokenHits != 56 {
+		t.Errorf("walks/dedup/tokens = %d/%d/%d, want 122/62/56",
+			out.Retrieval.EngineRetrievals, out.Retrieval.DedupHits, out.Retrieval.TokenHits)
+	}
+	if out.Placed != 96 || out.NoFeasible != 144 || out.OtherErrors != 0 {
+		t.Errorf("placed/noFeasible/other = %d/%d/%d, want 96/144/0",
+			out.Placed, out.NoFeasible, out.OtherErrors)
+	}
+}
+
+// TestServeShardCountInvariance checks the equivalence half is shard-
+// count independent: resharding changes batch composition but never a
+// result.
+func TestServeShardCountInvariance(t *testing.T) {
+	for _, shards := range []int{1, 8} {
+		out, err := ServeRun(ServeSpec{Requests: 96, Shards: shards, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Mismatches != 0 {
+			t.Errorf("shards=%d: %d mismatches", shards, out.Mismatches)
+		}
+	}
+}
+
+// TestServeRendersStableReport smoke-checks the printed report.
+func TestServeRendersStableReport(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := Serve(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Serve(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("serve report not replay-stable")
+	}
+	for _, want := range []string{
+		"results differing from sequential   0",
+		"walks saved",
+		"placed                              96",
+	} {
+		if !strings.Contains(a.String(), want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

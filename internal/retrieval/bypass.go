@@ -1,11 +1,22 @@
 package retrieval
 
 import (
-	"fmt"
-	"strings"
+	"container/list"
+	"math"
+	"strconv"
 
 	"qosalloc/internal/casebase"
 )
+
+// DefaultMaxTokens is the retention cap of a TokenCache. Tokens are
+// small, but the batching service layer deduplicates on request
+// signatures drawn from an open-ended space (every distinct constraint
+// vector is a new key), so an uncapped cache grows linearly with
+// workload diversity. The cap bounds it to the hot working set; colder
+// signatures fall off the LRU tail and simply pay retrieval again —
+// mirroring the Pool.SetMaxIdle precedent of bounding steady-state
+// footprint, not peak correctness.
+const DefaultMaxTokens = 4096
 
 // Token is the paper's bypass token (§3): "data on the previous selection
 // which can be reused at repeated function calls so that only an
@@ -17,59 +28,133 @@ type Token struct {
 	Similarity float64
 }
 
-// TokenCache maps request signatures to bypass tokens. It is a plain
-// cache: the allocation manager stores a token after a successful
-// placement and invalidates it when the case base changes or the pinned
-// implementation is evicted. Not safe for concurrent use; the allocation
-// manager serializes access.
-type TokenCache struct {
-	tokens map[string]Token
-	hits   int
-	misses int
+// tokenEntry is one LRU node: the signature key plus its token.
+type tokenEntry struct {
+	key string
+	tok Token
 }
 
-// NewTokenCache returns an empty cache.
+// TokenCache maps request signatures to bypass tokens with LRU
+// retention bounded by SetMaxTokens (DefaultMaxTokens initially). It is
+// a plain cache: the allocation manager stores a token after a
+// successful placement and invalidates it when the case base changes or
+// the pinned implementation is evicted. Not safe for concurrent use;
+// the allocation manager — and each serve shard — serializes access.
+type TokenCache struct {
+	tokens    map[string]*list.Element // value: *tokenEntry
+	order     *list.List               // front = most recently used
+	max       int
+	hits      int
+	misses    int
+	evictions int
+}
+
+// NewTokenCache returns an empty cache capped at DefaultMaxTokens.
 func NewTokenCache() *TokenCache {
-	return &TokenCache{tokens: make(map[string]Token)}
+	return &TokenCache{
+		tokens: make(map[string]*list.Element),
+		order:  list.New(),
+		max:    DefaultMaxTokens,
+	}
+}
+
+// SetMaxTokens bounds the cache to n tokens, evicting the least recently
+// used beyond it (n < 1 keeps no tokens: every Store is immediately
+// evicted, every Lookup misses).
+func (tc *TokenCache) SetMaxTokens(n int) {
+	if n < 0 {
+		n = 0
+	}
+	tc.max = n
+	for tc.order.Len() > n {
+		tc.evictOldest()
+	}
+}
+
+// evictOldest drops the LRU tail entry.
+func (tc *TokenCache) evictOldest() {
+	back := tc.order.Back()
+	if back == nil {
+		return
+	}
+	tc.order.Remove(back)
+	delete(tc.tokens, back.Value.(*tokenEntry).key)
+	tc.evictions++
 }
 
 // Signature derives the cache key from a request: function type plus the
 // sorted (ID, value, weight) constraint list. Two requests with the same
 // signature would retrieve the same implementation, so the retrieval can
-// be bypassed for the second one.
+// be bypassed for the second one. Weights participate via their exact
+// bit pattern — the key sits on the hot batching path, so it is built
+// with strconv appends, never fmt.
 func Signature(req casebase.Request) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "t%d", req.Type)
+	b := make([]byte, 0, 8+24*len(req.Constraints))
+	b = append(b, 't')
+	b = strconv.AppendUint(b, uint64(req.Type), 10)
 	for _, c := range req.Constraints {
-		fmt.Fprintf(&b, "|%d=%d*%.6f", c.ID, c.Value, c.Weight)
+		b = append(b, '|')
+		b = strconv.AppendUint(b, uint64(c.ID), 10)
+		b = append(b, '=')
+		b = strconv.AppendUint(b, uint64(c.Value), 10)
+		b = append(b, '*')
+		b = strconv.AppendUint(b, math.Float64bits(c.Weight), 16)
 	}
-	return b.String()
+	return string(b)
 }
 
-// Lookup returns the token for req if one is cached.
+// Lookup returns the token for req if one is cached, refreshing its
+// recency.
 func (tc *TokenCache) Lookup(req casebase.Request) (Token, bool) {
-	t, ok := tc.tokens[Signature(req)]
-	if ok {
-		tc.hits++
-	} else {
-		tc.misses++
-	}
-	return t, ok
+	return tc.LookupSig(Signature(req))
 }
 
-// Store caches a token for req.
+// LookupSig is Lookup keyed by a precomputed Signature — callers that
+// already derived the signature (the serve batcher dedups on it) avoid
+// recomputing it.
+func (tc *TokenCache) LookupSig(sig string) (Token, bool) {
+	el, ok := tc.tokens[sig]
+	if !ok {
+		tc.misses++
+		return Token{}, false
+	}
+	tc.hits++
+	tc.order.MoveToFront(el)
+	return el.Value.(*tokenEntry).tok, true
+}
+
+// Store caches a token for req as the most recently used entry, evicting
+// the LRU tail when the cap is exceeded.
 func (tc *TokenCache) Store(req casebase.Request, t Token) {
-	tc.tokens[Signature(req)] = t
+	tc.StoreSig(Signature(req), t)
+}
+
+// StoreSig is Store keyed by a precomputed Signature.
+func (tc *TokenCache) StoreSig(key string, t Token) {
+	if el, ok := tc.tokens[key]; ok {
+		el.Value.(*tokenEntry).tok = t
+		tc.order.MoveToFront(el)
+		return
+	}
+	tc.tokens[key] = tc.order.PushFront(&tokenEntry{key: key, tok: t})
+	for tc.order.Len() > tc.max {
+		tc.evictOldest()
+	}
 }
 
 // InvalidateType drops every token pinned to function type t — the
 // correct response when t's implementation sub-tree is updated at run
-// time (the paper's future-work dynamic case-base update).
+// time (the paper's future-work dynamic case-base update). Invalidations
+// are not counted as evictions.
 func (tc *TokenCache) InvalidateType(t casebase.TypeID) int {
 	n := 0
-	for k, tok := range tc.tokens {
-		if tok.Type == t {
-			delete(tc.tokens, k)
+	var next *list.Element
+	for el := tc.order.Front(); el != nil; el = next {
+		next = el.Next()
+		ent := el.Value.(*tokenEntry)
+		if ent.tok.Type == t {
+			tc.order.Remove(el)
+			delete(tc.tokens, ent.key)
 			n++
 		}
 	}
@@ -78,11 +163,12 @@ func (tc *TokenCache) InvalidateType(t casebase.TypeID) int {
 
 // InvalidateAll empties the cache.
 func (tc *TokenCache) InvalidateAll() {
-	tc.tokens = make(map[string]Token)
+	tc.tokens = make(map[string]*list.Element)
+	tc.order.Init()
 }
 
 // Len returns the number of live tokens.
-func (tc *TokenCache) Len() int { return len(tc.tokens) }
+func (tc *TokenCache) Len() int { return tc.order.Len() }
 
 // HitRate returns hits/(hits+misses), or 0 before any lookup.
 func (tc *TokenCache) HitRate() float64 {
@@ -95,3 +181,6 @@ func (tc *TokenCache) HitRate() float64 {
 
 // Counters returns the raw hit/miss counts.
 func (tc *TokenCache) Counters() (hits, misses int) { return tc.hits, tc.misses }
+
+// Evictions returns how many tokens the LRU cap has dropped.
+func (tc *TokenCache) Evictions() int { return tc.evictions }

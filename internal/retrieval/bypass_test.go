@@ -3,6 +3,7 @@ package retrieval
 import (
 	"testing"
 
+	"qosalloc/internal/attr"
 	"qosalloc/internal/casebase"
 )
 
@@ -87,5 +88,92 @@ func TestInvalidateType(t *testing.T) {
 func TestHitRateEmpty(t *testing.T) {
 	if NewTokenCache().HitRate() != 0 {
 		t.Error("HitRate before lookups must be 0")
+	}
+}
+
+// lruReq builds a distinct request signature per i (the cache never
+// validates requests, so synthetic constraint values are fine).
+func lruReq(i int) casebase.Request {
+	return casebase.NewRequest(casebase.TypeFIREqualizer,
+		casebase.Constraint{ID: casebase.AttrBitwidth, Value: attr.Value(i)},
+	).EqualWeights()
+}
+
+func TestTokenCacheLRUEviction(t *testing.T) {
+	tc := NewTokenCache()
+	tc.SetMaxTokens(3)
+	for i := 0; i < 3; i++ {
+		tc.Store(lruReq(i), Token{Type: 1, Impl: casebase.ImplID(i)})
+	}
+	// Touch 0 so 1 becomes the LRU tail.
+	if _, ok := tc.Lookup(lruReq(0)); !ok {
+		t.Fatal("token 0 missing before eviction")
+	}
+	tc.Store(lruReq(3), Token{Type: 1, Impl: 3})
+	if tc.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tc.Len())
+	}
+	if _, ok := tc.Lookup(lruReq(1)); ok {
+		t.Error("LRU entry 1 survived past the cap")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if _, ok := tc.Lookup(lruReq(i)); !ok {
+			t.Errorf("entry %d evicted out of LRU order", i)
+		}
+	}
+	if tc.Evictions() != 1 {
+		t.Errorf("Evictions = %d, want 1", tc.Evictions())
+	}
+}
+
+func TestTokenCacheSetMaxTokensShrinks(t *testing.T) {
+	tc := NewTokenCache()
+	for i := 0; i < 8; i++ {
+		tc.Store(lruReq(i), Token{Type: 1, Impl: casebase.ImplID(i)})
+	}
+	tc.SetMaxTokens(2)
+	if tc.Len() != 2 {
+		t.Fatalf("Len = %d after shrink, want 2", tc.Len())
+	}
+	// The two most recently stored entries survive.
+	for _, i := range []int{6, 7} {
+		if _, ok := tc.Lookup(lruReq(i)); !ok {
+			t.Errorf("recent entry %d lost in shrink", i)
+		}
+	}
+	if tc.Evictions() != 6 {
+		t.Errorf("Evictions = %d, want 6", tc.Evictions())
+	}
+	// n < 1 keeps no tokens (the SetMaxIdle precedent).
+	tc.SetMaxTokens(0)
+	if tc.Len() != 0 {
+		t.Errorf("Len = %d with cap 0, want 0", tc.Len())
+	}
+	tc.Store(lruReq(9), Token{Type: 1, Impl: 9})
+	if tc.Len() != 0 {
+		t.Error("cap-0 cache retained a stored token")
+	}
+}
+
+func TestTokenCacheStoreRefreshesRecency(t *testing.T) {
+	tc := NewTokenCache()
+	tc.SetMaxTokens(2)
+	tc.Store(lruReq(0), Token{Type: 1, Impl: 0})
+	tc.Store(lruReq(1), Token{Type: 1, Impl: 1})
+	// Re-storing 0 (an updated pin) must refresh it, making 1 the tail.
+	tc.Store(lruReq(0), Token{Type: 1, Impl: 10})
+	tc.Store(lruReq(2), Token{Type: 1, Impl: 2})
+	if got, ok := tc.Lookup(lruReq(0)); !ok || got.Impl != 10 {
+		t.Errorf("refreshed entry = %+v, %v; want impl 10 present", got, ok)
+	}
+	if _, ok := tc.Lookup(lruReq(1)); ok {
+		t.Error("stale entry 1 survived past the refreshed one")
+	}
+	// InvalidateType keeps the LRU bookkeeping consistent.
+	if n := tc.InvalidateType(1); n != 2 {
+		t.Errorf("InvalidateType = %d, want 2", n)
+	}
+	if tc.Len() != 0 || tc.order.Len() != 0 {
+		t.Errorf("map/list out of sync after invalidate: %d/%d", tc.Len(), tc.order.Len())
 	}
 }

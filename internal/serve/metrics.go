@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"fmt"
+
+	"qosalloc/internal/obs"
+)
+
+// batchBuckets are the batch-size histogram bounds: powers of two up to
+// the largest batch a shard will ever coalesce.
+var batchBuckets = []int64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// metrics is the observability bundle of the service layer. Like the
+// retrieval bundle, an uninstrumented service carries a dangling bundle
+// over a nil registry: the hot path never branches on "is observability
+// on". Per-shard gauges are labeled series of one base metric, so the
+// exposition groups them under shared HELP/TYPE.
+type metrics struct {
+	enqueued  *obs.Counter
+	shed      *obs.Counter
+	batches   *obs.Counter
+	dedup     *obs.Counter
+	tokenHits *obs.Counter
+	canceled  *obs.Counter
+	allocOK   *obs.Counter
+	allocFail *obs.Counter
+
+	batchSize *obs.Histogram
+
+	queueDepth []*obs.Gauge // per shard
+	busy       []*obs.Gauge // per shard, 0/1 occupancy
+}
+
+// newMetrics registers the serve metric set for n shards on reg (nil
+// yields a dangling bundle).
+func newMetrics(reg *obs.Registry, n int) *metrics {
+	m := &metrics{
+		enqueued:  reg.Counter("qos_serve_enqueued_total", "requests admitted to a shard queue"),
+		shed:      reg.Counter("qos_serve_shed_total", "requests refused by admission control (ErrOverload)"),
+		batches:   reg.Counter("qos_serve_batches_total", "micro-batches processed across all shards"),
+		dedup:     reg.Counter("qos_serve_dedup_hits_total", "in-batch requests served by another job's retrieval (singleflight)"),
+		tokenHits: reg.Counter("qos_serve_token_hits_total", "retrievals bypassed by a shard token-cache hit"),
+		canceled:  reg.Counter("qos_serve_canceled_total", "jobs dropped because the caller's context died"),
+		allocOK:   reg.Counter("qos_serve_allocations_total{outcome=\"placed\"}", "allocation calls that placed a variant"),
+		allocFail: reg.Counter("qos_serve_allocations_total{outcome=\"failed\"}", "allocation calls that returned an error"),
+		batchSize: reg.Histogram("qos_serve_batch_size", "requests coalesced per micro-batch", batchBuckets),
+	}
+	for i := 0; i < n; i++ {
+		m.queueDepth = append(m.queueDepth, reg.Gauge(
+			fmt.Sprintf("qos_serve_queue_depth{shard=%q}", fmt.Sprint(i)),
+			"requests waiting in a shard's admission queue"))
+		m.busy = append(m.busy, reg.Gauge(
+			fmt.Sprintf("qos_serve_shard_busy{shard=%q}", fmt.Sprint(i)),
+			"1 while the shard's engine is scoring a batch"))
+	}
+	return m
+}

@@ -1,0 +1,723 @@
+// Package serve is the concurrent allocation service layer (DESIGN.md
+// §9): a sharded, batching front end between many application clients
+// and the single allocation manager of fig. 1.
+//
+// The paper's retrieval unit wins by streaming pre-sorted linear lists
+// through a fixed datapath; its system model assumes many concurrent
+// applications negotiating QoS against one allocation manager. This
+// package closes that gap for the software system:
+//
+//   - Sharding. The case base is partitioned by TypeID across N
+//     retrieval engines, so requests for unrelated function types score
+//     in parallel. Each shard owns a single-threaded Engine (the
+//     paper's FSM is single-threaded too), a bypass TokenCache, and an
+//     admission queue.
+//
+//   - Micro-batching. Concurrent requests landing on one shard coalesce
+//     into bounded batches. Within a batch, identical request
+//     signatures are deduplicated singleflight-style — one list walk
+//     serves every waiter — and across batches the shard's TokenCache
+//     bypasses retrieval for signatures it has already resolved. The
+//     optional linger budget is measured in sim-time, never a wall
+//     clock, so instrumented runs stay deterministic.
+//
+//   - Admission control. Each shard queue is bounded; beyond it the
+//     service sheds load with a typed *ErrOverload carrying a
+//     retry-after hint instead of queuing without bound.
+//
+// Placements feed the alloc.Manager under one serialization lock — the
+// manager and run-time system model a single platform and are not
+// concurrency-safe — so throughput comes from the retrieval side:
+// parallel shards, deduplication, and token bypass.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"qosalloc/internal/alloc"
+	"qosalloc/internal/casebase"
+	"qosalloc/internal/device"
+	"qosalloc/internal/obs"
+	"qosalloc/internal/retrieval"
+	"qosalloc/internal/rtsys"
+)
+
+// Defaults for zero Config fields.
+const (
+	DefaultShards   = 4
+	DefaultMaxBatch = 32
+	DefaultMaxQueue = 256
+)
+
+// Config tunes the service. The zero value gives the defaults above, no
+// linger, the paper's retrieval measure, and the manager's default
+// policy.
+type Config struct {
+	// Shards is the number of retrieval engines the case base is
+	// partitioned across (by TypeID modulo Shards).
+	Shards int
+	// MaxBatch bounds how many requests one shard coalesces per
+	// micro-batch.
+	MaxBatch int
+	// MaxQueue bounds each shard's admission queue; submissions beyond
+	// it are shed with *ErrOverload.
+	MaxQueue int
+	// BatchWindow is the linger budget in sim-time microseconds: a
+	// shard with a partial batch keeps accepting arrivals until the
+	// oldest queued job has aged past the window on the sim clock
+	// (published by Advance/Tick). Zero flushes as soon as the queue
+	// runs dry. The worker never sleeps on a wall clock.
+	BatchWindow device.Micros
+	// Engine configures every shard engine.
+	Engine retrieval.Options
+	// Manager tunes the allocation policy fed by AllocateBatch and
+	// Allocate.
+	Manager alloc.Options
+}
+
+// ErrClosed reports a call into a service whose Close has begun.
+var ErrClosed = errors.New("serve: service closed")
+
+// ErrOverload is the typed admission-control rejection: the target
+// shard's queue is full. RetryAfter is a coarse sim-time hint — the
+// linger window plus the §4.2 software-retrieval scale (~10 µs) per
+// queued request — after which the queue has likely drained.
+type ErrOverload struct {
+	Shard      int
+	QueueLen   int
+	RetryAfter device.Micros
+}
+
+func (e *ErrOverload) Error() string {
+	return fmt.Sprintf("serve: shard %d overloaded (%d queued); retry after ~%d µs",
+		e.Shard, e.QueueLen, e.RetryAfter)
+}
+
+// Stats counts service activity. All fields are monotone except
+// MaxBatch (a high-water mark).
+type Stats struct {
+	Enqueued         int64 // jobs admitted to shard queues
+	Shed             int64 // jobs refused with ErrOverload
+	Batches          int64 // micro-batches processed (queued + pre-formed)
+	BatchedJobs      int64 // jobs across those batches
+	DedupHits        int64 // jobs served by another job's walk (singleflight)
+	TokenHits        int64 // retrievals bypassed by a shard token cache
+	Canceled         int64 // jobs dropped on a dead caller context
+	MaxBatch         int64 // largest batch coalesced so far
+	EngineRetrievals int64 // actual engine list walks across shards
+	Allocated        int64 // allocation calls that placed a variant
+	AllocFailed      int64 // allocation calls that returned an error
+}
+
+type jobKind uint8
+
+const (
+	jobRetrieve   jobKind = iota // best match for the caller
+	jobCandidates                // N-best list feeding a placement
+)
+
+// job is one queued retrieval unit.
+type job struct {
+	ctx  context.Context
+	kind jobKind
+	req  casebase.Request
+	n    int    // candidate depth for jobCandidates
+	sig  string // request signature (dedup key)
+	at   device.Micros
+	done chan jobResult // buffered(1); the worker always sends
+}
+
+type jobResult struct {
+	best retrieval.Result
+	list []retrieval.Result
+	err  error
+}
+
+// jobKey is the singleflight key: kind-qualified signature, so a
+// best-match walk never masks a deeper candidate walk.
+func jobKey(j *job) string {
+	if j.kind == jobCandidates {
+		return fmt.Sprintf("c%d|%s", j.n, j.sig)
+	}
+	return "r|" + j.sig
+}
+
+// shard is one partition: a queue, an engine, a token cache.
+type shard struct {
+	idx int
+	q   chan *job
+
+	mu     sync.Mutex // serializes the engine and token cache
+	eng    *retrieval.Engine
+	tokens *retrieval.TokenCache
+}
+
+// Service is the concurrent allocation front end. Create with New,
+// dispose with Close. Retrieve/RetrieveBatch/Allocate/AllocateBatch are
+// safe for concurrent use by many goroutines; the underlying manager
+// and run-time system are serialized internally.
+type Service struct {
+	cfg Config
+	cb  *casebase.CaseBase
+	sys *rtsys.System
+	mgr *alloc.Manager
+
+	shards []*shard
+	met    atomic.Pointer[metrics]
+
+	// now mirrors the sim clock for the linger budget and overload
+	// hints; reading rtsys.System.Now directly from workers would race
+	// the driver advancing it.
+	now    atomic.Uint64
+	tickMu sync.Mutex
+	tickCh chan struct{} // closed and replaced on every clock advance
+
+	allocMu sync.Mutex // serializes Manager and rtsys access
+
+	enqueued, shed, batches, batchedJobs atomic.Int64
+	dedupHits, tokenHits, canceled       atomic.Int64
+	maxBatch                             atomic.Int64
+	allocated, allocFailed               atomic.Int64
+
+	done      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// New builds the service over a shared immutable case base and a
+// run-time system, and starts one worker per shard. The caller must
+// Close it to stop the workers.
+func New(cb *casebase.CaseBase, sys *rtsys.System, cfg Config) *Service {
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = DefaultMaxQueue
+	}
+	if cfg.Manager.NBest <= 0 {
+		cfg.Manager.NBest = 3
+	}
+	s := &Service{
+		cfg:    cfg,
+		cb:     cb,
+		sys:    sys,
+		mgr:    alloc.New(cb, sys, cfg.Manager),
+		tickCh: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	s.met.Store(newMetrics(nil, cfg.Shards))
+	s.now.Store(uint64(sys.Now()))
+	for i := 0; i < cfg.Shards; i++ {
+		sh := &shard{
+			idx:    i,
+			q:      make(chan *job, cfg.MaxQueue),
+			eng:    retrieval.NewEngine(cb, cfg.Engine),
+			tokens: retrieval.NewTokenCache(),
+		}
+		s.shards = append(s.shards, sh)
+		s.wg.Add(1)
+		go s.worker(sh)
+	}
+	return s
+}
+
+// Close stops the shard workers and waits for them. Callers blocked in
+// Retrieve/Allocate return ErrClosed. Close is idempotent.
+func (s *Service) Close() {
+	s.closeOnce.Do(func() { close(s.done) })
+	s.wg.Wait()
+}
+
+// Shards returns the shard count.
+func (s *Service) Shards() int { return len(s.shards) }
+
+// Manager returns the underlying allocation manager. Direct calls on it
+// must not race the service's Allocate*/Advance/Release — drive it from
+// the same goroutine that drives the service, or not at all.
+func (s *Service) Manager() *alloc.Manager { return s.mgr }
+
+// System returns the underlying run-time system (same caveat as
+// Manager).
+func (s *Service) System() *rtsys.System { return s.sys }
+
+// Instrument registers the serve metric set on reg and threads the
+// registry through every shard engine and the manager.
+func (s *Service) Instrument(reg *obs.Registry) {
+	s.met.Store(newMetrics(reg, len(s.shards)))
+	rm := retrieval.NewMetrics(reg)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.eng.Instrument(rm)
+		sh.mu.Unlock()
+	}
+	s.allocMu.Lock()
+	s.mgr.Instrument(reg)
+	s.allocMu.Unlock()
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() Stats {
+	st := Stats{
+		Enqueued:    s.enqueued.Load(),
+		Shed:        s.shed.Load(),
+		Batches:     s.batches.Load(),
+		BatchedJobs: s.batchedJobs.Load(),
+		DedupHits:   s.dedupHits.Load(),
+		TokenHits:   s.tokenHits.Load(),
+		Canceled:    s.canceled.Load(),
+		MaxBatch:    s.maxBatch.Load(),
+		Allocated:   s.allocated.Load(),
+		AllocFailed: s.allocFailed.Load(),
+	}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		st.EngineRetrievals += int64(sh.eng.Stats().Retrievals)
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+// --- Clock plumbing ----------------------------------------------------
+
+// Advance moves the shared sim clock under the service's serialization
+// lock and publishes the new time to the linger budget.
+func (s *Service) Advance(to device.Micros) error {
+	s.allocMu.Lock()
+	defer s.allocMu.Unlock()
+	err := s.sys.AdvanceTo(to)
+	s.tick(s.sys.Now())
+	return err
+}
+
+// Tick publishes sim-clock progress made outside Advance (a driver
+// advancing the runtime directly must call it, or lingering shards
+// never see time pass).
+func (s *Service) Tick(now device.Micros) { s.tick(now) }
+
+func (s *Service) tick(now device.Micros) {
+	s.now.Store(uint64(now))
+	s.tickMu.Lock()
+	close(s.tickCh)
+	s.tickCh = make(chan struct{})
+	s.tickMu.Unlock()
+}
+
+// tickSignal returns a channel closed at the next clock advance.
+func (s *Service) tickSignal() <-chan struct{} {
+	s.tickMu.Lock()
+	defer s.tickMu.Unlock()
+	return s.tickCh
+}
+
+// Release completes a task under the serialization lock.
+func (s *Service) Release(id rtsys.TaskID) error {
+	s.allocMu.Lock()
+	defer s.allocMu.Unlock()
+	return s.mgr.Release(id)
+}
+
+// ReplacePending re-places preempted tasks under the serialization
+// lock, returning how many came back.
+func (s *Service) ReplacePending() int {
+	s.allocMu.Lock()
+	defer s.allocMu.Unlock()
+	return s.mgr.ReplacePending()
+}
+
+// --- Public request paths ---------------------------------------------
+
+// Retrieve returns the most similar implementation for req, batched and
+// deduplicated with concurrent callers on the same shard.
+func (s *Service) Retrieve(ctx context.Context, req casebase.Request) (retrieval.Result, error) {
+	if err := retrieval.Canceled(ctx); err != nil {
+		return retrieval.Result{}, err
+	}
+	j := &job{ctx: ctx, kind: jobRetrieve, req: req, done: make(chan jobResult, 1)}
+	if err := s.submit(j); err != nil {
+		return retrieval.Result{}, err
+	}
+	select {
+	case r := <-j.done:
+		return r.best, r.err
+	case <-ctx.Done():
+		return retrieval.Result{}, retrieval.Canceled(ctx)
+	case <-s.done:
+		return retrieval.Result{}, ErrClosed
+	}
+}
+
+// Allocate retrieves the N-best candidates for req on its shard, then
+// feeds them to the allocation manager under the serialization lock.
+// It is Manager.Request with the retrieval half sharded and batched.
+func (s *Service) Allocate(ctx context.Context, app string, req casebase.Request, basePrio int) (*alloc.Decision, error) {
+	met := s.met.Load()
+	cands, err := s.candidates(ctx, req)
+	if err == nil {
+		err = retrieval.Canceled(ctx)
+	}
+	if err != nil {
+		s.allocFailed.Add(1)
+		met.allocFail.Inc()
+		return nil, err
+	}
+	s.allocMu.Lock()
+	d, err := s.mgr.PlaceCandidates(app, req, append([]retrieval.Result(nil), cands...), basePrio)
+	s.now.Store(uint64(s.sys.Now()))
+	s.allocMu.Unlock()
+	if err != nil {
+		s.allocFailed.Add(1)
+		met.allocFail.Inc()
+		return nil, err
+	}
+	s.allocated.Add(1)
+	met.allocOK.Inc()
+	return d, nil
+}
+
+// candidates fetches the N-best list for one request through the shard
+// queue.
+func (s *Service) candidates(ctx context.Context, req casebase.Request) ([]retrieval.Result, error) {
+	j := &job{ctx: ctx, kind: jobCandidates, req: req, n: s.cfg.Manager.NBest, done: make(chan jobResult, 1)}
+	if err := s.submit(j); err != nil {
+		return nil, err
+	}
+	select {
+	case r := <-j.done:
+		return r.list, r.err
+	case <-ctx.Done():
+		return nil, retrieval.Canceled(ctx)
+	case <-s.done:
+		return nil, ErrClosed
+	}
+}
+
+// RetrieveOutcome is one RetrieveBatch element: the result or the
+// per-request error (e.g. *retrieval.ErrNoMatch).
+type RetrieveOutcome struct {
+	Result retrieval.Result
+	Err    error
+}
+
+// RetrieveBatch retrieves every request, grouping them by shard into
+// pre-formed micro-batches processed in parallel across shards. Batch
+// composition depends only on the input order and the shard map, so a
+// deterministic caller gets deterministic batching — the property the
+// serve experiment pins. Results are positionally aligned with reqs.
+func (s *Service) RetrieveBatch(ctx context.Context, reqs []casebase.Request) ([]RetrieveOutcome, error) {
+	if err := s.alive(ctx); err != nil {
+		return nil, err
+	}
+	bests, _, errs, err := s.fanout(ctx, reqs, jobRetrieve, 0)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RetrieveOutcome, len(reqs))
+	for i := range reqs {
+		out[i] = RetrieveOutcome{Result: bests[i], Err: errs[i]}
+	}
+	return out, nil
+}
+
+// BatchResult is one AllocateBatch element: the decision or the
+// per-request error (e.g. *alloc.ErrNoFeasible).
+type BatchResult struct {
+	Decision *alloc.Decision
+	Err      error
+}
+
+// AllocateBatch retrieves candidates for every request in parallel
+// across shards (pre-formed batches, like RetrieveBatch), then places
+// them strictly in input order under the serialization lock — so the
+// allocation outcome of a deterministic input is deterministic, no
+// matter how the shards interleave.
+func (s *Service) AllocateBatch(ctx context.Context, app string, reqs []casebase.Request, basePrio int) ([]BatchResult, error) {
+	if err := s.alive(ctx); err != nil {
+		return nil, err
+	}
+	_, lists, errs, err := s.fanout(ctx, reqs, jobCandidates, s.cfg.Manager.NBest)
+	if err != nil {
+		return nil, err
+	}
+	met := s.met.Load()
+	out := make([]BatchResult, len(reqs))
+	s.allocMu.Lock()
+	defer s.allocMu.Unlock()
+	for i := range reqs {
+		if errs[i] != nil {
+			s.allocFailed.Add(1)
+			met.allocFail.Inc()
+			out[i].Err = errs[i]
+			continue
+		}
+		d, err := s.mgr.PlaceCandidates(app, reqs[i], append([]retrieval.Result(nil), lists[i]...), basePrio)
+		if err != nil {
+			s.allocFailed.Add(1)
+			met.allocFail.Inc()
+			out[i].Err = err
+			continue
+		}
+		s.allocated.Add(1)
+		met.allocOK.Inc()
+		out[i].Decision = d
+	}
+	s.now.Store(uint64(s.sys.Now()))
+	return out, nil
+}
+
+// alive guards batch entry points.
+func (s *Service) alive(ctx context.Context) error {
+	select {
+	case <-s.done:
+		return ErrClosed
+	default:
+	}
+	return retrieval.Canceled(ctx)
+}
+
+// --- Shard routing & admission ----------------------------------------
+
+func (s *Service) shardFor(t casebase.TypeID) *shard {
+	return s.shards[int(t)%len(s.shards)]
+}
+
+// submit routes a job to its shard queue, shedding with *ErrOverload
+// when the queue is full.
+func (s *Service) submit(j *job) error {
+	select {
+	case <-s.done:
+		return ErrClosed
+	default:
+	}
+	sh := s.shardFor(j.req.Type)
+	j.sig = retrieval.Signature(j.req)
+	j.at = device.Micros(s.now.Load())
+	met := s.met.Load()
+	select {
+	case sh.q <- j:
+		s.enqueued.Add(1)
+		met.enqueued.Inc()
+		met.queueDepth[sh.idx].Set(int64(len(sh.q)))
+		return nil
+	default:
+		s.shed.Add(1)
+		met.shed.Inc()
+		qn := len(sh.q)
+		return &ErrOverload{Shard: sh.idx, QueueLen: qn, RetryAfter: s.retryAfter(qn)}
+	}
+}
+
+func (s *Service) retryAfter(queued int) device.Micros {
+	return s.cfg.BatchWindow + device.Micros(queued+1)*10
+}
+
+// --- Workers & batch execution ----------------------------------------
+
+// worker drains one shard's queue, coalescing micro-batches.
+func (s *Service) worker(sh *shard) {
+	defer s.wg.Done()
+	batch := make([]*job, 0, s.cfg.MaxBatch)
+	for {
+		select {
+		case <-s.done:
+			return
+		case j := <-sh.q:
+			batch = append(batch[:0], j)
+			s.gather(sh, &batch)
+			s.met.Load().queueDepth[sh.idx].Set(int64(len(sh.q)))
+			s.runBatch(sh, batch)
+		}
+	}
+}
+
+// gather coalesces queued jobs behind the first one, up to MaxBatch.
+// Draining is greedy; when the queue runs dry and a BatchWindow is set,
+// the worker lingers for more arrivals until the oldest job has aged
+// past the window on the sim clock — woken by new jobs or by tick
+// broadcasts, never by a wall clock.
+func (s *Service) gather(sh *shard, batch *[]*job) {
+	for len(*batch) < s.cfg.MaxBatch {
+		select {
+		case j := <-sh.q:
+			*batch = append(*batch, j)
+			continue
+		default:
+		}
+		w := s.cfg.BatchWindow
+		if w == 0 || device.Micros(s.now.Load())-(*batch)[0].at >= w {
+			return
+		}
+		select {
+		case j := <-sh.q:
+			*batch = append(*batch, j)
+		case <-s.tickSignal():
+			// Clock advanced; re-check the window.
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// runBatch executes one coalesced batch of queued jobs, deduplicating
+// identical signatures, and replies to every job.
+func (s *Service) runBatch(sh *shard, batch []*job) {
+	met := s.met.Load()
+	met.busy[sh.idx].Set(1)
+	defer met.busy[sh.idx].Set(0)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s.noteBatch(met, len(batch))
+	seen := make(map[string]*jobResult, len(batch))
+	for _, j := range batch {
+		if err := retrieval.Canceled(j.ctx); err != nil {
+			s.canceled.Add(1)
+			met.canceled.Inc()
+			j.done <- jobResult{err: err}
+			continue
+		}
+		j.done <- s.resolve(sh, j, seen, met)
+	}
+}
+
+// runGroup is the pre-formed twin of runBatch for the *Batch entry
+// points: it scores one shard group of reqs (selected by idxs) and
+// writes results positionally. The caller splits groups at MaxBatch.
+func (s *Service) runGroup(ctx context.Context, sh *shard, reqs []casebase.Request, idxs []int, kind jobKind, n int,
+	bests []retrieval.Result, lists [][]retrieval.Result, errs []error) {
+	met := s.met.Load()
+	met.busy[sh.idx].Set(1)
+	defer met.busy[sh.idx].Set(0)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s.noteBatch(met, len(idxs))
+	seen := make(map[string]*jobResult, len(idxs))
+	for _, i := range idxs {
+		if err := retrieval.Canceled(ctx); err != nil {
+			s.canceled.Add(1)
+			met.canceled.Inc()
+			errs[i] = err
+			continue
+		}
+		j := &job{ctx: ctx, kind: kind, req: reqs[i], n: n, sig: retrieval.Signature(reqs[i])}
+		r := s.resolve(sh, j, seen, met)
+		bests[i], lists[i], errs[i] = r.best, r.list, r.err
+	}
+}
+
+// noteBatch records batch accounting. Caller holds sh.mu.
+func (s *Service) noteBatch(met *metrics, n int) {
+	s.batches.Add(1)
+	s.batchedJobs.Add(int64(n))
+	met.batches.Inc()
+	met.batchSize.Observe(int64(n))
+	for {
+		cur := s.maxBatch.Load()
+		if int64(n) <= cur || s.maxBatch.CompareAndSwap(cur, int64(n)) {
+			break
+		}
+	}
+}
+
+// resolve serves one job from the singleflight map, the token cache, or
+// an engine walk. Caller holds sh.mu.
+func (s *Service) resolve(sh *shard, j *job, seen map[string]*jobResult, met *metrics) jobResult {
+	key := jobKey(j)
+	if r, ok := seen[key]; ok {
+		s.dedupHits.Add(1)
+		met.dedup.Inc()
+		return *r
+	}
+	r := s.runJob(sh, j, met)
+	seen[key] = &r
+	return r
+}
+
+// runJob performs the actual retrieval for one deduplicated job. Caller
+// holds sh.mu.
+func (s *Service) runJob(sh *shard, j *job, met *metrics) jobResult {
+	if j.kind == jobCandidates {
+		list, err := sh.eng.RetrieveN(j.req, j.n)
+		return jobResult{list: list, err: err}
+	}
+	// Best-match path: the shard token cache bypasses the walk for
+	// signatures it has already resolved ("only an availability check
+	// ... has to be done", §3). Disabled when locals are kept — a token
+	// cannot carry the per-attribute breakdown, and the bit-identical
+	// contract with sequential retrieval must hold.
+	if !s.cfg.Engine.KeepLocals {
+		if tok, ok := sh.tokens.LookupSig(j.sig); ok {
+			if r, live := s.resultFromToken(tok); live {
+				s.tokenHits.Add(1)
+				met.tokenHits.Inc()
+				return jobResult{best: r}
+			}
+		}
+	}
+	r, err := sh.eng.Retrieve(j.req)
+	if err != nil {
+		return jobResult{err: err}
+	}
+	sh.tokens.StoreSig(j.sig, retrieval.Token{Type: r.Type, Impl: r.Impl, Similarity: r.Similarity})
+	return jobResult{best: r}
+}
+
+// resultFromToken rebuilds the full Result a fresh engine walk would
+// return for the token's signature: the engine is deterministic over the
+// immutable case base, so (Type, Impl, Similarity) plus the tree's
+// Target/Name reproduce it bit for bit — with nil Locals, exactly like a
+// KeepLocals-off walk.
+func (s *Service) resultFromToken(tok retrieval.Token) (retrieval.Result, bool) {
+	ft, ok := s.cb.Type(tok.Type)
+	if !ok {
+		return retrieval.Result{}, false
+	}
+	im, ok := ft.Impl(tok.Impl)
+	if !ok {
+		return retrieval.Result{}, false
+	}
+	return retrieval.Result{
+		Type: tok.Type, Impl: tok.Impl, Target: im.Target, Name: im.Name,
+		Similarity: tok.Similarity,
+	}, true
+}
+
+// fanout routes reqs to shards and processes each shard's group as
+// pre-formed micro-batches (split at MaxBatch) in parallel across
+// shards. Results are positionally aligned with reqs.
+func (s *Service) fanout(ctx context.Context, reqs []casebase.Request, kind jobKind, n int) (
+	bests []retrieval.Result, lists [][]retrieval.Result, errs []error, err error) {
+	bests = make([]retrieval.Result, len(reqs))
+	lists = make([][]retrieval.Result, len(reqs))
+	errs = make([]error, len(reqs))
+	groups := make([][]int, len(s.shards))
+	for i, r := range reqs {
+		si := int(r.Type) % len(s.shards)
+		groups[si] = append(groups[si], i)
+	}
+	var wg sync.WaitGroup
+	for si, idxs := range groups {
+		if len(idxs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sh *shard, idxs []int) {
+			defer wg.Done()
+			for len(idxs) > 0 {
+				nb := min(len(idxs), s.cfg.MaxBatch)
+				s.runGroup(ctx, sh, reqs, idxs[:nb], kind, n, bests, lists, errs)
+				idxs = idxs[nb:]
+			}
+		}(s.shards[si], idxs)
+	}
+	wg.Wait()
+	if cerr := retrieval.Canceled(ctx); cerr != nil {
+		return nil, nil, nil, cerr
+	}
+	return bests, lists, errs, nil
+}

@@ -1,0 +1,452 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"qosalloc/internal/alloc"
+	"qosalloc/internal/attr"
+	"qosalloc/internal/casebase"
+	"qosalloc/internal/device"
+	"qosalloc/internal/obs"
+	"qosalloc/internal/retrieval"
+	"qosalloc/internal/rtsys"
+	"qosalloc/internal/workload"
+)
+
+// fig1System builds the paper's fig. 1 style platform: 2-slot FPGA,
+// DSP, GPP over a given case base.
+func fig1System(t testing.TB, cb *casebase.CaseBase) *rtsys.System {
+	t.Helper()
+	repo := device.NewRepository(64)
+	if err := repo.PopulateFromCaseBase(cb); err != nil {
+		t.Fatal(err)
+	}
+	fpga := device.NewFPGA("fpga0", []device.Slot{
+		{Slices: 1500, BRAMs: 8, Multipliers: 16},
+		{Slices: 1500, BRAMs: 8, Multipliers: 16},
+	}, 66)
+	dsp := device.NewProcessor("dsp0", casebase.TargetDSP, 1000, 128*1024)
+	gpp := device.NewProcessor("gpp0", casebase.TargetGPP, 1000, 256*1024)
+	return rtsys.NewSystem(repo, fpga, dsp, gpp)
+}
+
+// genWorkload builds a moderate synthetic case base plus a repeat-heavy
+// request stream exercising dedup and the token bypass.
+func genWorkload(t testing.TB, nReqs int, repeat float64) (*casebase.CaseBase, *attr.Registry, []casebase.Request) {
+	t.Helper()
+	cb, reg, err := workload.GenCaseBase(workload.CaseBaseSpec{
+		Types: 8, ImplsPerType: 5, AttrsPerImpl: 5, AttrUniverse: 6, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := workload.GenRequests(cb, reg, workload.RequestStreamSpec{
+		N: nReqs, ConstraintsPer: 3, RepeatFraction: repeat, Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cb, reg, reqs
+}
+
+// TestRetrieveBatchBitIdenticalToSequential is the golden equivalence
+// test: every batched result — deduplicated, token-bypassed, sharded —
+// must be bit-identical to a plain sequential engine walk.
+func TestRetrieveBatchBitIdenticalToSequential(t *testing.T) {
+	cb, _, reqs := genWorkload(t, 240, 0.5)
+	eng := retrieval.NewEngine(cb, retrieval.Options{})
+
+	s := New(cb, fig1System(t, cb), Config{Shards: 4, MaxBatch: 16})
+	defer s.Close()
+
+	ctx := context.Background()
+	for lo := 0; lo < len(reqs); lo += 48 {
+		hi := min(lo+48, len(reqs))
+		out, err := s.RetrieveBatch(ctx, reqs[lo:hi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, o := range out {
+			want, wantErr := eng.Retrieve(reqs[lo+k])
+			if (o.Err == nil) != (wantErr == nil) {
+				t.Fatalf("req %d: err = %v, sequential err = %v", lo+k, o.Err, wantErr)
+			}
+			if !reflect.DeepEqual(o.Result, want) {
+				t.Fatalf("req %d: batched %+v != sequential %+v", lo+k, o.Result, want)
+			}
+		}
+	}
+
+	st := s.Stats()
+	if st.TokenHits == 0 {
+		t.Error("repeat-heavy stream produced no token bypasses")
+	}
+	if st.DedupHits == 0 {
+		t.Error("repeat-heavy stream produced no in-batch dedups")
+	}
+	if st.EngineRetrievals+st.TokenHits+st.DedupHits != int64(len(reqs)) {
+		t.Errorf("walks(%d)+tokens(%d)+dedups(%d) != %d requests",
+			st.EngineRetrievals, st.TokenHits, st.DedupHits, len(reqs))
+	}
+	if st.EngineRetrievals >= int64(len(reqs)) {
+		t.Errorf("no retrieval was saved: %d walks for %d requests", st.EngineRetrievals, len(reqs))
+	}
+}
+
+// TestRetrieveKeepLocalsBitIdentical pins the KeepLocals contract: the
+// token fast-path is disabled (tokens cannot carry locals) and results
+// still match sequential walks including the per-attribute breakdown.
+func TestRetrieveKeepLocalsBitIdentical(t *testing.T) {
+	cb, _, reqs := genWorkload(t, 60, 0.5)
+	opt := retrieval.Options{KeepLocals: true}
+	eng := retrieval.NewEngine(cb, opt)
+
+	s := New(cb, fig1System(t, cb), Config{Shards: 2, Engine: opt})
+	defer s.Close()
+
+	out, err := s.RetrieveBatch(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, o := range out {
+		want, _ := eng.Retrieve(reqs[k])
+		if !reflect.DeepEqual(o.Result, want) {
+			t.Fatalf("req %d: batched %+v != sequential %+v", k, o.Result, want)
+		}
+		if o.Err == nil && o.Result.Locals == nil {
+			t.Fatalf("req %d: KeepLocals result lost its locals", k)
+		}
+	}
+	if st := s.Stats(); st.TokenHits != 0 {
+		t.Errorf("token fast-path ran %d times with KeepLocals on", st.TokenHits)
+	}
+}
+
+// TestAllocatePicksTableOneBest mirrors the alloc-layer golden: the
+// paper's request through the service lands impl 2 on the DSP.
+func TestAllocatePicksTableOneBest(t *testing.T) {
+	cb, err := casebase.PaperCaseBase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(cb, fig1System(t, cb), Config{})
+	defer s.Close()
+
+	d, err := s.Allocate(context.Background(), "mp3", casebase.PaperRequest(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Impl != 2 || d.Target != casebase.TargetDSP || d.Device != "dsp0" {
+		t.Errorf("decision = %+v, want DSP impl 2 on dsp0", d)
+	}
+	st := s.Stats()
+	if st.Allocated != 1 || st.AllocFailed != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if ms := s.Manager().Stats(); ms.Requests != 1 || ms.Placed != 1 {
+		t.Errorf("manager stats = %+v", ms)
+	}
+}
+
+// runAllocBatches drives one service through the stream in fixed chunks
+// with releases between chunks, returning a decision fingerprint.
+func runAllocBatches(t *testing.T, s *Service, reqs []casebase.Request) []string {
+	t.Helper()
+	ctx := context.Background()
+	var fp []string
+	for lo := 0; lo < len(reqs); lo += 32 {
+		hi := min(lo+32, len(reqs))
+		out, err := s.AllocateBatch(ctx, fmt.Sprintf("app%d", lo/32), reqs[lo:hi], 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range out {
+			if r.Err != nil {
+				fp = append(fp, "err:"+fmt.Sprintf("%T", r.Err))
+				continue
+			}
+			fp = append(fp, fmt.Sprintf("%d/%d@%s", r.Decision.Impl, r.Decision.Target, r.Decision.Device))
+			if err := s.Release(r.Decision.Task.ID); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Advance(s.System().Now() + 500); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return fp
+}
+
+// TestAllocateBatchDeterministic runs the same stream through two
+// independently built services and requires identical decisions and
+// identical batching/bypass accounting — the property that lets the
+// serve experiment pin its outcome.
+func TestAllocateBatchDeterministic(t *testing.T) {
+	run := func() ([]string, Stats) {
+		cb, _, reqs := genWorkload(t, 96, 0.4)
+		s := New(cb, fig1System(t, cb), Config{Shards: 4, MaxBatch: 8})
+		defer s.Close()
+		fp := runAllocBatches(t, s, reqs)
+		return fp, s.Stats()
+	}
+	fp1, st1 := run()
+	fp2, st2 := run()
+	if !reflect.DeepEqual(fp1, fp2) {
+		t.Fatalf("decision sequences diverged:\n%v\n%v", fp1, fp2)
+	}
+	if st1 != st2 {
+		t.Fatalf("stats diverged:\n%+v\n%+v", st1, st2)
+	}
+	if st1.Batches == 0 || st1.BatchedJobs != 96 {
+		t.Errorf("stats = %+v", st1)
+	}
+}
+
+// TestOverloadShedsTyped pins admission control: with the single shard
+// wedged (its mutex held) and a queue of one, the third request must be
+// refused with a typed *ErrOverload carrying a retry hint.
+func TestOverloadShedsTyped(t *testing.T) {
+	cb, _, reqs := genWorkload(t, 4, 0)
+	s := New(cb, fig1System(t, cb), Config{Shards: 1, MaxBatch: 1, MaxQueue: 1})
+	defer s.Close()
+
+	sh := s.shards[0]
+	sh.mu.Lock() // wedge the worker mid-batch
+
+	ctx := context.Background()
+	done := make(chan error, 2)
+	// NB: Stats() locks sh.mu (engine counters), which this test holds —
+	// poll the atomic counters directly.
+	go func() { _, err := s.Retrieve(ctx, reqs[0]); done <- err }()
+	waitFor(t, "worker to take the first job", func() bool { return len(sh.q) == 0 && s.enqueued.Load() == 1 })
+
+	go func() { _, err := s.Retrieve(ctx, reqs[1]); done <- err }()
+	waitFor(t, "second job to fill the queue", func() bool { return len(sh.q) == 1 })
+
+	_, err := s.Retrieve(ctx, reqs[2])
+	var ov *ErrOverload
+	if !errors.As(err, &ov) {
+		t.Fatalf("err = %v, want *ErrOverload", err)
+	}
+	if ov.Shard != 0 || ov.QueueLen != 1 || ov.RetryAfter == 0 {
+		t.Errorf("overload = %+v", ov)
+	}
+	if !strings.Contains(ov.Error(), "retry after") {
+		t.Errorf("Error() = %q", ov.Error())
+	}
+	if shed := s.shed.Load(); shed != 1 {
+		t.Errorf("Shed = %d, want 1", shed)
+	}
+
+	sh.mu.Unlock() // unwedge; both queued callers must complete
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Errorf("queued caller %d: %v", i, err)
+		}
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestContextCancellation covers the entry guard and the batch entry
+// points: a dead context yields ErrCanceled wrapping the cause.
+func TestContextCancellation(t *testing.T) {
+	cb, _, reqs := genWorkload(t, 2, 0)
+	s := New(cb, fig1System(t, cb), Config{Shards: 1})
+	defer s.Close()
+
+	cause := errors.New("client gave up")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+
+	if _, err := s.Retrieve(ctx, reqs[0]); !errors.Is(err, retrieval.ErrCanceled) || !errors.Is(err, cause) {
+		t.Errorf("Retrieve err = %v", err)
+	}
+	if _, err := s.RetrieveBatch(ctx, reqs); !errors.Is(err, retrieval.ErrCanceled) {
+		t.Errorf("RetrieveBatch err = %v", err)
+	}
+	if _, err := s.AllocateBatch(ctx, "app", reqs, 5); !errors.Is(err, retrieval.ErrCanceled) {
+		t.Errorf("AllocateBatch err = %v", err)
+	}
+	if _, err := s.Allocate(ctx, "app", reqs[0], 5); !errors.Is(err, retrieval.ErrCanceled) {
+		t.Errorf("Allocate err = %v", err)
+	}
+}
+
+// TestCloseRejectsAndIsIdempotent pins the shutdown contract.
+func TestCloseRejectsAndIsIdempotent(t *testing.T) {
+	cb, _, reqs := genWorkload(t, 1, 0)
+	s := New(cb, fig1System(t, cb), Config{Shards: 2})
+	s.Close()
+	s.Close() // idempotent
+	if _, err := s.Retrieve(context.Background(), reqs[0]); !errors.Is(err, ErrClosed) {
+		t.Errorf("Retrieve after Close = %v, want ErrClosed", err)
+	}
+	if _, err := s.RetrieveBatch(context.Background(), reqs); !errors.Is(err, ErrClosed) {
+		t.Errorf("RetrieveBatch after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestBatchWindowLinger pins the sim-time linger: with a window set and
+// the clock frozen, a partial batch waits for more arrivals; a Tick past
+// the window flushes it. Both jobs must land in one batch.
+func TestBatchWindowLinger(t *testing.T) {
+	cb, reg, _ := genWorkload(t, 1, 0)
+	// Two distinct signatures on the same shard (single shard).
+	reqA := lingerReq(t, cb, reg, 0)
+	reqB := lingerReq(t, cb, reg, 1)
+	s := New(cb, fig1System(t, cb), Config{Shards: 1, BatchWindow: 100})
+	defer s.Close()
+
+	ctx := context.Background()
+	done := make(chan error, 2)
+	go func() { _, err := s.Retrieve(ctx, reqA); done <- err }()
+	go func() { _, err := s.Retrieve(ctx, reqB); done <- err }()
+	waitFor(t, "both jobs to reach the shard", func() bool {
+		return s.Stats().Enqueued == 2 && len(s.shards[0].q) == 0
+	})
+	if got := s.Stats().Batches; got != 0 {
+		t.Fatalf("batch flushed before the window expired (%d batches)", got)
+	}
+
+	s.Tick(200) // sim clock leaps past the window
+
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+	st := s.Stats()
+	if st.Batches != 1 || st.BatchedJobs != 2 || st.MaxBatch != 2 {
+		t.Errorf("linger stats = %+v, want one batch of two", st)
+	}
+}
+
+// lingerReq builds a valid single-constraint request with a
+// value-distinct signature (offset off above the attribute's lower
+// design bound).
+func lingerReq(t *testing.T, cb *casebase.CaseBase, reg *attr.Registry, off attr.Value) casebase.Request {
+	t.Helper()
+	ft := cb.Types()[0]
+	id := ft.Impls[0].Attrs[0].ID
+	d, ok := reg.Lookup(id)
+	if !ok {
+		t.Fatalf("attribute %d undefined", id)
+	}
+	return casebase.NewRequest(ft.ID, casebase.Constraint{ID: id, Value: d.Lo + off}).EqualWeights()
+}
+
+// TestInstrumentExportsServeSeries wires a registry mid-flight and
+// checks the serve metric family shows up in the Prometheus exposition
+// with per-shard labels.
+func TestInstrumentExportsServeSeries(t *testing.T) {
+	cb, _, reqs := genWorkload(t, 40, 0.5)
+	s := New(cb, fig1System(t, cb), Config{Shards: 2, MaxBatch: 8})
+	defer s.Close()
+
+	reg := obs.NewRegistry()
+	s.Instrument(reg)
+	if _, err := s.RetrieveBatch(context.Background(), reqs); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := reg.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"qos_serve_batches_total",
+		"qos_serve_batch_size_bucket",
+		`qos_serve_queue_depth{shard="1"}`,
+		`qos_serve_shard_busy{shard="0"}`,
+		"qos_serve_token_hits_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if v, ok := reg.CounterValue("qos_serve_batches_total"); !ok || v == 0 {
+		t.Errorf("qos_serve_batches_total = %d, %v", v, ok)
+	}
+}
+
+// TestServeRaceStress hammers the service from 64 client goroutines
+// while a driver advances the sim clock and placements run — the test
+// is mainly for -race, but also checks every retrieval succeeds.
+func TestServeRaceStress(t *testing.T) {
+	cb, _, reqs := genWorkload(t, 64, 0.3)
+	s := New(cb, fig1System(t, cb), Config{Shards: 8, MaxBatch: 8, MaxQueue: 512})
+	defer s.Close()
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	for c := 0; c < 64; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				req := reqs[(c*7+i)%len(reqs)]
+				if _, err := s.Retrieve(ctx, req); err != nil {
+					var ov *ErrOverload
+					if errors.As(err, &ov) {
+						continue // shed under pressure is legitimate
+					}
+					errc <- fmt.Errorf("client %d: %w", c, err)
+					return
+				}
+			}
+		}(c)
+	}
+	// Driver goroutine: clock ticks and occasional allocations.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if err := s.Advance(s.System().Now() + 100); err != nil {
+				errc <- err
+				return
+			}
+			d, err := s.Allocate(ctx, "driver", reqs[i], 5)
+			if err == nil {
+				if err := s.Release(d.Task.ID); err != nil {
+					errc <- err
+					return
+				}
+			} else if !isNoFeasible(err) {
+				var ov *ErrOverload
+				if !errors.As(err, &ov) {
+					errc <- err
+					return
+				}
+			}
+			_ = s.Stats()
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+func isNoFeasible(err error) bool {
+	var nf *alloc.ErrNoFeasible
+	return errors.As(err, &nf)
+}

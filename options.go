@@ -1,0 +1,205 @@
+package qosalloc
+
+// API v2: functional options (DESIGN.md §9). The v1 facade exposed the
+// bare internal option structs (EngineOptions, ManagerOptions) at every
+// constructor; v2 entry points — NewService, NewRetrievalEngine,
+// NewRetrievalPool, NewAllocationManager — take a variadic Option list
+// drawn from one shared vocabulary, so the same WithThreshold tunes a
+// standalone engine, a pool, a manager, or the whole service, and new
+// knobs never break existing call sites. The v1 constructors remain as
+// deprecated shims.
+
+import (
+	"qosalloc/internal/alloc"
+	"qosalloc/internal/obs"
+	"qosalloc/internal/retrieval"
+	"qosalloc/internal/serve"
+)
+
+// config is the merged option state every v2 constructor draws from;
+// each constructor reads the fields relevant to it and ignores the
+// rest (a WithShards passed to NewRetrievalEngine is harmless).
+type config struct {
+	serve     serve.Config
+	maxIdle   int // engine-pool idle cap; 0 = pool default
+	maxTokens int // token-cache LRU cap; 0 = retrieval.DefaultMaxTokens
+	reg       *obs.Registry
+}
+
+// Option configures a v2 entry point (NewService, NewRetrievalEngine,
+// NewRetrievalPool, NewAllocationManager).
+type Option func(*config)
+
+// WithShards sets how many retrieval engines the service partitions the
+// case base across (service only).
+func WithShards(n int) Option { return func(c *config) { c.serve.Shards = n } }
+
+// WithBatchWindow sets the service's micro-batch linger budget in
+// sim-time microseconds; zero flushes batches as soon as the shard
+// queue runs dry (service only).
+func WithBatchWindow(w Micros) Option { return func(c *config) { c.serve.BatchWindow = w } }
+
+// WithMaxBatch bounds how many requests one shard coalesces per
+// micro-batch (service only).
+func WithMaxBatch(n int) Option { return func(c *config) { c.serve.MaxBatch = n } }
+
+// WithMaxQueue bounds each shard's admission queue; submissions beyond
+// it are shed with *ErrOverload (service only).
+func WithMaxQueue(n int) Option { return func(c *config) { c.serve.MaxQueue = n } }
+
+// WithThreshold rejects candidates whose similarity falls below t at
+// both the retrieval and the allocation layer.
+func WithThreshold(t float64) Option {
+	return func(c *config) {
+		c.serve.Engine.Threshold = t
+		c.serve.Manager.Threshold = t
+	}
+}
+
+// WithLocalMeasure replaces the eq. (1) linear local similarity.
+func WithLocalMeasure(m LocalMeasure) Option { return func(c *config) { c.serve.Engine.Local = m } }
+
+// WithAmalgamation replaces the eq. (2) weighted-sum amalgamation.
+func WithAmalgamation(a Amalgamation) Option {
+	return func(c *config) { c.serve.Engine.Amalgamation = a }
+}
+
+// WithKeepLocals retains the per-attribute score breakdown in results
+// (and disables the service's token fast-path, which cannot carry it).
+func WithKeepLocals(keep bool) Option { return func(c *config) { c.serve.Engine.KeepLocals = keep } }
+
+// WithNBest bounds how many retrieval candidates the allocation layer
+// checks for feasibility (§5 n-most-similar extension).
+func WithNBest(n int) Option { return func(c *config) { c.serve.Manager.NBest = n } }
+
+// WithPreemption permits evicting strictly lower-priority tasks when
+// the best match has no free capacity.
+func WithPreemption(allow bool) Option {
+	return func(c *config) { c.serve.Manager.AllowPreemption = allow }
+}
+
+// WithBypassTokens enables the §3 repeated-call shortcut in the
+// allocation manager.
+func WithBypassTokens(use bool) Option {
+	return func(c *config) { c.serve.Manager.UseBypassTokens = use }
+}
+
+// WithPowerWeight trades QoS similarity against power when ranking
+// candidates (zero keeps the paper's pure-similarity ranking).
+func WithPowerWeight(w float64) Option { return func(c *config) { c.serve.Manager.PowerWeight = w } }
+
+// WithRegistry instruments the constructed component on reg — the
+// service wires its own metrics plus every shard engine and the
+// manager; engines, pools and managers wire their layer's bundle.
+func WithRegistry(reg *ObsRegistry) Option { return func(c *config) { c.reg = reg } }
+
+// WithMaxIdle bounds an engine pool's idle list (pool only).
+func WithMaxIdle(n int) Option { return func(c *config) { c.maxIdle = n } }
+
+// WithMaxTokens bounds the bypass token cache's LRU retention
+// (manager only; the service sizes its shard caches internally).
+func WithMaxTokens(n int) Option { return func(c *config) { c.maxTokens = n } }
+
+func buildConfig(opts []Option) config {
+	var c config
+	for _, o := range opts {
+		if o != nil {
+			o(&c)
+		}
+	}
+	return c
+}
+
+// --- Service (the concurrent allocation front end) ---------------------
+
+// Service-layer types (DESIGN.md §9).
+type (
+	// Service is the concurrent allocation service: the case base
+	// sharded across retrieval engines, concurrent requests coalesced
+	// into deduplicated micro-batches, bounded admission queues, and
+	// placements serialized into the allocation manager. Safe for
+	// concurrent use; create with NewService, dispose with Close.
+	Service = serve.Service
+	// ServiceConfig is the explicit configuration behind the Options.
+	ServiceConfig = serve.Config
+	// ServiceStats snapshots the service counters.
+	ServiceStats = serve.Stats
+	// ErrOverload is the typed admission-control rejection with its
+	// retry-after hint.
+	ErrOverload = serve.ErrOverload
+	// RetrieveOutcome is one Service.RetrieveBatch element.
+	RetrieveOutcome = serve.RetrieveOutcome
+	// BatchResult is one Service.AllocateBatch element.
+	BatchResult = serve.BatchResult
+)
+
+// Service-layer sentinel errors.
+var (
+	// ErrServiceClosed reports calls into a closed Service.
+	ErrServiceClosed = serve.ErrClosed
+	// ErrCanceled marks retrievals abandoned because the caller's
+	// context died; errors.Is(err, ErrCanceled) and context.Cause both
+	// work on it.
+	ErrCanceled = retrieval.ErrCanceled
+)
+
+// NewService builds the concurrent allocation service over a case base
+// and runtime:
+//
+//	svc := qosalloc.NewService(cb, rt,
+//		qosalloc.WithShards(8),
+//		qosalloc.WithThreshold(0.7),
+//		qosalloc.WithRegistry(reg))
+//	defer svc.Close()
+//	d, err := svc.Allocate(ctx, "mp3", req, 5)
+func NewService(cb *CaseBase, rt *Runtime, opts ...Option) *Service {
+	c := buildConfig(opts)
+	s := serve.New(cb, rt, c.serve)
+	if c.reg != nil {
+		s.Instrument(c.reg)
+	}
+	return s
+}
+
+// --- v2 constructors for the lower layers ------------------------------
+
+// NewRetrievalEngine returns the reference retrieval engine over cb.
+// Zero options give the paper's measure: eq. (1) linear local
+// similarity and eq. (2) weighted-sum amalgamation.
+func NewRetrievalEngine(cb *CaseBase, opts ...Option) *Engine {
+	c := buildConfig(opts)
+	e := retrieval.NewEngine(cb, c.serve.Engine)
+	if c.reg != nil {
+		e.Instrument(retrieval.NewMetrics(c.reg))
+	}
+	return e
+}
+
+// NewRetrievalPool returns a concurrency-safe retrieval front end over
+// one shared case base.
+func NewRetrievalPool(cb *CaseBase, opts ...Option) *EnginePool {
+	c := buildConfig(opts)
+	p := retrieval.NewPool(cb, c.serve.Engine)
+	if c.maxIdle > 0 {
+		p.SetMaxIdle(c.maxIdle)
+	}
+	if c.reg != nil {
+		p.Instrument(retrieval.NewMetrics(c.reg))
+	}
+	return p
+}
+
+// NewAllocationManager builds the allocation manager over a case base
+// and runtime (WithThreshold also configures its internal retrieval
+// engine, matching the v1 ManagerOptions behavior).
+func NewAllocationManager(cb *CaseBase, rt *Runtime, opts ...Option) *Manager {
+	c := buildConfig(opts)
+	m := alloc.New(cb, rt, c.serve.Manager)
+	if c.maxTokens > 0 {
+		m.TokenCache().SetMaxTokens(c.maxTokens)
+	}
+	if c.reg != nil {
+		m.Instrument(c.reg)
+	}
+	return m
+}

@@ -141,6 +141,10 @@ type (
 // NewEngine returns the reference retrieval engine over cb. Zero-value
 // options give the paper's measure: eq. (1) linear local similarity and
 // eq. (2) weighted-sum amalgamation.
+//
+// Deprecated: use NewRetrievalEngine with functional options
+// (WithThreshold, WithLocalMeasure, ...); this v1 shim remains for
+// existing call sites.
 func NewEngine(cb *CaseBase, opt EngineOptions) *Engine { return retrieval.NewEngine(cb, opt) }
 
 // NewFixedEngine returns the 16-bit fixed-point engine over cb.
@@ -151,6 +155,9 @@ func NewTokenCache() *TokenCache { return retrieval.NewTokenCache() }
 
 // NewEnginePool returns a retrieval front end safe for concurrent use
 // by many application goroutines over one shared case base.
+//
+// Deprecated: use NewRetrievalPool with functional options (WithMaxIdle,
+// WithThreshold, ...); this v1 shim remains for existing call sites.
 func NewEnginePool(cb *CaseBase, opt EngineOptions) *EnginePool {
 	return retrieval.NewPool(cb, opt)
 }
@@ -321,6 +328,11 @@ func NewRepository(bytesPerMicro int) *Repository { return device.NewRepository(
 func NewRuntime(repo *Repository, devs ...Device) *Runtime { return rtsys.NewSystem(repo, devs...) }
 
 // NewManager builds the allocation manager over a case base and runtime.
+//
+// Deprecated: use NewAllocationManager with functional options
+// (WithNBest, WithPreemption, WithRegistry, ...), or NewService for the
+// concurrent batching front end; this v1 shim remains for existing call
+// sites.
 func NewManager(cb *CaseBase, sys *Runtime, opt ManagerOptions) *Manager {
 	return alloc.New(cb, sys, opt)
 }

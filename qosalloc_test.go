@@ -189,8 +189,8 @@ func TestFacadeMeasureLookups(t *testing.T) {
 
 func TestFacadeExperiments(t *testing.T) {
 	all := qosalloc.Experiments()
-	if len(all) != 19 {
-		t.Fatalf("experiments = %d, want 19", len(all))
+	if len(all) != 20 {
+		t.Fatalf("experiments = %d, want 20", len(all))
 	}
 	e, ok := qosalloc.ExperimentByID("table1")
 	if !ok {

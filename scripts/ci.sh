@@ -11,3 +11,10 @@ go test -race ./...
 go test -run 'TestObs' ./internal/experiments/
 # Every benchmark must still compile and survive one iteration.
 go test -run xxx -bench . -benchtime 1x ./...
+# API-surface gate: the exported facade must match the committed
+# snapshot. Regenerate deliberately with `make api` after an intended
+# surface change.
+go doc -all . | diff -u api.txt - || {
+	echo "api.txt is stale: exported API changed; run 'make api' and commit" >&2
+	exit 1
+}
