@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke fuzz api api-check ci
+.PHONY: all build vet qosvet lint test race bench bench-smoke fuzz api api-check ci
 
 all: ci
 
@@ -12,6 +12,16 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# qosvet is the project-specific invariant suite (internal/lint):
+# determinism, Q15 saturation, obs naming, error wrapping. lint runs it
+# through the standard vet driver so diagnostics carry file:line and
+# the run is cached per package.
+qosvet:
+	$(GO) build -o bin/qosvet ./cmd/qosvet
+
+lint: qosvet
+	$(GO) vet -vettool=$(CURDIR)/bin/qosvet ./...
 
 test:
 	$(GO) test ./...
@@ -40,4 +50,4 @@ api:
 api-check:
 	$(GO) doc -all . | diff -u api.txt -
 
-ci: build vet race bench-smoke api-check
+ci: build vet lint race bench-smoke api-check

@@ -1,0 +1,20 @@
+// Qosvet is the repo's invariant checker: a go vet tool bundling the
+// internal/lint analyzer suite (detlint, q15lint, obslint, errlint).
+//
+// Build it once and hand it to go vet:
+//
+//	go build -o bin/qosvet ./cmd/qosvet
+//	go vet -vettool=$(pwd)/bin/qosvet ./...
+//
+// or simply `make lint`. Individual analyzers can be selected with
+// their flag names (`-detlint`), and intentional violations are
+// suppressed in source with `//qosvet:ignore <analyzer> <reason>`.
+// See the internal/lint package documentation and DESIGN.md §10 for
+// the invariants each analyzer guards.
+package main
+
+import "qosalloc/internal/lint"
+
+func main() {
+	lint.Main(lint.All())
+}

@@ -127,6 +127,9 @@ func main() {
 }
 
 func dumpMetrics(mode string, reg *qosalloc.ObsRegistry) {
+	// Not a hot-path instrumentation guard: with -metrics off no registry
+	// exists and no metrics section should be printed at all.
+	//qosvet:ignore obslint CLI decides whether to render a metrics section, not whether to record
 	if reg == nil {
 		return
 	}
@@ -280,11 +283,11 @@ func replayStream(n int, seed int64, repeat float64, plan qosalloc.FaultPlan, or
 		NBest: 3, AllowPreemption: true, UseBypassTokens: true,
 	})
 	inj := qosalloc.NewFaultInjector(rt, plan)
-	if oreg != nil {
-		m.Instrument(oreg)
-		rt.Instrument(oreg)
-		inj.Instrument(oreg)
-	}
+	// A nil registry yields dangling bundles, so instrumentation never
+	// branches (obslint's dangling-bundle invariant).
+	m.Instrument(oreg)
+	rt.Instrument(oreg)
+	inj.Instrument(oreg)
 
 	var ok, fail, stranded, recovered, degraded, rejected int
 	var live []qosalloc.TaskID

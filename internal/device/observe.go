@@ -19,16 +19,28 @@ type Observer struct {
 	transitions *obs.Counter
 	trace       *obs.Ring
 
-	health    map[ID]*obs.Gauge
-	occupancy map[ID]*obs.Gauge
-	slotsFree map[ID]*obs.Gauge
-	slotsBad  map[ID]*obs.Gauge
-	load      map[ID]*obs.Gauge
+	gauges map[ID]*devGauges
+}
+
+// devGauges is one device's labeled gauge series, registered together
+// the first time Sync sees the device. Slot gauges exist only for
+// FPGAs and the load gauge only for processors, so the exposition
+// carries no meaningless series.
+type devGauges struct {
+	health    *obs.Gauge
+	occupancy *obs.Gauge
+	slotsFree *obs.Gauge
+	slotsBad  *obs.Gauge
+	load      *obs.Gauge
 }
 
 // NewObserver returns an observer publishing to reg. A nil registry
 // yields an observer whose Sync is a no-op.
 func NewObserver(reg *obs.Registry) *Observer {
+	// Constructor fast-path, not an instrumentation branch: every
+	// uninstrumented rtsys.System carries a zero observer, so skipping
+	// the map allocations here keeps New cheap. Sync no-ops via Enabled.
+	//qosvet:ignore obslint constructor fast-path for the uninstrumented zero observer
 	if reg == nil {
 		return &Observer{}
 	}
@@ -37,24 +49,40 @@ func NewObserver(reg *obs.Registry) *Observer {
 		prev: make(map[ID]Health),
 		transitions: reg.Counter("qos_device_health_transitions_total",
 			"device health-state changes observed"),
-		trace:     reg.Ring("qos_device_trace", "device health-transition trace (sim micros)", 64),
-		health:    make(map[ID]*obs.Gauge),
-		occupancy: make(map[ID]*obs.Gauge),
-		slotsFree: make(map[ID]*obs.Gauge),
-		slotsBad:  make(map[ID]*obs.Gauge),
-		load:      make(map[ID]*obs.Gauge),
+		trace:  reg.Ring("qos_device_trace", "device health-transition trace (sim micros)", 64),
+		gauges: make(map[ID]*devGauges),
 	}
 }
 
 // Enabled reports whether the observer publishes anywhere.
 func (o *Observer) Enabled() bool { return o != nil && o.reg != nil }
 
-func (o *Observer) gauge(m map[ID]*obs.Gauge, metric string, dev ID, help string) *obs.Gauge {
-	g, ok := m[dev]
-	if !ok {
-		g = o.reg.Gauge(fmt.Sprintf("%s{device=%q}", metric, string(dev)), help)
-		m[dev] = g
+// gaugesFor returns dev's gauge bundle, registering its series on
+// first sight. Names are constant formats so the exposition surface is
+// auditable (obslint's metric-name invariant).
+func (o *Observer) gaugesFor(d Device) *devGauges {
+	name := d.Name()
+	if g, ok := o.gauges[name]; ok {
+		return g
 	}
+	dev := string(name)
+	g := &devGauges{
+		health: o.reg.Gauge(fmt.Sprintf("qos_device_health{device=%q}", dev),
+			"device health (0 healthy, 1 degraded, 2 failed)"),
+		occupancy: o.reg.Gauge(fmt.Sprintf("qos_device_placements{device=%q}", dev),
+			"live placements on the device"),
+	}
+	switch d.(type) {
+	case *FPGA:
+		g.slotsFree = o.reg.Gauge(fmt.Sprintf("qos_device_slots_free{device=%q}", dev),
+			"unoccupied healthy FPGA slots")
+		g.slotsBad = o.reg.Gauge(fmt.Sprintf("qos_device_slots_failed{device=%q}", dev),
+			"permanently failed FPGA slots")
+	case *Processor:
+		g.load = o.reg.Gauge(fmt.Sprintf("qos_device_load_permille{device=%q}", dev),
+			"committed processor load in permille")
+	}
+	o.gauges[name] = g
 	return g
 }
 
@@ -76,19 +104,15 @@ func (o *Observer) Sync(now Micros, devs []Device) {
 			})
 		}
 		o.prev[name] = h
-		o.gauge(o.health, "qos_device_health", name,
-			"device health (0 healthy, 1 degraded, 2 failed)").Set(int64(h))
-		o.gauge(o.occupancy, "qos_device_placements", name,
-			"live placements on the device").Set(int64(len(d.Placements())))
+		g := o.gaugesFor(d)
+		g.health.Set(int64(h))
+		g.occupancy.Set(int64(len(d.Placements())))
 		switch dd := d.(type) {
 		case *FPGA:
-			o.gauge(o.slotsFree, "qos_device_slots_free", name,
-				"unoccupied healthy FPGA slots").Set(int64(dd.FreeSlots()))
-			o.gauge(o.slotsBad, "qos_device_slots_failed", name,
-				"permanently failed FPGA slots").Set(int64(dd.FailedSlots()))
+			g.slotsFree.Set(int64(dd.FreeSlots()))
+			g.slotsBad.Set(int64(dd.FailedSlots()))
 		case *Processor:
-			o.gauge(o.load, "qos_device_load_permille", name,
-				"committed processor load in permille").Set(int64(dd.Load()))
+			g.load.Set(int64(dd.Load()))
 		}
 	}
 }

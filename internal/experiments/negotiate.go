@@ -53,7 +53,7 @@ func Negotiate(w io.Writer) error {
 	_, err = strict.Retrieve(req)
 	var nm *retrieval.ErrNoMatch
 	if !errors.As(err, &nm) {
-		return fmt.Errorf("negotiate: expected ErrNoMatch at threshold 0.99, got %v", err)
+		return fmt.Errorf("negotiate: expected ErrNoMatch at threshold 0.99, got %w", err)
 	}
 	fmt.Fprintf(w, "\nthreshold 0.99: no match (best %.2f) -> application relaxes\n", nm.Best)
 

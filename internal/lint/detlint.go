@@ -1,0 +1,275 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// deterministicPkgs are the packages whose behaviour the golden
+// experiments (E18–E20) and bit-exact replay tests pin: everything on
+// the sim-time retrieval/allocation pipeline. Keyed by package name,
+// which equals the final import-path element throughout the repo.
+var deterministicPkgs = map[string]bool{
+	"alloc":       true,
+	"rtsys":       true,
+	"serve":       true,
+	"retrieval":   true,
+	"obs":         true,
+	"experiments": true,
+	"casebase":    true,
+}
+
+// DetLint guards the determinism invariant: the pipeline replays
+// bit-identically from a seed, like the paper's fixed-FSM hardware
+// walking pre-sorted BRAM lists.
+var DetLint = &Analyzer{
+	Name: "detlint",
+	Doc: "forbid wall-clock reads and global math/rand in deterministic packages, " +
+		"wall-clock rand seeding anywhere, and order-dependent work in map iteration",
+	Run: runDetLint,
+}
+
+func runDetLint(pass *Pass) {
+	det := deterministicPkgs[pass.Pkg.Name()]
+	for _, f := range pass.Files {
+		// stack tracks the ancestors of the node being visited so the
+		// map-range check can find its enclosing function body and look
+		// for a sort call after the loop.
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				detLintCall(pass, n, det)
+			case *ast.RangeStmt:
+				if det {
+					detLintRange(pass, n, enclosingBody(stack))
+				}
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+}
+
+// enclosingBody returns the body of the innermost function on the
+// ancestor stack.
+func enclosingBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+// isTimeNowCall reports whether call is time.Now() or time.Since(...).
+func isTimeNowCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := pkgFunc(info, call)
+	return fn != nil && isPkg(fn.Pkg(), "time") && (fn.Name() == "Now" || fn.Name() == "Since")
+}
+
+// randConstructors are the math/rand functions that build explicit
+// sources and generators — the PR 1 convention detlint steers toward.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func detLintCall(pass *Pass, call *ast.CallExpr, det bool) {
+	fn := pkgFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	switch {
+	case det && isPkg(fn.Pkg(), "time") && (fn.Name() == "Now" || fn.Name() == "Since"):
+		pass.Reportf(call.Pos(),
+			"time.%s reads the wall clock in deterministic package %q; thread sim-time (rtsys clock) or a caller-supplied timestamp",
+			fn.Name(), pass.Pkg.Name())
+
+	case det && isRandPkg(fn.Pkg()) && !randConstructors[fn.Name()]:
+		pass.Reportf(call.Pos(),
+			"global math/rand.%s in deterministic package %q; thread an explicit *rand.Rand seeded by the caller",
+			fn.Name(), pass.Pkg.Name())
+
+	case isRandPkg(fn.Pkg()) && randConstructors[fn.Name()]:
+		// Wall-clock seeding breaks replay in every package, not just
+		// the deterministic set: a workload generator seeded from the
+		// clock can never reproduce a failure.
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(n ast.Node) bool {
+				inner, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				// A nested constructor (rand.New(rand.NewSource(...)))
+				// checks its own arguments when visited.
+				if innerFn := pkgFunc(pass.TypesInfo, inner); innerFn != nil &&
+					isRandPkg(innerFn.Pkg()) && randConstructors[innerFn.Name()] {
+					return false
+				}
+				if isTimeNowCall(pass.TypesInfo, inner) {
+					pass.Reportf(inner.Pos(),
+						"rand.%s seeded from the wall clock; use a fixed or caller-supplied seed so runs replay",
+						fn.Name())
+					return false
+				}
+				return true
+			})
+		}
+	}
+}
+
+func isRandPkg(p *types.Package) bool {
+	return isPkg(p, "math/rand") || isPkg(p, "math/rand/v2")
+}
+
+// detLintRange flags order-dependent work inside iteration over a map:
+// slice appends, metric writes, and channel sends all leak Go's
+// randomized map order into outputs — the rtsys.AdvanceTo trace bug
+// fixed in PR 2. The one sanctioned shape is collect-then-sort: an
+// append whose target slice is passed to a sort call later in the same
+// function, which erases the iteration order (the shape of PR 2's own
+// fix).
+func detLintRange(pass *Pass, rng *ast.RangeStmt, body *ast.BlockStmt) {
+	t := typeOf(pass.TypesInfo, rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(),
+				"channel send inside map iteration publishes values in randomized map order; iterate a sorted key slice")
+
+		case *ast.CallExpr:
+			if isBuiltinAppend(pass.TypesInfo, n) {
+				if sortedAfter(pass, body, rng, n) {
+					return true // collect-then-sort: order erased below
+				}
+				pass.Reportf(n.Pos(),
+					"append inside map iteration builds a slice in randomized map order; collect into a slice and sort it, or iterate sorted keys")
+				return true
+			}
+			if name, ok := obsWriteMethod(pass.TypesInfo, n); ok {
+				pass.Reportf(n.Pos(),
+					"obs %s inside map iteration records metrics in randomized map order; iterate a sorted key slice",
+					name)
+			}
+		}
+		return true
+	})
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortFuncs are the sorting entry points whose first argument is the
+// slice being ordered.
+var sortFuncs = map[string]bool{
+	"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	"Strings": true, "Ints": true, "Float64s": true, // sort
+	"SortFunc": true, "SortStableFunc": true, // slices
+}
+
+// sortedAfter reports whether the slice receiving appendCall's result
+// is sorted by a sort/slices call after the range loop, inside the same
+// function.
+func sortedAfter(pass *Pass, body *ast.BlockStmt, rng *ast.RangeStmt, appendCall *ast.CallExpr) bool {
+	if body == nil || len(appendCall.Args) == 0 {
+		return false
+	}
+	target := exprObj(pass.TypesInfo, appendCall.Args[0])
+	if target == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found || call.Pos() <= rng.End() || len(call.Args) == 0 {
+			return !found
+		}
+		fn := pkgFunc(pass.TypesInfo, call)
+		if fn == nil || !sortFuncs[fn.Name()] || !(isPkg(fn.Pkg(), "sort") || isPkg(fn.Pkg(), "slices")) {
+			return true
+		}
+		if exprObj(pass.TypesInfo, call.Args[0]) == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// exprObj resolves e to the object of its leading identifier, looking
+// through parens and single-argument conversions (sort.Sort(ByID(out))).
+func exprObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		e = ast.Unparen(e)
+		if call, ok := e.(*ast.CallExpr); ok && len(call.Args) == 1 {
+			if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+				e = call.Args[0]
+				continue
+			}
+		}
+		break
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		return info.Uses[id]
+	}
+	return nil
+}
+
+// obsWriteMethod reports whether call is a mutating method on one of
+// the internal/obs metric types (Counter.Inc/Add, Gauge.Set/Add,
+// Histogram.Observe, Ring.Append).
+func obsWriteMethod(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	recv := sig.Recv().Type()
+	switch fn.Name() {
+	case "Inc", "Add":
+		if namedFrom(recv, "obs", "Counter", "Gauge") {
+			return fn.Name(), true
+		}
+	case "Set":
+		if namedFrom(recv, "obs", "Gauge") {
+			return fn.Name(), true
+		}
+	case "Observe":
+		if namedFrom(recv, "obs", "Histogram") {
+			return fn.Name(), true
+		}
+	case "Append":
+		if namedFrom(recv, "obs", "Ring") {
+			return fn.Name(), true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,48 @@
+// Package lint is qosvet: a suite of project-specific static analyzers
+// that machine-check the invariants the reproduction's verification
+// story rests on, instead of trusting convention and catching drift in
+// golden tests after the fact.
+//
+// The paper's retrieval unit is deterministic by construction — a fixed
+// FSM walking pre-sorted BRAM lists with saturating 16-bit Q15
+// arithmetic (§4.2) — and the repo's golden experiment outcomes
+// (E18–E20), bit-exact replay tests and batched-vs-sequential
+// bit-identity in internal/serve all depend on the Go side preserving
+// that property. Each analyzer guards one invariant class:
+//
+//   - detlint: deterministic packages (alloc, rtsys, serve, retrieval,
+//     obs, experiments, casebase) must not read the wall clock
+//     (time.Now/time.Since), must not use the global math/rand source,
+//     and must not do order-dependent work (slice appends, metric
+//     writes, channel sends) inside map iteration — the exact bug class
+//     behind the rtsys.AdvanceTo replay divergence fixed in PR 2.
+//     Wall-clock seeding of rand sources is flagged in every package.
+//
+//   - q15lint: Q15/UQ16 fixed-point values may only be combined through
+//     the saturating helpers in internal/fixed (AddSat, SubSat, Mul,
+//     …), never with raw +, -, * that wrap where the hardware
+//     MULT18X18-plus-clamp datapath saturates; float64 views of a Q15
+//     must go through the Float method so the 2^-15 scale is applied.
+//
+//   - obslint: metric names must be constant (or constant-format
+//     Sprintf series) matching qos_[a-z0-9_]+, histogram bucket sets
+//     must be shared package-level variables, and instrumented code
+//     must rely on the nil-registry dangling-bundle pattern instead of
+//     branching on "is observability on" in hot paths.
+//
+//   - errlint: sentinel errors are compared with errors.Is/errors.As,
+//     never ==/!=, and an error passed to fmt.Errorf must be wrapped
+//     with %w so callers can still match it after wrapping.
+//
+// The suite runs as a standard vet tool: build cmd/qosvet and pass it
+// to go vet -vettool (see make lint). Intentional, documented
+// exceptions are suppressed in place with a comment on, or immediately
+// above, the offending line:
+//
+//	//qosvet:ignore <analyzer> <reason>
+//
+// The reason is mandatory; a bare ignore is itself reported.
+// Test files (*_test.go) are exempt from all analyzers: tests may
+// legitimately use wall-clock deadlines and identity assertions, and
+// the invariants gate the production pipeline that golden tests replay.
+package lint

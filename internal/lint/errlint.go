@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ErrLint guards the error-matching conventions the degrade-and-retry
+// recovery path depends on: every layer wraps underlying failures with
+// %w ("rtsys: place task 3: %w") and callers classify them with
+// errors.Is/As against the sentinels (ErrDeviceFailed, ErrOverload,
+// ErrCanceled, ...). An identity comparison or a %v wrap silently stops
+// matching the moment any layer adds context.
+var ErrLint = &Analyzer{
+	Name: "errlint",
+	Doc: "sentinel errors must be compared with errors.Is/As, never ==/!=, " +
+		"and errors passed to fmt.Errorf must be wrapped with %w",
+	Run: runErrLint,
+}
+
+func runErrLint(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				errLintCompare(pass, n)
+			case *ast.CallExpr:
+				errLintErrorf(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// errLintCompare flags ==/!= where one side is a package-level error
+// variable — a sentinel. err == nil stays legal (nil is not a var),
+// as do comparisons of local error values.
+func errLintCompare(pass *Pass, bin *ast.BinaryExpr) {
+	if bin.Op != token.EQL && bin.Op != token.NEQ {
+		return
+	}
+	if isNilIdent(pass, bin.X) || isNilIdent(pass, bin.Y) {
+		return // x == nil is a presence check, not sentinel matching
+	}
+	for _, side := range []ast.Expr{bin.X, bin.Y} {
+		v := packageLevelVar(pass.TypesInfo, side)
+		if v == nil || !implementsError(v.Type()) {
+			continue
+		}
+		pass.Reportf(bin.Pos(),
+			"sentinel error %s compared with %s; use errors.Is so wrapped errors still match", v.Name(), bin.Op)
+		return
+	}
+}
+
+// errLintErrorf flags fmt.Errorf calls that receive an error argument
+// but whose constant format has no %w verb: the cause is flattened to
+// text and errors.Is/As can no longer see it.
+func errLintErrorf(pass *Pass, call *ast.CallExpr) {
+	fn := pkgFunc(pass.TypesInfo, call)
+	if fn == nil || !isPkg(fn.Pkg(), "fmt") || fn.Name() != "Errorf" || len(call.Args) < 2 {
+		return
+	}
+	format, ok := constString(pass.TypesInfo, call.Args[0])
+	if !ok || strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if t := typeOf(pass.TypesInfo, arg); t != nil && implementsError(t) {
+			pass.Reportf(arg.Pos(),
+				"error argument formatted without %%w; wrap it (\"...: %%w\") so errors.Is/As still match the cause")
+		}
+	}
+}

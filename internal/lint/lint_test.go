@@ -1,0 +1,230 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The fixture harness is a dependency-free analogue of
+// golang.org/x/tools/go/analysis/analysistest: fixture packages live
+// under testdata/src/<importpath>, import only each other (including
+// tiny stand-ins for time, math/rand, fmt, errors, sort), and annotate
+// expected findings with trailing comments of the form
+//
+//	// want `regexp` `regexp`
+//
+// one regexp per expected diagnostic on that line. Because every
+// import resolves inside testdata/src, the tests need no export data,
+// no GOPATH and no network.
+
+// fixtureLoader typechecks fixture packages from source, resolving
+// imports under root.
+type fixtureLoader struct {
+	root string
+	fset *token.FileSet
+	pkgs map[string]*types.Package
+}
+
+func (l *fixtureLoader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	pkg, _, _, err := l.load(path, nil)
+	return pkg, err
+}
+
+// load parses and typechecks one fixture package. When info is
+// non-nil it receives the package's type information (the package
+// under test); dependency loads pass nil.
+func (l *fixtureLoader) load(path string, info *types.Info) (*types.Package, []*ast.File, *token.FileSet, error) {
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("fixture import %q is not stubbed under testdata/src: %w", path, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	cfg := &types.Config{Importer: l}
+	pkg, err := cfg.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("typechecking fixture %q: %w", path, err)
+	}
+	l.pkgs[path] = pkg
+	return pkg, files, l.fset, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// wantRE matches the expectation syntax: the word want followed by one
+// or more backquoted regexps.
+var wantRE = regexp.MustCompile("want((?:\\s+`[^`]*`)+)")
+
+var wantArgRE = regexp.MustCompile("`([^`]*)`")
+
+// expectations returns the want regexps of every annotated line.
+func expectations(t *testing.T, fset *token.FileSet, files []*ast.File) map[fileLine][]*regexp.Regexp {
+	t.Helper()
+	wants := make(map[fileLine][]*regexp.Regexp)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fileLine{pos.Filename, pos.Line}
+				for _, arg := range wantArgRE.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(arg[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, arg[1], err)
+					}
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture analyzes one fixture package with the given analyzers and
+// checks its findings against the // want annotations, both ways:
+// every finding must be expected, every expectation must be found.
+func runFixture(t *testing.T, pkgPath string, analyzers ...*Analyzer) {
+	t.Helper()
+	loader := &fixtureLoader{
+		root: filepath.Join("testdata", "src"),
+		fset: token.NewFileSet(),
+		pkgs: make(map[string]*types.Package),
+	}
+	info := newInfo()
+	pkg, files, fset, err := loader.load(pkgPath, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	diags := RunPackage(fset, files, pkg, info, analyzers)
+	wants := expectations(t, fset, files)
+
+	matched := make(map[fileLine][]bool)
+	for key, res := range wants {
+		matched[key] = make([]bool, len(res))
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := fileLine{pos.Filename, pos.Line}
+		found := false
+		for i, re := range wants[key] {
+			if !matched[key][i] && re.MatchString(d.Message) {
+				matched[key][i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	var keys []fileLine
+	for key := range wants {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, key := range keys {
+		for i, re := range wants[key] {
+			if !matched[key][i] {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", key.file, key.line, re)
+			}
+		}
+	}
+}
+
+func TestDetLintFixture(t *testing.T) { runFixture(t, "rtsys", DetLint) }
+
+func TestQ15LintFixture(t *testing.T) { runFixture(t, "q15sites", Q15Lint) }
+
+func TestObsLintFixture(t *testing.T) { runFixture(t, "obssites", ObsLint) }
+
+func TestErrLintFixture(t *testing.T) { runFixture(t, "errsites", ErrLint) }
+
+// TestFullSuiteOnFixtures runs all four analyzers together over every
+// fixture package: analyzers must not fire outside their own fixture
+// (each package's want annotations already name their analyzer).
+func TestFullSuiteOnFixtures(t *testing.T) {
+	for _, pkg := range []string{"rtsys", "q15sites", "obssites", "errsites"} {
+		t.Run(pkg, func(t *testing.T) { runFixture(t, pkg, All()...) })
+	}
+}
+
+// TestStubsAreClean keeps the fixture stand-in packages diagnostic-free
+// so fixture expectations stay attributable to fixture code.
+func TestStubsAreClean(t *testing.T) {
+	for _, pkg := range []string{"time", "math/rand", "fmt", "errors", "sort", "fixed", "obs"} {
+		t.Run(pkg, func(t *testing.T) { runFixture(t, pkg, All()...) })
+	}
+}
+
+// TestSuppressionRequiresReason pins the malformed-directive
+// diagnostic: an ignore without a reason is reported, not honored.
+// (The rtsys fixture carries the in-source variant; this covers the
+// parser directly.)
+func TestSuppressionRequiresReason(t *testing.T) {
+	fset := token.NewFileSet()
+	src := "package p\n\n//qosvet:ignore detlint\nvar X = 1\n"
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, bad := collectSuppressions(fset, []*ast.File{f})
+	if len(bad) != 1 || !strings.Contains(bad[0].Message, "malformed suppression") {
+		t.Fatalf("want one malformed-suppression diagnostic, got %v", bad)
+	}
+	if suppressed(fset, sup, Diagnostic{Analyzer: "detlint", Pos: f.Pos()}) {
+		t.Fatal("malformed suppression must not silence diagnostics")
+	}
+}
+
+// TestLoaderIsHermetic guards the fixture importer contract: loading
+// never falls back to the real standard library, so the stand-in
+// packages are guaranteed to be the ones exercised.
+func TestLoaderIsHermetic(t *testing.T) {
+	if _, err := (&fixtureLoader{
+		root: filepath.Join("testdata", "src"),
+		fset: token.NewFileSet(),
+		pkgs: make(map[string]*types.Package),
+	}).Import("no/such/fixture"); err == nil {
+		t.Fatal("expected an error importing an unstubbed path")
+	}
+}

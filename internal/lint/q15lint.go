@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Q15Lint guards the fixed-point datapath contract: Go code must
+// combine Q15/UQ16 values exactly the way the hardware does — through
+// the saturating helpers in internal/fixed that model the MULT18X18 +
+// clamp pipeline (§4.2) — because raw int16 arithmetic wraps where the
+// silicon saturates, and a float64() view of a Q15 without the scale
+// shift is off by 2^15.
+var Q15Lint = &Analyzer{
+	Name: "q15lint",
+	Doc: "forbid raw arithmetic on fixed.Q15/UQ16 outside internal/fixed " +
+		"(use AddSat/SubSat/Mul/LocalSim) and float64 conversions that skip the Float() scale",
+	Run: runQ15Lint,
+}
+
+// arithmeticOps are the binary/assign operators that wrap on int16
+// where the datapath saturates. Comparisons and bit tests are fine.
+var arithmeticOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.MUL: true, token.QUO: true, token.REM: true,
+	token.SHL: true, token.SHR: true,
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true, token.MUL_ASSIGN: true,
+	token.QUO_ASSIGN: true, token.REM_ASSIGN: true,
+	token.SHL_ASSIGN: true, token.SHR_ASSIGN: true,
+}
+
+func runQ15Lint(pass *Pass) {
+	if pass.Pkg.Name() == "fixed" {
+		return // the datapath implementation is the one sanctioned home
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if arithmeticOps[n.Op] && (isFixedPoint(pass, n.X) || isFixedPoint(pass, n.Y)) {
+					pass.Reportf(n.OpPos,
+						"raw %s on fixed-point value wraps where the hardware datapath saturates; use the fixed helpers (AddSat/SubSat/Mul)",
+						n.Op)
+				}
+			case *ast.AssignStmt:
+				if arithmeticOps[n.Tok] {
+					for _, lhs := range n.Lhs {
+						if isFixedPoint(pass, lhs) {
+							pass.Reportf(n.TokPos,
+								"raw %s on fixed-point value wraps where the hardware datapath saturates; use the fixed helpers (AddSat/SubSat/Mul)",
+								n.Tok)
+							break
+						}
+					}
+				}
+			case *ast.IncDecStmt:
+				if isFixedPoint(pass, n.X) {
+					pass.Reportf(n.TokPos,
+						"raw %s on fixed-point value wraps where the hardware datapath saturates; use the fixed helpers (AddSat/SubSat)",
+						n.Tok)
+				}
+			case *ast.CallExpr:
+				q15LintConversion(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// isFixedPoint reports whether e has static type fixed.Q15 or
+// fixed.UQ16.
+func isFixedPoint(pass *Pass, e ast.Expr) bool {
+	t := typeOf(pass.TypesInfo, e)
+	return t != nil && namedFrom(t, "fixed", "Q15", "UQ16")
+}
+
+// q15LintConversion flags two conversion shapes:
+//
+//   - float64(q) / float32(q) of a Q15/UQ16: the raw counter value is
+//     2^15 (2^16) times the represented number; the Float method exists
+//     to apply the scale.
+//   - Q15(a+b) / UQ16(expr): stuffing the result of raw arithmetic
+//     into a fixed-point type launders a wrapping computation into the
+//     datapath domain; the saturating helpers or FromFloat are the
+//     sanctioned constructors. Plain reinterpretation of a single
+//     loaded value (Q15(word), as the BRAM decoders do) stays legal.
+func q15LintConversion(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	arg := ast.Unparen(call.Args[0])
+
+	if b, ok := tv.Type.Underlying().(*types.Basic); ok &&
+		(b.Kind() == types.Float64 || b.Kind() == types.Float32) && isFixedPoint(pass, arg) {
+		pass.Reportf(call.Pos(),
+			"%s of a fixed-point value drops the 2^-15 scale; use the Float method", b.Name())
+		return
+	}
+
+	if namedFrom(tv.Type, "fixed", "Q15", "UQ16") {
+		if inner, ok := arg.(*ast.BinaryExpr); ok && arithmeticOps[inner.Op] {
+			pass.Reportf(call.Pos(),
+				"conversion of raw arithmetic into a fixed-point type bypasses saturation; use fixed.AddSat/SubSat/Mul or FromFloat")
+		}
+	}
+}

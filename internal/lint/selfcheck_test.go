@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildQosvet compiles cmd/qosvet into dir and returns the binary path.
+func buildQosvet(t *testing.T, dir string) string {
+	t.Helper()
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool not found: %v", err)
+	}
+	bin := filepath.Join(dir, "qosvet")
+	cmd := exec.Command(goTool, "build", "-o", bin, "qosalloc/cmd/qosvet")
+	cmd.Dir = moduleRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building qosvet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("module root not found at %s: %v", root, err)
+	}
+	return root
+}
+
+// TestRepoIsQosvetClean is the meta-test the CI lint gate mirrors: the
+// full repository must carry zero qosvet diagnostics (intentional
+// exceptions are suppressed in source with //qosvet:ignore).
+func TestRepoIsQosvetClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the vettool and re-vets the repository")
+	}
+	bin := buildQosvet(t, t.TempDir())
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = moduleRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("repository is not qosvet-clean: %v\n%s", err, out)
+	}
+}
+
+// TestSeededViolationFails proves the gate has teeth: a package named
+// serve (deterministic set) containing a time.Now call must make
+// go vet -vettool fail, and the diagnostic must name detlint.
+func TestSeededViolationFails(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the vettool and runs go vet on a scratch module")
+	}
+	bin := buildQosvet(t, t.TempDir())
+
+	scratch := t.TempDir()
+	writeFile(t, filepath.Join(scratch, "go.mod"), "module scratch\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(scratch, "serve", "serve.go"), `package serve
+
+import "time"
+
+// Stamp is the seeded violation: a wall-clock read in a package whose
+// name places it in qosvet's deterministic set.
+func Stamp() int64 { return time.Now().UnixNano() }
+`)
+
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = scratch
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet passed over a seeded time.Now violation:\n%s", out)
+	}
+	if !strings.Contains(string(out), "detlint") || !strings.Contains(string(out), "time.Now") {
+		t.Fatalf("diagnostic does not name detlint/time.Now:\n%s", out)
+	}
+
+	// The suppression mechanism must clear the same violation.
+	writeFile(t, filepath.Join(scratch, "serve", "serve.go"), `package serve
+
+import "time"
+
+// Stamp is the same violation carrying a documented suppression.
+func Stamp() int64 {
+	//qosvet:ignore detlint scratch fixture: suppression must clear the gate
+	return time.Now().UnixNano()
+}
+`)
+	cmd = exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = scratch
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("suppressed violation still fails the gate: %v\n%s", err, out)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,16 @@
+// Package errors is a minimal stand-in for the standard library
+// package so the lint fixtures typecheck hermetically.
+package errors
+
+type simple struct{ s string }
+
+func (e *simple) Error() string { return e.s }
+
+// New mirrors errors.New.
+func New(text string) error { return &simple{s: text} }
+
+// Is mirrors errors.Is.
+func Is(err, target error) bool { return err == target }
+
+// As mirrors errors.As.
+func As(err error, target any) bool { return false }

@@ -1,0 +1,61 @@
+// Package errsites is the errlint fixture: sentinel identity
+// comparisons and %w-less error wrapping are diagnosed; errors.Is/As
+// and %w wrapping pass.
+package errsites
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDeviceFailed stands in for the repo's sentinel errors.
+var ErrDeviceFailed = errors.New("device failed")
+
+// ErrOverload is a second sentinel for the != form.
+var ErrOverload = errors.New("overload")
+
+func identityCompare(err error) bool {
+	return err == ErrDeviceFailed // want `errlint: sentinel error ErrDeviceFailed compared with ==`
+}
+
+func identityCompareFlipped(err error) bool {
+	if ErrOverload != err { // want `errlint: sentinel error ErrOverload compared with !=`
+		return false
+	}
+	return true
+}
+
+// nilChecks are presence tests, not sentinel matching: legal.
+func nilChecks(err error) bool {
+	return err != nil
+}
+
+// properMatch is the sanctioned shape.
+func properMatch(err error) bool {
+	return errors.Is(err, ErrDeviceFailed)
+}
+
+func flattenedWrap(err error) error {
+	return fmt.Errorf("placing task: %v", err) // want `errlint: error argument formatted without %w`
+}
+
+func properWrap(err error) error {
+	return fmt.Errorf("placing task: %w", err)
+}
+
+// nonErrorArgs pass: only error-typed arguments need %w.
+func nonErrorArgs(dev string, slot int) error {
+	return fmt.Errorf("device %s slot %d", dev, slot)
+}
+
+// stringified arguments are not error-typed; converting the cause to
+// text deliberately is expressed with err.Error().
+func stringified(err error) error {
+	return fmt.Errorf("flattened on purpose: %s", err.Error())
+}
+
+// suppressed carries a documented exception: no diagnostic.
+func suppressed(err error) bool {
+	//qosvet:ignore errlint fixture exercising the documented suppression path
+	return err == ErrDeviceFailed
+}

@@ -1,0 +1,31 @@
+// Package fixed is a minimal stand-in for qosalloc/internal/fixed so
+// the q15lint fixtures typecheck hermetically. The analyzer matches
+// the Q15/UQ16 types by package name.
+package fixed
+
+// Q15 mirrors fixed.Q15.
+type Q15 int16
+
+// UQ16 mirrors fixed.UQ16.
+type UQ16 uint16
+
+// OneQ15 mirrors fixed.OneQ15.
+const OneQ15 Q15 = 0x7FFF
+
+// AddSat mirrors fixed.AddSat.
+func AddSat(a, b Q15) Q15 { return a }
+
+// SubSat mirrors fixed.SubSat.
+func SubSat(a, b Q15) Q15 { return a }
+
+// Mul mirrors fixed.Mul.
+func Mul(a, b Q15) Q15 { return a }
+
+// FromFloat mirrors fixed.FromFloat.
+func FromFloat(f float64) Q15 { return 0 }
+
+// Float mirrors (fixed.Q15).Float.
+func (q Q15) Float() float64 { return 0 }
+
+// Float mirrors (fixed.UQ16).Float.
+func (u UQ16) Float() float64 { return 0 }

@@ -1,0 +1,10 @@
+// Package fmt is a minimal stand-in for the standard library package
+// so the lint fixtures typecheck hermetically. The analyzers match it
+// by import path.
+package fmt
+
+// Errorf mirrors fmt.Errorf.
+func Errorf(format string, a ...any) error { return nil }
+
+// Sprintf mirrors fmt.Sprintf.
+func Sprintf(format string, a ...any) string { return format }

@@ -1,0 +1,38 @@
+// Package rand is a minimal stand-in for math/rand so the detlint
+// fixtures typecheck hermetically. The analyzer matches it by import
+// path.
+package rand
+
+// Source mirrors rand.Source.
+type Source interface{ Int63() int64 }
+
+type fixedSource int64
+
+func (s fixedSource) Int63() int64 { return int64(s) }
+
+// NewSource mirrors rand.NewSource.
+func NewSource(seed int64) Source { return fixedSource(seed) }
+
+// Rand mirrors rand.Rand.
+type Rand struct{ src Source }
+
+// New mirrors rand.New.
+func New(src Source) *Rand { return &Rand{src: src} }
+
+// Intn mirrors (*rand.Rand).Intn.
+func (r *Rand) Intn(n int) int { return int(r.src.Int63()) % n }
+
+// Float64 mirrors (*rand.Rand).Float64.
+func (r *Rand) Float64() float64 { return 0 }
+
+// Intn mirrors the package-level rand.Intn (global source).
+func Intn(n int) int { return n - 1 }
+
+// Float64 mirrors the package-level rand.Float64 (global source).
+func Float64() float64 { return 0 }
+
+// Seed mirrors the package-level rand.Seed (global source).
+func Seed(seed int64) {}
+
+// Shuffle mirrors the package-level rand.Shuffle (global source).
+func Shuffle(n int, swap func(i, j int)) {}

@@ -1,0 +1,68 @@
+// Package q15sites is the q15lint fixture: raw arithmetic on
+// fixed-point values outside internal/fixed is diagnosed, saturating
+// helpers and plain comparisons pass.
+package q15sites
+
+import "fixed"
+
+func rawAdd(a, b fixed.Q15) fixed.Q15 {
+	return a + b // want `q15lint: raw \+ on fixed-point value`
+}
+
+func rawMul(a, b fixed.Q15) fixed.Q15 {
+	return a * b // want `q15lint: raw \* on fixed-point value`
+}
+
+func rawSubUQ16(a, b fixed.UQ16) fixed.UQ16 {
+	return a - b // want `q15lint: raw - on fixed-point value`
+}
+
+func rawShift(a fixed.Q15) fixed.Q15 {
+	return a >> 1 // want `q15lint: raw >> on fixed-point value`
+}
+
+func rawAssign(acc, w fixed.Q15) fixed.Q15 {
+	acc += w // want `q15lint: raw \+= on fixed-point value`
+	return acc
+}
+
+func rawIncrement(q fixed.Q15) fixed.Q15 {
+	q++ // want `q15lint: raw \+\+ on fixed-point value`
+	return q
+}
+
+func launderedArith(a, b fixed.Q15) fixed.Q15 {
+	return fixed.Q15(int32(a) + int32(b)) // want `q15lint: conversion of raw arithmetic into a fixed-point type`
+}
+
+func rawToFloat(q fixed.Q15) float64 {
+	return float64(q) // want `q15lint: float64 of a fixed-point value drops the 2\^-15 scale`
+}
+
+// saturating is the sanctioned shape: the helpers model the hardware
+// MULT18X18 + clamp datapath.
+func saturating(acc, w, s fixed.Q15) fixed.Q15 {
+	return fixed.AddSat(acc, fixed.Mul(w, s))
+}
+
+// comparisons do not wrap; they stay legal.
+func comparisons(a, b fixed.Q15) bool {
+	return a > b && a != fixed.OneQ15
+}
+
+// reinterpret is the BRAM-decoder shape: converting a single loaded
+// value is legal, only laundered arithmetic is not.
+func reinterpret(word uint16) fixed.Q15 {
+	return fixed.Q15(word)
+}
+
+// properFloat goes through the Float method, which applies the scale.
+func properFloat(q fixed.Q15) float64 {
+	return q.Float()
+}
+
+// suppressed carries a documented exception: no diagnostic.
+func suppressed(a, b fixed.Q15) fixed.Q15 {
+	//qosvet:ignore q15lint fixture exercising the documented suppression path
+	return a + b
+}

@@ -1,0 +1,22 @@
+// Package sort is a minimal stand-in for the standard library package
+// so the detlint fixtures can exercise the collect-then-sort idiom.
+package sort
+
+// Interface mirrors sort.Interface.
+type Interface interface {
+	Len() int
+	Less(i, j int) bool
+	Swap(i, j int)
+}
+
+// Slice mirrors sort.Slice.
+func Slice(x any, less func(i, j int) bool) {}
+
+// Sort mirrors sort.Sort.
+func Sort(data Interface) {}
+
+// Ints mirrors sort.Ints.
+func Ints(x []int) {}
+
+// Strings mirrors sort.Strings.
+func Strings(x []string) {}

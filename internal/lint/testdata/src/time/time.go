@@ -1,0 +1,19 @@
+// Package time is a minimal stand-in for the standard library package,
+// just enough surface for the lint fixtures to typecheck hermetically
+// (no export data, no network). The analyzers match it by import path.
+package time
+
+// Duration mirrors time.Duration.
+type Duration int64
+
+// Time mirrors time.Time.
+type Time struct{ wall int64 }
+
+// Now mirrors time.Now.
+func Now() Time { return Time{} }
+
+// Since mirrors time.Since.
+func Since(t Time) Duration { return Duration(t.wall) }
+
+// UnixNano mirrors (time.Time).UnixNano.
+func (t Time) UnixNano() int64 { return t.wall }

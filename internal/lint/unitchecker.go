@@ -1,0 +1,285 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// This file implements the driver half of a vet tool: the JSON
+// config protocol cmd/go speaks to a -vettool binary. It is a
+// dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis/unitchecker contract:
+//
+//   - `qosvet -V=full` prints an identity line cmd/go hashes into its
+//     action cache key (so editing an analyzer invalidates cached vet
+//     results),
+//   - `qosvet -flags` prints the tool's flags as JSON for validation,
+//   - `qosvet <vet.cfg>` analyzes one compiled package unit: the cfg
+//     names the Go sources plus the export-data file of every
+//     dependency, so type checking needs no network, no GOPATH scan
+//     and no second build.
+//
+// The suite carries no cross-package facts, so units whose cfg says
+// VetxOnly (dependencies vetted only for their facts) are satisfied
+// with an empty facts file.
+
+// vetConfig mirrors the JSON object cmd/go writes for each vetted
+// package unit. Unknown fields are ignored by encoding/json, which
+// keeps the tool compatible across toolchain releases.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// jsonDiagnostic is the wire shape of one finding in -json mode,
+// matching the unitchecker output consumed by editor integrations.
+type jsonDiagnostic struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+// Main is the entry point of cmd/qosvet. It never returns.
+func Main(analyzers []*Analyzer) {
+	progname := filepath.Base(os.Args[0])
+
+	// cmd/go probes the tool's identity before anything else; answer
+	// before touching the flag package so odd flag orders can't break
+	// the handshake.
+	if len(os.Args) == 2 && strings.HasPrefix(os.Args[1], "-V") {
+		fmt.Printf("%s version devel buildID=%s\n", progname, selfHash())
+		os.Exit(0)
+	}
+
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	jsonFlag := fs.Bool("json", false, "emit JSON output")
+	_ = fs.Int("c", -1, "display offending line with this many lines of context (ignored)")
+	flagsFlag := fs.Bool("flags", false, "print analyzer flags in JSON")
+	vFlag := fs.String("V", "", "print version and exit")
+	enable := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		enable[a.Name] = fs.Bool(a.Name, false, "enable only the "+a.Name+" analyzer (default: all)")
+	}
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: go vet -vettool=$(which %s) ./...\n", progname)
+		fmt.Fprintf(os.Stderr, "       %s [flags] <vet.cfg>\n\nAnalyzers:\n", progname)
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-8s %s\n", a.Name, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(os.Args[1:])
+
+	if *vFlag != "" {
+		fmt.Printf("%s version devel buildID=%s\n", progname, selfHash())
+		os.Exit(0)
+	}
+	if *flagsFlag {
+		printFlags(fs)
+		os.Exit(0)
+	}
+
+	// Honor -<analyzer> selection: if any is set, run just those.
+	selected := analyzers
+	var any bool
+	for _, a := range analyzers {
+		if *enable[a.Name] {
+			any = true
+		}
+	}
+	if any {
+		selected = nil
+		for _, a := range analyzers {
+			if *enable[a.Name] {
+				selected = append(selected, a)
+			}
+		}
+	}
+
+	if fs.NArg() != 1 || !strings.HasSuffix(fs.Arg(0), ".cfg") {
+		fs.Usage()
+		os.Exit(1)
+	}
+
+	diags, err := runUnit(fs.Arg(0), selected)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	os.Exit(emit(os.Stdout, os.Stderr, diags, *jsonFlag))
+}
+
+// selfHash fingerprints the tool binary so cmd/go's vet-result cache
+// turns over whenever the analyzers are rebuilt.
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:12])
+}
+
+// printFlags renders the flag set the way cmd/go's flag validation
+// expects: a JSON array of {Name, Bool, Usage} objects.
+func printFlags(fs *flag.FlagSet) {
+	type jsonFlagDesc struct {
+		Name  string `json:"Name"`
+		Bool  bool   `json:"Bool"`
+		Usage string `json:"Usage"`
+	}
+	var out []jsonFlagDesc
+	fs.VisitAll(func(f *flag.Flag) {
+		b, isBool := f.Value.(interface{ IsBoolFlag() bool })
+		out = append(out, jsonFlagDesc{Name: f.Name, Bool: isBool && b.IsBoolFlag(), Usage: f.Usage})
+	})
+	data, _ := json.Marshal(out)
+	os.Stdout.Write(data)
+}
+
+// unitDiagnostics is one package unit's findings keyed for output.
+type unitDiagnostics struct {
+	cfg   *vetConfig
+	fset  *token.FileSet
+	diags []Diagnostic
+}
+
+// runUnit analyzes the package unit described by cfgFile.
+func runUnit(cfgFile string, analyzers []*Analyzer) (*unitDiagnostics, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", cfgFile, err)
+	}
+
+	// The facts file must exist for cmd/go's bookkeeping even though
+	// this suite records none.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, fmt.Errorf("writing facts: %w", err)
+		}
+	}
+	if cfg.VetxOnly {
+		// This unit is a dependency of the vetted packages; it was
+		// scheduled only to export facts.
+		return &unitDiagnostics{cfg: cfg}, nil
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return &unitDiagnostics{cfg: cfg}, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	// Type-check against the export data cmd/go already compiled: the
+	// cfg maps every dependency's import path to its build-cache
+	// export file, including test variants ("pkg [pkg.test]").
+	imp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		id, ok := cfg.ImportMap[path]
+		if !ok {
+			id = path
+		}
+		file, ok := cfg.PackageFile[id]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	tc := &types.Config{
+		Importer:  imp,
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor(cfg.Compiler, runtime.GOARCH),
+		Error:     func(error) {}, // collect everything; first error returned below
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return &unitDiagnostics{cfg: cfg}, nil
+		}
+		return nil, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
+	}
+
+	return &unitDiagnostics{
+		cfg:   cfg,
+		fset:  fset,
+		diags: RunPackage(fset, files, pkg, info, analyzers),
+	}, nil
+}
+
+// emit writes the unit's findings and returns the process exit code:
+// 0 for clean (or JSON mode, whose consumers read the stream), 2 when
+// plain-text diagnostics were printed — the unitchecker convention
+// go vet translates into its own failure.
+func emit(stdout, stderr io.Writer, u *unitDiagnostics, asJSON bool) int {
+	if asJSON {
+		byAnalyzer := make(map[string][]jsonDiagnostic)
+		for _, d := range u.diags {
+			name := d.Analyzer
+			byAnalyzer[name] = append(byAnalyzer[name], jsonDiagnostic{
+				Posn:    u.fset.Position(d.Pos).String(),
+				Message: d.Message,
+			})
+		}
+		out := map[string]map[string][]jsonDiagnostic{u.cfg.ID: byAnalyzer}
+		data, _ := json.MarshalIndent(out, "", "\t")
+		fmt.Fprintf(stdout, "%s\n", data)
+		return 0
+	}
+	for _, d := range u.diags {
+		fmt.Fprintf(stderr, "%s: %s\n", u.fset.Position(d.Pos), d.Message)
+	}
+	if len(u.diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -72,14 +72,14 @@ func Assemble(src string) ([]Instr, error) {
 			}
 			v, err := parseImm(f[1], consts)
 			if err != nil {
-				return nil, fmt.Errorf("mb32: line %d: %v", ln+1, err)
+				return nil, fmt.Errorf("mb32: line %d: %w", ln+1, err)
 			}
 			consts[f[0]] = v
 			continue
 		}
 		in, labelRef, err := parseInstr(line, consts)
 		if err != nil {
-			return nil, fmt.Errorf("mb32: line %d: %v", ln+1, err)
+			return nil, fmt.Errorf("mb32: line %d: %w", ln+1, err)
 		}
 		items = append(items, pending{line: ln + 1, instr: in, label: labelRef})
 	}

@@ -155,9 +155,7 @@ var (
 func NewService(cb *CaseBase, rt *Runtime, opts ...Option) *Service {
 	c := buildConfig(opts)
 	s := serve.New(cb, rt, c.serve)
-	if c.reg != nil {
-		s.Instrument(c.reg)
-	}
+	s.Instrument(c.reg) // nil registry yields dangling bundles (no-op)
 	return s
 }
 
@@ -169,9 +167,7 @@ func NewService(cb *CaseBase, rt *Runtime, opts ...Option) *Service {
 func NewRetrievalEngine(cb *CaseBase, opts ...Option) *Engine {
 	c := buildConfig(opts)
 	e := retrieval.NewEngine(cb, c.serve.Engine)
-	if c.reg != nil {
-		e.Instrument(retrieval.NewMetrics(c.reg))
-	}
+	e.Instrument(retrieval.NewMetrics(c.reg))
 	return e
 }
 
@@ -183,9 +179,7 @@ func NewRetrievalPool(cb *CaseBase, opts ...Option) *EnginePool {
 	if c.maxIdle > 0 {
 		p.SetMaxIdle(c.maxIdle)
 	}
-	if c.reg != nil {
-		p.Instrument(retrieval.NewMetrics(c.reg))
-	}
+	p.Instrument(retrieval.NewMetrics(c.reg))
 	return p
 }
 
@@ -198,8 +192,6 @@ func NewAllocationManager(cb *CaseBase, rt *Runtime, opts ...Option) *Manager {
 	if c.maxTokens > 0 {
 		m.TokenCache().SetMaxTokens(c.maxTokens)
 	}
-	if c.reg != nil {
-		m.Instrument(c.reg)
-	}
+	m.Instrument(c.reg)
 	return m
 }

@@ -1,11 +1,17 @@
 #!/bin/sh
-# CI gate: build, vet, the full test suite under the race detector, the
-# observability golden tests, and a one-iteration benchmark smoke pass.
-# Mirrors `make ci` for environments without make.
+# CI gate: build, vet, the qosvet invariant suite, the full test suite
+# under the race detector, the observability golden tests, and a
+# one-iteration benchmark smoke pass. Mirrors `make ci` for
+# environments without make.
 set -eux
 
 go build ./...
 go vet ./...
+# qosvet: the project invariant suite (internal/lint) run through the
+# standard vet driver. Gates determinism (wall-clock/map-order),
+# Q15 saturation, obs metric conventions, and error wrapping.
+go build -o bin/qosvet ./cmd/qosvet
+go vet -vettool="$(pwd)/bin/qosvet" ./...
 go test -race ./...
 # Observability goldens: deterministic counters and bit-exact replay.
 go test -run 'TestObs' ./internal/experiments/
