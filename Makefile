@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet qosvet lint test race bench bench-smoke fuzz api api-check ci
+.PHONY: all build vet qosvet lint test race bench bench-smoke fuzz api api-check loadcheck ci
 
 all: ci
 
@@ -50,4 +50,12 @@ api:
 api-check:
 	$(GO) doc -all . | diff -u api.txt -
 
-ci: build vet lint race bench-smoke api-check
+# End-to-end qosd/qosload smoke: boots the daemon, runs both bench
+# scenarios, checks the BENCH_qosd_*.json schema, replays for identical
+# outcome hashes, and SIGTERM-drains cleanly. `make loadcheck OUT=.`
+# refreshes the committed reports.
+OUT ?=
+loadcheck:
+	scripts/loadcheck.sh $(OUT)
+
+ci: build vet lint race bench-smoke api-check loadcheck

@@ -1,0 +1,693 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qosalloc"
+	"qosalloc/internal/admit"
+	"qosalloc/internal/casebase"
+	"qosalloc/internal/device"
+	"qosalloc/internal/fault"
+	"qosalloc/internal/obs"
+	"qosalloc/internal/retrieval"
+	"qosalloc/internal/serve"
+	"qosalloc/internal/wire"
+)
+
+// options is the daemon configuration assembled from flags. The
+// case-base spec defaults here are the contract qosload mirrors: both
+// sides generate the same synthetic case base from the same seed, so
+// the harness knows which function types and attributes exist.
+type options struct {
+	addr string
+
+	// Service shape.
+	shards     int
+	maxBatch   int
+	maxQueue   int
+	windowUS   uint64
+	threshold  float64
+	preemption bool
+
+	// Synthetic case base (shared contract with qosload).
+	types        int
+	implsPerType int
+	attrsPerImpl int
+	attrUniverse int
+	cbSeed       int64
+
+	// Admission.
+	ratePerSec int64
+	burst      int64
+
+	// Breaker.
+	brkWindow       int
+	brkRatio        float64
+	brkMinSamples   int
+	brkBackoffUS    uint64
+	brkMaxBackoffUS uint64
+
+	// Scripted fault plan (at:kind:device[:slot];... in sim µs).
+	faults string
+
+	// lockstep takes the admission clock from the X-QoS-Now request
+	// header (sim µs) instead of the wall clock, making admission
+	// decisions replayable bit-for-bit for a fixed request schedule.
+	lockstep bool
+
+	requestTimeout time.Duration
+	drainTimeout   time.Duration
+}
+
+func defaultOptions() options {
+	return options{
+		addr:           "127.0.0.1:7333",
+		shards:         4,
+		maxBatch:       16,
+		maxQueue:       64,
+		types:          12,
+		implsPerType:   6,
+		attrsPerImpl:   5,
+		attrUniverse:   8,
+		cbSeed:         42,
+		ratePerSec:     admit.DefaultRatePerSec,
+		burst:          admit.DefaultBurst,
+		brkWindow:      admit.DefaultWindow,
+		brkRatio:       admit.DefaultTripRatio,
+		brkMinSamples:  admit.DefaultMinSamples,
+		preemption:     true,
+		requestTimeout: 2 * time.Second,
+		drainTimeout:   10 * time.Second,
+	}
+}
+
+// nowHeader is the lockstep admission-clock request header (sim µs).
+const nowHeader = "X-QoS-Now"
+
+// daemon is the qosd server state: the allocation service behind an
+// admission gate, a fault injector feeding the gate's breakers, and
+// the drain fence the SIGTERM path uses.
+type daemon struct {
+	opt  options
+	cb   *qosalloc.CaseBase
+	svc  *qosalloc.Service
+	rt   *qosalloc.Runtime
+	gate *admit.Gate
+	inj  *qosalloc.FaultInjector
+	reg  *obs.Registry
+	met  *daemonMetrics
+	mux  *http.ServeMux
+
+	start  time.Time     // wall epoch for the open-mode sim clock
+	simNow atomic.Uint64 // high-water admission clock (sim µs)
+
+	// drainMu fences request admission against the drain: handlers
+	// hold RLock across the draining check and the inflight.Add, the
+	// drain holds Lock to raise the flag — a request either lands
+	// before the drain waits or is refused, never half-admitted.
+	drainMu  sync.RWMutex
+	draining bool
+	inflight sync.WaitGroup
+
+	holdMu sync.Mutex
+	holds  []hold // auto-release deadlines, kept sorted by at
+
+	// preServe, when set (tests only), runs after admission and before
+	// the service call — a hook to wedge an in-flight request.
+	preServe func()
+}
+
+// hold is one auto-release obligation from an allocate with hold_us.
+type hold struct {
+	at device.Micros
+	id qosalloc.TaskID
+}
+
+// daemonMetrics is the qos_qosd_* bundle. The registry is always
+// non-nil in the daemon; the bundle exists so handler code never
+// mentions the registry.
+type daemonMetrics struct {
+	retrieve *obs.Counter
+	allocate *obs.Counter
+	release  *obs.Counter
+	ok       *obs.Counter
+	clientEr *obs.Counter
+	serverEr *obs.Counter
+	released *obs.Counter
+	draining *obs.Gauge
+}
+
+func newDaemonMetrics(reg *obs.Registry) *daemonMetrics {
+	return &daemonMetrics{
+		retrieve: reg.Counter("qos_qosd_requests_total{endpoint=\"retrieve\"}", "requests to /v1/retrieve"),
+		allocate: reg.Counter("qos_qosd_requests_total{endpoint=\"allocate\"}", "requests to /v1/allocate"),
+		release:  reg.Counter("qos_qosd_requests_total{endpoint=\"release\"}", "requests to /v1/release"),
+		ok:       reg.Counter("qos_qosd_responses_total{class=\"2xx\"}", "successful responses"),
+		clientEr: reg.Counter("qos_qosd_responses_total{class=\"4xx\"}", "client-error responses (bad request, shed, no match)"),
+		serverEr: reg.Counter("qos_qosd_responses_total{class=\"5xx\"}", "server-error responses (breaker, draining, deadline, internal)"),
+		released: reg.Counter("qos_qosd_holds_released_total", "tasks auto-released after their hold_us elapsed"),
+		draining: reg.Gauge("qos_qosd_draining", "1 once SIGTERM drain has begun"),
+	}
+}
+
+// newDaemon builds the full serving stack from opt: synthetic case
+// base, fig. 1-style platform, allocation service, admission gate, and
+// the fault injector wired into the gate's breakers.
+func newDaemon(opt options) (*daemon, error) {
+	cb, _, err := qosalloc.GenCaseBase(qosalloc.CaseBaseSpec{
+		Types: opt.types, ImplsPerType: opt.implsPerType,
+		AttrsPerImpl: opt.attrsPerImpl, AttrUniverse: opt.attrUniverse,
+		Seed: opt.cbSeed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	repo := qosalloc.NewRepository(20)
+	if err := repo.PopulateFromCaseBase(cb); err != nil {
+		return nil, err
+	}
+	rt := qosalloc.NewRuntime(repo,
+		qosalloc.NewFPGADevice("fpga0", []qosalloc.FPGASlot{
+			{Slices: 1500, BRAMs: 8, Multipliers: 16},
+			{Slices: 1500, BRAMs: 8, Multipliers: 16},
+			{Slices: 1500, BRAMs: 8, Multipliers: 16},
+		}, 66),
+		qosalloc.NewProcessorDevice("dsp0", qosalloc.TargetDSP, 2000, 1<<20),
+		qosalloc.NewProcessorDevice("gpp0", qosalloc.TargetGPP, 2000, 1<<21),
+	)
+	plan, err := qosalloc.ParseFaultPlan(opt.faults)
+	if err != nil {
+		return nil, err
+	}
+
+	reg := obs.NewRegistry()
+	d := &daemon{
+		opt:   opt,
+		cb:    cb,
+		rt:    rt,
+		reg:   reg,
+		met:   newDaemonMetrics(reg),
+		start: time.Now(),
+	}
+	d.svc = qosalloc.NewService(cb, rt,
+		qosalloc.WithShards(opt.shards),
+		qosalloc.WithMaxBatch(opt.maxBatch),
+		qosalloc.WithMaxQueue(opt.maxQueue),
+		qosalloc.WithBatchWindow(qosalloc.Micros(opt.windowUS)),
+		qosalloc.WithThreshold(opt.threshold),
+		qosalloc.WithPreemption(opt.preemption),
+		qosalloc.WithRegistry(reg),
+	)
+	d.gate = admit.NewGate(admit.GateConfig{
+		Shards:  d.svc.Shards(),
+		Limiter: admit.LimiterConfig{RatePerSec: opt.ratePerSec, Burst: opt.burst},
+		Breaker: admit.BreakerConfig{
+			Window: opt.brkWindow, TripRatio: opt.brkRatio,
+			MinSamples: opt.brkMinSamples,
+			Backoff:    device.Micros(opt.brkBackoffUS),
+			MaxBackoff: device.Micros(opt.brkMaxBackoffUS),
+		},
+	}, reg)
+	d.inj = qosalloc.NewFaultInjector(rt, plan)
+	d.inj.Instrument(reg)
+	rt.Instrument(reg)
+	// Platform faults feed the breakers: a fault that stranded tasks
+	// hits the shards those tasks' function types route to; a fault
+	// with no victim still signals the device and lands on every shard
+	// (the platform shrank for all of them).
+	d.inj.Subscribe(func(a fault.Applied) {
+		now := rt.Now()
+		shards := make(map[int]bool)
+		for _, id := range a.Affected {
+			if t, ok := rt.Task(id); ok {
+				shards[d.gate.Shard(t.Type)] = true
+			}
+		}
+		if len(shards) == 0 {
+			for i := 0; i < d.gate.Shards(); i++ {
+				shards[i] = true
+			}
+		}
+		// Deterministic feed order (detlint: no order-dependent writes
+		// from map iteration).
+		idxs := make([]int, 0, len(shards))
+		for i := range shards {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		for _, i := range idxs {
+			d.gate.RecordFault(i, now)
+		}
+	})
+
+	d.mux = http.NewServeMux()
+	d.mux.HandleFunc("POST /v1/retrieve", d.handleRetrieve)
+	d.mux.HandleFunc("POST /v1/allocate", d.handleAllocate)
+	d.mux.HandleFunc("POST /v1/release", d.handleRelease)
+	d.mux.HandleFunc("GET /metrics", d.handleMetrics)
+	d.mux.HandleFunc("GET /statz", d.handleStatz)
+	d.mux.HandleFunc("GET /healthz", d.handleHealthz)
+	return d, nil
+}
+
+// now resolves the admission clock for one request: the X-QoS-Now
+// header in lockstep mode (required), wall µs since daemon start
+// otherwise. The returned time also advances the platform (applying
+// due faults) when it moves the high-water mark forward.
+func (d *daemon) now(r *http.Request) (device.Micros, error) {
+	var now device.Micros
+	if d.opt.lockstep {
+		h := r.Header.Get(nowHeader)
+		if h == "" {
+			return 0, fmt.Errorf("lockstep mode requires the %s header", nowHeader)
+		}
+		v, err := strconv.ParseUint(h, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad %s header %q: %w", nowHeader, h, err)
+		}
+		now = device.Micros(v)
+	} else {
+		now = device.Micros(time.Since(d.start) / time.Microsecond)
+	}
+	d.advanceTo(now)
+	return now, nil
+}
+
+// advanceTo moves the platform's sim clock to now (monotonically),
+// applying due scripted faults and recovering stranded tasks under the
+// service's exclusive section, then settles due auto-releases.
+func (d *daemon) advanceTo(now device.Micros) {
+	for {
+		cur := d.simNow.Load()
+		if uint64(now) <= cur {
+			return
+		}
+		if d.simNow.CompareAndSwap(cur, uint64(now)) {
+			break
+		}
+	}
+	d.svc.Exclusive(func() {
+		// Exclusive serializes; re-check against the system clock in
+		// case a racing later advance already passed this target.
+		if now <= d.rt.Now() {
+			return
+		}
+		if _, err := d.inj.AdvanceTo(now); err != nil {
+			return
+		}
+		d.svc.Manager().RecoverFromFaults()
+	})
+	d.releaseDue(now)
+}
+
+// releaseDue releases tasks whose hold window has elapsed.
+func (d *daemon) releaseDue(now device.Micros) {
+	d.holdMu.Lock()
+	var due []qosalloc.TaskID
+	i := 0
+	for ; i < len(d.holds) && d.holds[i].at <= now; i++ {
+		due = append(due, d.holds[i].id)
+	}
+	d.holds = d.holds[i:]
+	d.holdMu.Unlock()
+	for _, id := range due {
+		// The task may already be gone (preempted, fault-rejected,
+		// explicitly released); that is not an error for the hold path.
+		if err := d.svc.Release(id); err == nil {
+			d.met.released.Inc()
+		}
+	}
+}
+
+// addHold schedules an auto-release, keeping holds sorted by deadline.
+func (d *daemon) addHold(at device.Micros, id qosalloc.TaskID) {
+	d.holdMu.Lock()
+	defer d.holdMu.Unlock()
+	d.holds = append(d.holds, hold{at: at, id: id})
+	sort.Slice(d.holds, func(i, j int) bool { return d.holds[i].at < d.holds[j].at })
+}
+
+// begin admits one HTTP request past the drain fence; a false return
+// means the 503 has already been written. Every true return must be
+// paired with d.inflight.Done().
+func (d *daemon) begin(w http.ResponseWriter) bool {
+	d.drainMu.RLock()
+	defer d.drainMu.RUnlock()
+	if d.draining {
+		writeError(w, http.StatusServiceUnavailable, wire.ErrorResponse{
+			Code: wire.CodeDraining, Error: "qosd: draining for shutdown", RetryAfterUS: 1_000_000,
+		})
+		d.met.serverEr.Inc()
+		return false
+	}
+	d.inflight.Add(1)
+	return true
+}
+
+// --- Handlers ----------------------------------------------------------
+
+func (d *daemon) handleRetrieve(w http.ResponseWriter, r *http.Request) {
+	d.met.retrieve.Inc()
+	if !d.begin(w) {
+		return
+	}
+	defer d.inflight.Done()
+	req, now, ok := d.decode(w, r)
+	if !ok {
+		return
+	}
+	shard := d.gate.Shard(casebase.TypeID(req.Type))
+	if err := d.gate.Admit(req.Client, shard, now); err != nil {
+		d.writeMapped(w, err)
+		return
+	}
+	if d.preServe != nil {
+		d.preServe()
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d.opt.requestTimeout)
+	defer cancel()
+	res, err := d.svc.Retrieve(ctx, req.Request())
+	d.gate.Record(shard, now, breakerFailure(err))
+	if err != nil {
+		d.writeMapped(w, err)
+		return
+	}
+	d.writeOK(w, wire.RetrieveResponse{
+		Type: uint16(res.Type), Impl: uint16(res.Impl),
+		Target: res.Target.String(), Name: res.Name, Similarity: res.Similarity,
+	})
+}
+
+func (d *daemon) handleAllocate(w http.ResponseWriter, r *http.Request) {
+	d.met.allocate.Inc()
+	if !d.begin(w) {
+		return
+	}
+	defer d.inflight.Done()
+	req, now, ok := d.decode(w, r)
+	if !ok {
+		return
+	}
+	app := req.App
+	if app == "" {
+		app = req.Client
+	}
+	shard := d.gate.Shard(casebase.TypeID(req.Type))
+	if err := d.gate.Admit(req.Client, shard, now); err != nil {
+		d.writeMapped(w, err)
+		return
+	}
+	if d.preServe != nil {
+		d.preServe()
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d.opt.requestTimeout)
+	defer cancel()
+	dec, err := d.svc.Allocate(ctx, app, req.Request(), req.Priority)
+	d.gate.Record(shard, now, breakerFailure(err))
+	if err != nil {
+		d.writeMapped(w, err)
+		return
+	}
+	if req.HoldUS > 0 {
+		d.addHold(dec.ReadyAt+device.Micros(req.HoldUS), dec.Task.ID)
+	}
+	d.writeOK(w, wire.AllocResponse{
+		Task: int(dec.Task.ID), Type: uint16(req.Type), Impl: uint16(dec.Impl),
+		Target: dec.Target.String(), Device: string(dec.Device),
+		Similarity: dec.Similarity, ReadyAtUS: uint64(dec.ReadyAt),
+		ViaToken: dec.ViaToken, Degraded: dec.Degraded != nil,
+	})
+}
+
+func (d *daemon) handleRelease(w http.ResponseWriter, r *http.Request) {
+	d.met.release.Inc()
+	if !d.begin(w) {
+		return
+	}
+	defer d.inflight.Done()
+	var req wire.ReleaseRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, wire.MaxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, wire.ErrorResponse{
+			Code: wire.CodeBadRequest, Error: fmt.Sprintf("qosd: bad release body: %v", err),
+		})
+		d.met.clientEr.Inc()
+		return
+	}
+	if err := d.svc.Release(qosalloc.TaskID(req.Task)); err != nil {
+		writeError(w, http.StatusNotFound, wire.ErrorResponse{
+			Code: wire.CodeUnknownTask, Error: err.Error(),
+		})
+		d.met.clientEr.Inc()
+		return
+	}
+	d.writeOK(w, map[string]any{"released": req.Task})
+}
+
+func (d *daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if err := d.reg.WriteProm(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// statz is the human/debug JSON snapshot: service counters, gate
+// state, and the admission clock.
+func (d *daemon) handleStatz(w http.ResponseWriter, r *http.Request) {
+	st := d.svc.Stats()
+	out := map[string]any{
+		"serve":         st,
+		"breaker_trips": d.gate.Trips(),
+		"sim_now_us":    d.simNow.Load(),
+		"draining":      d.svc.Draining(),
+		"lockstep":      d.opt.lockstep,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (d *daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	d.drainMu.RLock()
+	draining := d.draining
+	d.drainMu.RUnlock()
+	if draining {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// decode reads the request body and resolves the admission clock,
+// writing the 400 itself on failure.
+func (d *daemon) decode(w http.ResponseWriter, r *http.Request) (*wire.AllocRequest, device.Micros, bool) {
+	req, err := wire.DecodeAllocRequest(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, wire.ErrorResponse{
+			Code: wire.CodeBadRequest, Error: err.Error(),
+		})
+		d.met.clientEr.Inc()
+		return nil, 0, false
+	}
+	// Semantic validation against the served case base (unknown type,
+	// value outside an attribute's design bounds) is still the client's
+	// fault — surface it as 400 here rather than as an internal error
+	// out of the engine.
+	if err := req.Request().Validate(d.cb); err != nil {
+		writeError(w, http.StatusBadRequest, wire.ErrorResponse{
+			Code: wire.CodeBadRequest, Error: err.Error(),
+		})
+		d.met.clientEr.Inc()
+		return nil, 0, false
+	}
+	now, err := d.now(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, wire.ErrorResponse{
+			Code: wire.CodeBadRequest, Error: err.Error(),
+		})
+		d.met.clientEr.Inc()
+		return nil, 0, false
+	}
+	return req, now, true
+}
+
+// breakerFailure decides whether a service error is a health signal
+// for the shard breaker. Semantic outcomes (no match, no feasible
+// placement) and load shedding are not: they are the service answering
+// correctly. Device failures and deadline blowouts are.
+func breakerFailure(err error) bool {
+	if err == nil {
+		return false
+	}
+	var nm *retrieval.ErrNoMatch
+	switch {
+	case errors.As(err, &nm),
+		errors.Is(err, serve.ErrClosed): // includes ErrDraining
+		return false
+	case errors.Is(err, qosalloc.ErrDeviceFailed),
+		errors.Is(err, context.DeadlineExceeded):
+		return true
+	}
+	var nf *qosalloc.ErrNoFeasible
+	var ov *serve.ErrOverload
+	if errors.As(err, &nf) || errors.As(err, &ov) {
+		return false
+	}
+	if errors.Is(err, retrieval.ErrCanceled) {
+		// Client went away; says nothing about shard health.
+		return false
+	}
+	return true // unclassified: treat as a failure
+}
+
+// writeMapped translates a typed pipeline error into its HTTP shape.
+func (d *daemon) writeMapped(w http.ResponseWriter, err error) {
+	status, body := mapError(err)
+	writeError(w, status, body)
+	if status >= 500 {
+		d.met.serverEr.Inc()
+	} else {
+		d.met.clientEr.Inc()
+	}
+}
+
+// mapError is the single error → (status, body) table for the daemon.
+func mapError(err error) (int, wire.ErrorResponse) {
+	var rl *admit.ErrRateLimited
+	if errors.As(err, &rl) {
+		return http.StatusTooManyRequests, wire.ErrorResponse{
+			Code: wire.CodeRateLimited, Error: err.Error(), RetryAfterUS: uint64(rl.RetryAfter),
+		}
+	}
+	var ov *serve.ErrOverload
+	if errors.As(err, &ov) {
+		return http.StatusTooManyRequests, wire.ErrorResponse{
+			Code: wire.CodeOverload, Error: err.Error(), RetryAfterUS: uint64(ov.RetryAfter),
+		}
+	}
+	var bo *admit.ErrBreakerOpen
+	if errors.As(err, &bo) {
+		return http.StatusServiceUnavailable, wire.ErrorResponse{
+			Code: wire.CodeBreakerOpen, Error: err.Error(), RetryAfterUS: uint64(bo.RetryAfter),
+		}
+	}
+	if errors.Is(err, serve.ErrDraining) || errors.Is(err, serve.ErrClosed) {
+		return http.StatusServiceUnavailable, wire.ErrorResponse{
+			Code: wire.CodeDraining, Error: err.Error(), RetryAfterUS: 1_000_000,
+		}
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout, wire.ErrorResponse{
+			Code: wire.CodeDeadline, Error: err.Error(),
+		}
+	}
+	if errors.Is(err, retrieval.ErrCanceled) {
+		// Client cancellation surfaces as a timeout-class error too;
+		// the client is gone, so the status is mostly for the logs.
+		return http.StatusGatewayTimeout, wire.ErrorResponse{
+			Code: wire.CodeDeadline, Error: err.Error(),
+		}
+	}
+	var nm *retrieval.ErrNoMatch
+	if errors.As(err, &nm) {
+		return http.StatusNotFound, wire.ErrorResponse{
+			Code: wire.CodeNoMatch, Error: err.Error(),
+		}
+	}
+	var nf *qosalloc.ErrNoFeasible
+	if errors.As(err, &nf) {
+		return http.StatusConflict, wire.ErrorResponse{
+			Code: wire.CodeNoFeasible, Error: err.Error(),
+		}
+	}
+	return http.StatusInternalServerError, wire.ErrorResponse{
+		Code: wire.CodeInternal, Error: err.Error(),
+	}
+}
+
+// writeError emits the JSON error body plus the Retry-After header
+// (whole seconds, rounded up) when the error class carries a hint.
+func writeError(w http.ResponseWriter, status int, body wire.ErrorResponse) {
+	if body.RetryAfterUS > 0 {
+		secs := (body.RetryAfterUS + 999_999) / 1_000_000
+		w.Header().Set("Retry-After", strconv.FormatUint(secs, 10))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func (d *daemon) writeOK(w http.ResponseWriter, body any) {
+	d.met.ok.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// --- Serving & drain ----------------------------------------------------
+
+// run serves until the listener fails or a signal arrives, then drains:
+// stop admitting (new requests get 503 + Retry-After), wait for
+// in-flight handlers, flush the service's admitted backlog, shut the
+// listener down, and write a final metrics snapshot to snap. A clean
+// drain returns nil — the process exit code 0 the deployment contract
+// expects.
+func (d *daemon) run(ln net.Listener, sig <-chan os.Signal, snap io.Writer) error {
+	srv := &http.Server{Handler: d.mux}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		return fmt.Errorf("qosd: serve: %w", err)
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "qosd: %v: draining (timeout %v)\n", s, d.opt.drainTimeout)
+	}
+
+	d.drainMu.Lock()
+	d.draining = true
+	d.drainMu.Unlock()
+	d.met.draining.Set(1)
+
+	// In-flight handlers finish their service calls before the service
+	// itself drains, so none of them are cut off mid-request.
+	waited := make(chan struct{})
+	go func() { d.inflight.Wait(); close(waited) }()
+	select {
+	case <-waited:
+	case <-time.After(d.opt.drainTimeout):
+		fmt.Fprintln(os.Stderr, "qosd: drain timeout with handlers still in flight")
+	}
+
+	d.svc.Drain() // flush the admitted backlog, then stop the workers
+
+	ctx, cancel := context.WithTimeout(context.Background(), d.opt.drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("qosd: shutdown: %w", err)
+	}
+
+	if snap != nil {
+		fmt.Fprintln(snap, "qosd: final metrics snapshot")
+		if err := d.reg.WriteJSON(snap); err != nil {
+			return fmt.Errorf("qosd: final snapshot: %w", err)
+		}
+	}
+	return nil
+}

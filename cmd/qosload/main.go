@@ -1,0 +1,400 @@
+// Command qosload is the deterministic open-loop load harness for
+// qosd. It pre-computes a request schedule from a seed — arrival
+// times on a fixed rate grid, a Zipf-hotkey or uniform client mix, a
+// deterministic retrieve/allocate split — fires it at a live daemon,
+// and emits a machine-readable BENCH_qosd_<scenario>.json report
+// (p50/p95/p99 latency, shed rate, breaker trips, throughput).
+//
+// Modes:
+//
+//	-mode open       wall-clock pacing: request i goes out at start +
+//	                 i/rate seconds, concurrently. Latency is real.
+//	-mode lockstep   sequential replay: request i carries X-QoS-Now =
+//	                 its scheduled sim time, so the daemon's admission
+//	                 decisions are a pure function of the schedule.
+//	                 Two runs of the same seed against fresh daemons
+//	                 yield identical outcome hashes.
+//
+// The case-base spec flags must match the daemon's (same seed ⇒ same
+// synthetic case base); the defaults on both sides agree.
+//
+// Maintenance:
+//
+//	qosload -validate BENCH_qosd_zipf.json     # schema-check a report
+//	qosload -compare a.json,b.json             # compare outcome hashes
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"qosalloc"
+	"qosalloc/internal/wire"
+)
+
+type options struct {
+	addr     string
+	scenario string // zipf | uniform
+	mode     string // open | lockstep
+	seed     int64
+	requests int
+	clients  int
+	rate     int // requests per second of schedule time
+	allocPct int // percent of requests that allocate (with hold_us)
+	holdUS   uint64
+	out      string
+
+	// Case-base spec (must mirror the daemon's flags).
+	types        int
+	implsPerType int
+	attrsPerImpl int
+	attrUniverse int
+	cbSeed       int64
+}
+
+func main() {
+	var validate, compare string
+	opt := options{
+		addr: "http://127.0.0.1:7333", scenario: "zipf", mode: "lockstep",
+		seed: 1, requests: 400, clients: 8, rate: 2000,
+		allocPct: 25, holdUS: 50_000,
+		types: 12, implsPerType: 6, attrsPerImpl: 5, attrUniverse: 8, cbSeed: 42,
+	}
+	flag.StringVar(&opt.addr, "addr", opt.addr, "qosd base URL")
+	flag.StringVar(&opt.scenario, "scenario", opt.scenario, "client mix: zipf or uniform")
+	flag.StringVar(&opt.mode, "mode", opt.mode, "pacing: open (wall clock) or lockstep (X-QoS-Now)")
+	flag.Int64Var(&opt.seed, "seed", opt.seed, "schedule seed")
+	flag.IntVar(&opt.requests, "requests", opt.requests, "requests in the schedule")
+	flag.IntVar(&opt.clients, "clients", opt.clients, "distinct client identities")
+	flag.IntVar(&opt.rate, "rate", opt.rate, "scheduled arrival rate (req/s)")
+	flag.IntVar(&opt.allocPct, "alloc-pct", opt.allocPct, "percent of requests that allocate (rest retrieve)")
+	flag.Uint64Var(&opt.holdUS, "hold-us", opt.holdUS, "hold_us on allocate requests")
+	flag.StringVar(&opt.out, "out", "", "report path (default BENCH_qosd_<scenario>.json)")
+	flag.IntVar(&opt.types, "types", opt.types, "case-base function types (must match qosd)")
+	flag.IntVar(&opt.implsPerType, "impls", opt.implsPerType, "implementations per type (must match qosd)")
+	flag.IntVar(&opt.attrsPerImpl, "attrs", opt.attrsPerImpl, "attributes per implementation (must match qosd)")
+	flag.IntVar(&opt.attrUniverse, "universe", opt.attrUniverse, "distinct attribute types (must match qosd)")
+	flag.Int64Var(&opt.cbSeed, "cb-seed", opt.cbSeed, "case-base seed (must match qosd)")
+	flag.StringVar(&validate, "validate", "", "validate a report file against the schema and exit")
+	flag.StringVar(&compare, "compare", "", "compare the outcome hashes of two report files: a.json,b.json")
+	flag.Parse()
+
+	if validate != "" {
+		if err := validateReport(validate); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("qosload: %s: valid\n", validate)
+		return
+	}
+	if compare != "" {
+		if err := compareReports(compare); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if opt.scenario != "zipf" && opt.scenario != "uniform" {
+		fatal(fmt.Errorf("-scenario must be zipf or uniform (got %q)", opt.scenario))
+	}
+	if opt.mode != "open" && opt.mode != "lockstep" {
+		fatal(fmt.Errorf("-mode must be open or lockstep (got %q)", opt.mode))
+	}
+	if opt.out == "" {
+		opt.out = fmt.Sprintf("BENCH_qosd_%s.json", opt.scenario)
+	}
+
+	report, err := run(opt)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(opt.out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := wire.EncodeBenchReport(f, report); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("qosload: %s: %d requests, %d ok, shed rate %.3f, p99 %dµs, hash %s\n",
+		opt.out, report.Requests, report.OK, report.ShedRate,
+		report.LatencyUS.P99, report.OutcomeHash)
+}
+
+// shot is one scheduled request: who fires what, when.
+type shot struct {
+	at     uint64 // µs offset on the schedule grid
+	client string
+	req    wire.AllocRequest
+}
+
+// outcome is one settled request, hashed in schedule order.
+type outcome struct {
+	status    int
+	code      string // ErrorResponse.Code, "ok" on 200
+	latencyUS int64
+}
+
+// buildSchedule derives the whole run from the seed: arrival times on
+// the fixed i/rate grid, the client mix, the request pool draw, and
+// the retrieve/allocate split. Everything downstream is a pure
+// function of this slice (latency aside).
+func buildSchedule(opt options) ([]shot, error) {
+	cb, reg, err := qosalloc.GenCaseBase(qosalloc.CaseBaseSpec{
+		Types: opt.types, ImplsPerType: opt.implsPerType,
+		AttrsPerImpl: opt.attrsPerImpl, AttrUniverse: opt.attrUniverse,
+		Seed: opt.cbSeed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(opt.seed))
+	pool, err := qosalloc.GenRequests(cb, reg, qosalloc.RequestStreamSpec{
+		N: opt.requests, ConstraintsPer: 3, RepeatFraction: 0.3, Rand: r,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var zipf *rand.Zipf
+	if opt.scenario == "zipf" && opt.clients > 1 {
+		// s=1.2 hotkey skew: client 0 dominates, the tail thins out.
+		zipf = rand.NewZipf(r, 1.2, 1, uint64(opt.clients-1))
+	}
+	shots := make([]shot, opt.requests)
+	for i := range shots {
+		var c uint64
+		if zipf != nil {
+			c = zipf.Uint64()
+		} else {
+			c = uint64(r.Intn(opt.clients))
+		}
+		creq := pool[i]
+		w := wire.AllocRequest{Client: fmt.Sprintf("client-%d", c), Type: uint16(creq.Type)}
+		for _, cs := range creq.Constraints {
+			w.Constraints = append(w.Constraints, wire.ConstraintJSON{
+				ID: uint16(cs.ID), Value: uint16(cs.Value), Weight: cs.Weight,
+			})
+		}
+		if r.Intn(100) < opt.allocPct {
+			w.App = w.Client
+			w.Priority = 1 + r.Intn(9)
+			w.HoldUS = opt.holdUS
+		}
+		shots[i] = shot{
+			at:     uint64(i) * 1_000_000 / uint64(opt.rate),
+			client: w.Client,
+			req:    w,
+		}
+	}
+	return shots, nil
+}
+
+func run(opt options) (*wire.BenchReport, error) {
+	shots, err := buildSchedule(opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := waitHealthy(opt.addr); err != nil {
+		return nil, err
+	}
+	tripsBefore, err := breakerTrips(opt.addr)
+	if err != nil {
+		return nil, err
+	}
+
+	results := make([]outcome, len(shots))
+	start := time.Now()
+	if opt.mode == "lockstep" {
+		for i, s := range shots {
+			results[i] = fire(opt, s, true)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i, s := range shots {
+			if d := time.Duration(s.at)*time.Microsecond - time.Since(start); d > 0 {
+				time.Sleep(d)
+			}
+			wg.Add(1)
+			go func(i int, s shot) {
+				defer wg.Done()
+				results[i] = fire(opt, s, false)
+			}(i, s)
+		}
+		wg.Wait()
+	}
+	elapsed := time.Since(start)
+
+	tripsAfter, err := breakerTrips(opt.addr)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &wire.BenchReport{
+		Version: wire.BenchVersion, Scenario: opt.scenario, Mode: opt.mode,
+		Seed: opt.seed, Requests: len(shots), Clients: opt.clients,
+		RatePerSec: opt.rate, BreakerTrip: int(tripsAfter - tripsBefore),
+	}
+	h := fnv.New64a()
+	var lats []int64
+	for i, o := range results {
+		fmt.Fprintf(h, "%d:%d:%s\n", i, o.status, o.code)
+		switch {
+		case o.status == http.StatusOK:
+			rep.OK++
+			lats = append(lats, o.latencyUS)
+		case o.status == http.StatusTooManyRequests:
+			rep.Shed++
+		case o.status == http.StatusServiceUnavailable:
+			rep.Rejected++
+		default:
+			rep.Failed++
+		}
+	}
+	rep.OutcomeHash = fmt.Sprintf("fnv64a:%016x", h.Sum64())
+	rep.ShedRate = float64(rep.Shed) / float64(rep.Requests)
+	if secs := elapsed.Seconds(); secs > 0 {
+		rep.ThroughputRPS = float64(rep.OK) / secs
+	}
+	rep.LatencyUS = quantiles(lats)
+	return rep, nil
+}
+
+// fire sends one scheduled request and classifies the outcome.
+func fire(opt options, s shot, lockstep bool) outcome {
+	body, err := json.Marshal(s.req)
+	if err != nil {
+		return outcome{status: -1, code: "marshal_error"}
+	}
+	path := "/v1/retrieve"
+	if s.req.App != "" {
+		path = "/v1/allocate"
+	}
+	hreq, err := http.NewRequest(http.MethodPost, opt.addr+path, bytes.NewReader(body))
+	if err != nil {
+		return outcome{status: -1, code: "request_error"}
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if lockstep {
+		hreq.Header.Set("X-QoS-Now", fmt.Sprint(s.at))
+	}
+	t0 := time.Now()
+	resp, err := http.DefaultClient.Do(hreq)
+	lat := time.Since(t0).Microseconds()
+	if err != nil {
+		return outcome{status: -1, code: "transport_error", latencyUS: lat}
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	code := "ok"
+	if resp.StatusCode != http.StatusOK {
+		var er wire.ErrorResponse
+		if json.Unmarshal(data, &er) == nil && er.Code != "" {
+			code = er.Code
+		} else {
+			code = "unparsed_error"
+		}
+	}
+	return outcome{status: resp.StatusCode, code: code, latencyUS: lat}
+}
+
+// waitHealthy polls /healthz until the daemon answers (boot race).
+func waitHealthy(addr string) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			err = fmt.Errorf("healthz status %d", resp.StatusCode)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("qosd at %s not healthy: %w", addr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// breakerTrips reads the cumulative trip count from /statz.
+func breakerTrips(addr string) (int64, error) {
+	resp, err := http.Get(addr + "/statz")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var statz struct {
+		BreakerTrips int64 `json:"breaker_trips"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&statz); err != nil {
+		return 0, fmt.Errorf("statz: %w", err)
+	}
+	return statz.BreakerTrips, nil
+}
+
+// quantiles summarizes latencies (already OK-only) in microseconds.
+func quantiles(lats []int64) wire.BenchQuantiles {
+	if len(lats) == 0 {
+		return wire.BenchQuantiles{}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	at := func(q float64) int64 {
+		i := int(q * float64(len(lats)-1))
+		return lats[i]
+	}
+	return wire.BenchQuantiles{
+		P50: at(0.50), P95: at(0.95), P99: at(0.99), Max: lats[len(lats)-1],
+	}
+}
+
+func validateReport(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = wire.DecodeBenchReport(f)
+	return err
+}
+
+func compareReports(pair string) error {
+	parts := strings.Split(pair, ",")
+	if len(parts) != 2 {
+		return fmt.Errorf("-compare wants two paths: a.json,b.json (got %q)", pair)
+	}
+	reps := make([]*wire.BenchReport, 2)
+	for i, p := range parts {
+		f, err := os.Open(strings.TrimSpace(p))
+		if err != nil {
+			return err
+		}
+		reps[i], err = wire.DecodeBenchReport(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+	}
+	if reps[0].OutcomeHash != reps[1].OutcomeHash {
+		return fmt.Errorf("outcome hashes differ: %s vs %s — replay is not deterministic",
+			reps[0].OutcomeHash, reps[1].OutcomeHash)
+	}
+	fmt.Printf("qosload: outcome hashes match (%s)\n", reps[0].OutcomeHash)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "qosload: %v\n", err)
+	os.Exit(1)
+}

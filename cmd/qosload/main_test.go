@@ -1,0 +1,140 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"qosalloc/internal/wire"
+)
+
+func testOptions(scenario string) options {
+	return options{
+		scenario: scenario, mode: "lockstep", seed: 7,
+		requests: 300, clients: 8, rate: 2000, allocPct: 25, holdUS: 50_000,
+		types: 12, implsPerType: 6, attrsPerImpl: 5, attrUniverse: 8, cbSeed: 42,
+	}
+}
+
+func TestBuildScheduleDeterministic(t *testing.T) {
+	a, err := buildSchedule(testOptions("zipf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := buildSchedule(testOptions("zipf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].at < a[i-1].at {
+			t.Fatalf("arrival grid not monotone at %d: %d < %d", i, a[i].at, a[i-1].at)
+		}
+	}
+	if want := uint64(299) * 1_000_000 / 2000; a[len(a)-1].at != want {
+		t.Fatalf("last arrival %dµs, want %dµs", a[len(a)-1].at, want)
+	}
+}
+
+func TestZipfScheduleSkewsHot(t *testing.T) {
+	shots, err := buildSchedule(testOptions("zipf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byClient := map[string]int{}
+	for _, s := range shots {
+		byClient[s.client]++
+	}
+	hot := byClient["client-0"]
+	if hot < len(shots)/3 {
+		t.Fatalf("zipf hot client got %d/%d requests, want a clear majority share", hot, len(shots))
+	}
+	uni, err := buildSchedule(testOptions("uniform"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byClient = map[string]int{}
+	for _, s := range uni {
+		byClient[s.client]++
+	}
+	if byClient["client-0"] >= hot {
+		t.Fatalf("uniform hot share %d not below zipf hot share %d", byClient["client-0"], hot)
+	}
+}
+
+func TestScheduleSplitsAllocateAndRetrieve(t *testing.T) {
+	shots, err := buildSchedule(testOptions("uniform"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var allocs int
+	for _, s := range shots {
+		if s.req.App != "" {
+			if s.req.HoldUS == 0 || s.req.Priority < 1 {
+				t.Fatalf("allocate shot missing hold/priority: %+v", s.req)
+			}
+			allocs++
+		}
+	}
+	if allocs == 0 || allocs == len(shots) {
+		t.Fatalf("alloc split degenerate: %d of %d", allocs, len(shots))
+	}
+}
+
+func TestQuantilesOrdering(t *testing.T) {
+	q := quantiles([]int64{9, 1, 5, 3, 7, 2, 8, 4, 6, 10})
+	if q.P50 > q.P95 || q.P95 > q.P99 || q.P99 > q.Max || q.Max != 10 {
+		t.Fatalf("quantiles disordered: %+v", q)
+	}
+	if z := quantiles(nil); z != (wire.BenchQuantiles{}) {
+		t.Fatalf("empty quantiles not zero: %+v", z)
+	}
+}
+
+func TestValidateAndCompareReportFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, hash string) string {
+		p := filepath.Join(dir, name)
+		f, err := os.Create(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		rep := &wire.BenchReport{
+			Version: wire.BenchVersion, Scenario: "zipf", Mode: "lockstep",
+			Seed: 1, Requests: 10, Clients: 2, RatePerSec: 100,
+			OK: 10, OutcomeHash: hash,
+		}
+		if err := wire.EncodeBenchReport(f, rep); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a := write("a.json", "fnv64a:0000000000000001")
+	b := write("b.json", "fnv64a:0000000000000001")
+	c := write("c.json", "fnv64a:0000000000000002")
+
+	if err := validateReport(a); err != nil {
+		t.Fatalf("validateReport(good): %v", err)
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"version":99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateReport(bad); !errors.Is(err, wire.ErrBadReport) {
+		t.Fatalf("validateReport(bad) = %v, want ErrBadReport", err)
+	}
+	if err := compareReports(a + "," + b); err != nil {
+		t.Fatalf("compareReports(equal): %v", err)
+	}
+	if err := compareReports(a + "," + c); err == nil {
+		t.Fatal("compareReports(differing) accepted")
+	}
+	if err := compareReports(a); err == nil {
+		t.Fatal("compareReports(one path) accepted")
+	}
+}

@@ -203,15 +203,25 @@ type Applied struct {
 	NoVictim bool
 }
 
+// Observer receives one applied fault event. Observers run
+// synchronously on the injecting goroutine, in subscription order,
+// after the event has been applied to the system and accounted on the
+// metric bundle — an observer sees the platform state the fault left
+// behind. Serving layers subscribe their circuit breakers here so
+// admission control reacts to platform health, not just to per-request
+// failures.
+type Observer func(Applied)
+
 // Injector replays a Plan against a run-time system. It never advances
 // the clock on its own: the owner either advances the system and calls
 // ApplyDue, or lets AdvanceTo stop at each fault time.
 type Injector struct {
-	sys    *rtsys.System
-	events []Event // sorted by At, stable
-	next   int
-	log    []Applied
-	met    *injMetrics
+	sys       *rtsys.System
+	events    []Event // sorted by At, stable
+	next      int
+	log       []Applied
+	met       *injMetrics
+	observers []Observer
 }
 
 // injMetrics is the injector's observability bundle: injections by
@@ -249,6 +259,16 @@ func NewInjector(sys *rtsys.System, p Plan) *Injector {
 // Instrument registers the injector's metric set on reg.
 func (in *Injector) Instrument(reg *obs.Registry) { in.met = newInjMetrics(reg) }
 
+// Subscribe registers fn to be called for every event applied from now
+// on (events already in the log are not replayed). Not safe to call
+// concurrently with ApplyDue/AdvanceTo — wire observers before the plan
+// starts firing, from the driving goroutine.
+func (in *Injector) Subscribe(fn Observer) {
+	if fn != nil {
+		in.observers = append(in.observers, fn)
+	}
+}
+
 // Pending returns how many events have not fired yet.
 func (in *Injector) Pending() int { return len(in.events) - in.next }
 
@@ -275,6 +295,9 @@ func (in *Injector) ApplyDue() ([]Applied, error) {
 		in.next++
 		in.log = append(in.log, a)
 		in.record(a)
+		for _, fn := range in.observers {
+			fn(a)
+		}
 		out = append(out, a)
 	}
 	return out, nil

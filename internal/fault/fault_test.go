@@ -364,3 +364,40 @@ func TestInjectorUnknownDevice(t *testing.T) {
 		t.Error("failing an unknown device must error")
 	}
 }
+
+// TestInjectorObserversSeeEveryAppliedEvent pins the subscription
+// contract: observers fire once per applied event, in apply order,
+// after the event landed on the system — the hook admission-control
+// breakers hang off.
+func TestInjectorObserversSeeEveryAppliedEvent(t *testing.T) {
+	s, _ := platform(t)
+	inj := NewInjector(s, Plan{Events: []Event{
+		{At: 300, Kind: ConfigError, Device: "fpga0"},
+		{At: 100, Kind: SlotFail, Device: "fpga0", Slot: 0},
+		{At: 200, Kind: SEU, Device: "dsp0"},
+	}})
+	var seen []Applied
+	var healthAtEvent []device.Health
+	inj.Subscribe(func(a Applied) { seen = append(seen, a) })
+	inj.Subscribe(func(Applied) {
+		// The observer runs after the fault hit: the first event kills
+		// fpga0 slot 0, so the device is already degraded when seen.
+		healthAtEvent = append(healthAtEvent, s.Devices()[0].Health())
+	})
+	inj.Subscribe(nil) // a nil observer is dropped, not called
+
+	if _, err := inj.AdvanceTo(1000); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(inj.Log()) {
+		t.Fatalf("observers saw %d events, log has %d", len(seen), len(inj.Log()))
+	}
+	for i, a := range inj.Log() {
+		if seen[i].Event != a.Event {
+			t.Errorf("event %d: observer saw %v, log has %v", i, seen[i].Event, a.Event)
+		}
+	}
+	if len(healthAtEvent) == 0 || healthAtEvent[0] == device.Healthy {
+		t.Errorf("observer ran before the slot failure landed: healths %v", healthAtEvent)
+	}
+}

@@ -16,16 +16,19 @@ var batchBuckets = []int64{1, 2, 4, 8, 16, 32, 64, 128}
 // on". Per-shard gauges are labeled series of one base metric, so the
 // exposition groups them under shared HELP/TYPE.
 type metrics struct {
-	enqueued  *obs.Counter
-	shed      *obs.Counter
-	batches   *obs.Counter
-	dedup     *obs.Counter
-	tokenHits *obs.Counter
-	canceled  *obs.Counter
-	allocOK   *obs.Counter
-	allocFail *obs.Counter
+	enqueued     *obs.Counter
+	shed         *obs.Counter
+	batches      *obs.Counter
+	dedup        *obs.Counter
+	tokenHits    *obs.Counter
+	canceled     *obs.Counter
+	drainFlushed *obs.Counter
+	allocOK      *obs.Counter
+	allocFail    *obs.Counter
 
 	batchSize *obs.Histogram
+
+	draining *obs.Gauge // 1 once Close/Drain has begun
 
 	queueDepth []*obs.Gauge // per shard
 	busy       []*obs.Gauge // per shard, 0/1 occupancy
@@ -41,6 +44,9 @@ func newMetrics(reg *obs.Registry, n int) *metrics {
 		dedup:     reg.Counter("qos_serve_dedup_hits_total", "in-batch requests served by another job's retrieval (singleflight)"),
 		tokenHits: reg.Counter("qos_serve_token_hits_total", "retrievals bypassed by a shard token-cache hit"),
 		canceled:  reg.Counter("qos_serve_canceled_total", "jobs dropped because the caller's context died"),
+		drainFlushed: reg.Counter("qos_serve_drain_flushed_total",
+			"queued jobs answered during the shutdown flush"),
+		draining:  reg.Gauge("qos_serve_draining", "1 once service shutdown (drain) has begun"),
 		allocOK:   reg.Counter("qos_serve_allocations_total{outcome=\"placed\"}", "allocation calls that placed a variant"),
 		allocFail: reg.Counter("qos_serve_allocations_total{outcome=\"failed\"}", "allocation calls that returned an error"),
 		batchSize: reg.Histogram("qos_serve_batch_size", "requests coalesced per micro-batch", batchBuckets),

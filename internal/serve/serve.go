@@ -82,6 +82,14 @@ type Config struct {
 // ErrClosed reports a call into a service whose Close has begun.
 var ErrClosed = errors.New("serve: service closed")
 
+// ErrDraining reports a call into a service whose shutdown has begun:
+// the service stopped admitting work and is flushing the jobs already
+// queued. It wraps ErrClosed, so existing errors.Is(err, ErrClosed)
+// checks keep rejecting, while errors.Is(err, ErrDraining) lets a
+// front end distinguish shutdown (permanent for this process — fail
+// over) from overload (*ErrOverload — retry here after the hint).
+var ErrDraining = fmt.Errorf("%w: draining", ErrClosed)
+
 // ErrOverload is the typed admission-control rejection: the target
 // shard's queue is full. RetryAfter is a coarse sim-time hint — the
 // linger window plus the §4.2 software-retrieval scale (~10 µs) per
@@ -107,6 +115,7 @@ type Stats struct {
 	DedupHits        int64 // jobs served by another job's walk (singleflight)
 	TokenHits        int64 // retrievals bypassed by a shard token cache
 	Canceled         int64 // jobs dropped on a dead caller context
+	DrainFlushed     int64 // queued jobs answered during the drain flush
 	MaxBatch         int64 // largest batch coalesced so far
 	EngineRetrievals int64 // actual engine list walks across shards
 	Allocated        int64 // allocation calls that placed a variant
@@ -180,10 +189,20 @@ type Service struct {
 
 	enqueued, shed, batches, batchedJobs atomic.Int64
 	dedupHits, tokenHits, canceled       atomic.Int64
-	maxBatch                             atomic.Int64
+	maxBatch, drainFlushed               atomic.Int64
 	allocated, allocFailed               atomic.Int64
 
-	done      chan struct{}
+	// drainMu fences admission against shutdown: submissions hold the
+	// read side across the draining check and the queue send, Close
+	// holds the write side while raising the flag — so a job is either
+	// refused with ErrDraining or fully enqueued before the workers
+	// start their final flush. Nothing admitted is ever abandoned.
+	drainMu   sync.RWMutex
+	draining  bool
+	drain     chan struct{}  // closed when shutdown begins
+	inflight  sync.WaitGroup // Allocate/*Batch calls past admission
+	drainOnce sync.Once
+	done      chan struct{} // closed when the flush has finished
 	wg        sync.WaitGroup
 	closeOnce sync.Once
 }
@@ -210,6 +229,7 @@ func New(cb *casebase.CaseBase, sys *rtsys.System, cfg Config) *Service {
 		sys:    sys,
 		mgr:    alloc.New(cb, sys, cfg.Manager),
 		tickCh: make(chan struct{}),
+		drain:  make(chan struct{}),
 		done:   make(chan struct{}),
 	}
 	s.met.Store(newMetrics(nil, cfg.Shards))
@@ -228,11 +248,34 @@ func New(cb *casebase.CaseBase, sys *rtsys.System, cfg Config) *Service {
 	return s
 }
 
-// Close stops the shard workers and waits for them. Callers blocked in
-// Retrieve/Allocate return ErrClosed. Close is idempotent.
+// Close drains the service and stops the shard workers: admission ends
+// immediately (new submissions are refused with ErrDraining), every
+// job already queued is batched, scored and answered, and only then do
+// the workers exit. Callers blocked in Retrieve/Allocate therefore get
+// their results, not an error. Close is idempotent and safe to call
+// concurrently; every call blocks until the flush has finished.
 func (s *Service) Close() {
+	s.drainOnce.Do(func() {
+		s.drainMu.Lock()
+		s.draining = true
+		s.drainMu.Unlock()
+		s.met.Load().draining.Set(1)
+		close(s.drain)
+	})
+	s.wg.Wait()       // shard workers flush their queues and exit
+	s.inflight.Wait() // Allocate/*Batch calls finish their placements
 	s.closeOnce.Do(func() { close(s.done) })
-	s.wg.Wait()
+}
+
+// Drain is Close under the name shutdown paths read naturally:
+// stop admitting, flush in-flight batches, stop.
+func (s *Service) Drain() { s.Close() }
+
+// Draining reports whether shutdown has begun (Close/Drain called).
+func (s *Service) Draining() bool {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	return s.draining
 }
 
 // Shards returns the shard count.
@@ -265,16 +308,17 @@ func (s *Service) Instrument(reg *obs.Registry) {
 // Stats returns a snapshot of the service counters.
 func (s *Service) Stats() Stats {
 	st := Stats{
-		Enqueued:    s.enqueued.Load(),
-		Shed:        s.shed.Load(),
-		Batches:     s.batches.Load(),
-		BatchedJobs: s.batchedJobs.Load(),
-		DedupHits:   s.dedupHits.Load(),
-		TokenHits:   s.tokenHits.Load(),
-		Canceled:    s.canceled.Load(),
-		MaxBatch:    s.maxBatch.Load(),
-		Allocated:   s.allocated.Load(),
-		AllocFailed: s.allocFailed.Load(),
+		Enqueued:     s.enqueued.Load(),
+		Shed:         s.shed.Load(),
+		Batches:      s.batches.Load(),
+		BatchedJobs:  s.batchedJobs.Load(),
+		DedupHits:    s.dedupHits.Load(),
+		TokenHits:    s.tokenHits.Load(),
+		Canceled:     s.canceled.Load(),
+		DrainFlushed: s.drainFlushed.Load(),
+		MaxBatch:     s.maxBatch.Load(),
+		Allocated:    s.allocated.Load(),
+		AllocFailed:  s.allocFailed.Load(),
 	}
 	for _, sh := range s.shards {
 		sh.mu.Lock()
@@ -323,6 +367,20 @@ func (s *Service) Release(id rtsys.TaskID) error {
 	return s.mgr.Release(id)
 }
 
+// Exclusive runs fn with the runtime serialization lock held, then
+// republishes the sim clock to the shards. It is the safe way for a
+// driver to compose external platform mutation — fault injection,
+// recovery sweeps, manual task surgery on Manager()/System() — with
+// live service traffic; without it such calls race the shard workers'
+// placements. fn must not call back into the service's locked entry
+// points (Advance, Release, Allocate*, ReplacePending, Exclusive).
+func (s *Service) Exclusive(fn func()) {
+	s.allocMu.Lock()
+	defer s.allocMu.Unlock()
+	fn()
+	s.tick(s.sys.Now())
+}
+
 // ReplacePending re-places preempted tasks under the serialization
 // lock, returning how many came back.
 func (s *Service) ReplacePending() int {
@@ -349,7 +407,15 @@ func (s *Service) Retrieve(ctx context.Context, req casebase.Request) (retrieval
 	case <-ctx.Done():
 		return retrieval.Result{}, retrieval.Canceled(ctx)
 	case <-s.done:
-		return retrieval.Result{}, ErrClosed
+		// done closes only after the drain flush answered every
+		// admitted job, so the reply is already buffered — but select
+		// picks arms at random when both are ready; prefer the result.
+		select {
+		case r := <-j.done:
+			return r.best, r.err
+		default:
+		}
+		return retrieval.Result{}, ErrDraining
 	}
 }
 
@@ -357,6 +423,10 @@ func (s *Service) Retrieve(ctx context.Context, req casebase.Request) (retrieval
 // feeds them to the allocation manager under the serialization lock.
 // It is Manager.Request with the retrieval half sharded and batched.
 func (s *Service) Allocate(ctx context.Context, app string, req casebase.Request, basePrio int) (*alloc.Decision, error) {
+	if err := s.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.inflight.Done()
 	met := s.met.Load()
 	cands, err := s.candidates(ctx, req)
 	if err == nil {
@@ -394,7 +464,12 @@ func (s *Service) candidates(ctx context.Context, req casebase.Request) ([]retri
 	case <-ctx.Done():
 		return nil, retrieval.Canceled(ctx)
 	case <-s.done:
-		return nil, ErrClosed
+		select { // prefer the buffered reply (see Retrieve)
+		case r := <-j.done:
+			return r.list, r.err
+		default:
+		}
+		return nil, ErrDraining
 	}
 }
 
@@ -411,9 +486,10 @@ type RetrieveOutcome struct {
 // deterministic caller gets deterministic batching — the property the
 // serve experiment pins. Results are positionally aligned with reqs.
 func (s *Service) RetrieveBatch(ctx context.Context, reqs []casebase.Request) ([]RetrieveOutcome, error) {
-	if err := s.alive(ctx); err != nil {
+	if err := s.acquire(ctx); err != nil {
 		return nil, err
 	}
+	defer s.inflight.Done()
 	bests, _, errs, err := s.fanout(ctx, reqs, jobRetrieve, 0)
 	if err != nil {
 		return nil, err
@@ -438,9 +514,10 @@ type BatchResult struct {
 // allocation outcome of a deterministic input is deterministic, no
 // matter how the shards interleave.
 func (s *Service) AllocateBatch(ctx context.Context, app string, reqs []casebase.Request, basePrio int) ([]BatchResult, error) {
-	if err := s.alive(ctx); err != nil {
+	if err := s.acquire(ctx); err != nil {
 		return nil, err
 	}
+	defer s.inflight.Done()
 	_, lists, errs, err := s.fanout(ctx, reqs, jobCandidates, s.cfg.Manager.NBest)
 	if err != nil {
 		return nil, err
@@ -471,14 +548,22 @@ func (s *Service) AllocateBatch(ctx context.Context, app string, reqs []casebase
 	return out, nil
 }
 
-// alive guards batch entry points.
-func (s *Service) alive(ctx context.Context) error {
-	select {
-	case <-s.done:
-		return ErrClosed
-	default:
+// acquire guards the Allocate/*Batch entry points and registers the
+// call on the in-flight group Close waits for: a call either sees
+// ErrDraining here, or its placements finish before Close returns. The
+// check and the Add sit under the drain fence so the group can never
+// grow after Close started waiting on it.
+func (s *Service) acquire(ctx context.Context) error {
+	if err := retrieval.Canceled(ctx); err != nil {
+		return err
 	}
-	return retrieval.Canceled(ctx)
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	if s.draining {
+		return ErrDraining
+	}
+	s.inflight.Add(1)
+	return nil
 }
 
 // --- Shard routing & admission ----------------------------------------
@@ -488,12 +573,15 @@ func (s *Service) shardFor(t casebase.TypeID) *shard {
 }
 
 // submit routes a job to its shard queue, shedding with *ErrOverload
-// when the queue is full.
+// when the queue is full. The admission check and the queue send sit
+// under the drain fence: a submission either lands before the workers'
+// final flush or is refused with ErrDraining — never admitted and then
+// abandoned.
 func (s *Service) submit(j *job) error {
-	select {
-	case <-s.done:
-		return ErrClosed
-	default:
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	if s.draining {
+		return ErrDraining
 	}
 	sh := s.shardFor(j.req.Type)
 	j.sig = retrieval.Signature(j.req)
@@ -513,19 +601,43 @@ func (s *Service) submit(j *job) error {
 	}
 }
 
+// retrievalCostMicros is the §4.2 software-retrieval scale: one list
+// walk on the MicroBlaze-class baseline costs on the order of 10 µs.
+// It prices the queued work behind an overload rejection.
+const retrievalCostMicros = 10
+
+// retryAfter derives the *ErrOverload hint from the observed queue
+// depth at shed time: every queued job ahead costs one list walk on
+// the §4.2 software scale, and every micro-batch dispatch the backlog
+// still needs pays one linger window. The hint is monotone in the
+// observed depth — a deeper queue never promises a sooner retry — so
+// clients backing off on it spread out instead of re-colliding.
 func (s *Service) retryAfter(queued int) device.Micros {
-	return s.cfg.BatchWindow + device.Micros(queued+1)*10
+	dispatches := device.Micros((queued + s.cfg.MaxBatch) / s.cfg.MaxBatch) // ceil((queued+1)/MaxBatch)
+	return dispatches*s.cfg.BatchWindow + device.Micros(queued+1)*retrievalCostMicros
 }
 
 // --- Workers & batch execution ----------------------------------------
 
-// worker drains one shard's queue, coalescing micro-batches.
+// worker drains one shard's queue, coalescing micro-batches. When
+// shutdown begins it switches to the final flush: every job already
+// admitted is batched and answered before the worker exits.
 func (s *Service) worker(sh *shard) {
 	defer s.wg.Done()
 	batch := make([]*job, 0, s.cfg.MaxBatch)
 	for {
+		// Drain wins over new queue picks: once shutdown has begun the
+		// worker must settle the backlog via the flush path, not start
+		// another coalescing round.
 		select {
-		case <-s.done:
+		case <-s.drain:
+			s.flush(sh, batch[:0])
+			return
+		default:
+		}
+		select {
+		case <-s.drain:
+			s.flush(sh, batch[:0])
 			return
 		case j := <-sh.q:
 			batch = append(batch[:0], j)
@@ -533,6 +645,32 @@ func (s *Service) worker(sh *shard) {
 			s.met.Load().queueDepth[sh.idx].Set(int64(len(sh.q)))
 			s.runBatch(sh, batch)
 		}
+	}
+}
+
+// flush answers everything left in the shard queue at shutdown. By the
+// time the worker gets here the drain fence guarantees no new sends
+// can start, so a dry queue means the shard is done. Linger windows no
+// longer apply — the goal is to finish, not to coalesce.
+func (s *Service) flush(sh *shard, batch []*job) {
+	for {
+		batch = batch[:0]
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case j := <-sh.q:
+				batch = append(batch, j)
+				continue
+			default:
+			}
+			break
+		}
+		if len(batch) == 0 {
+			s.met.Load().queueDepth[sh.idx].Set(0)
+			return
+		}
+		s.drainFlushed.Add(int64(len(batch)))
+		s.met.Load().drainFlushed.Add(int64(len(batch)))
+		s.runBatch(sh, batch)
 	}
 }
 
@@ -558,7 +696,8 @@ func (s *Service) gather(sh *shard, batch *[]*job) {
 			*batch = append(*batch, j)
 		case <-s.tickSignal():
 			// Clock advanced; re-check the window.
-		case <-s.done:
+		case <-s.drain:
+			// Shutdown: stop lingering so the partial batch flushes now.
 			return
 		}
 	}

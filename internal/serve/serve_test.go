@@ -450,3 +450,142 @@ func isNoFeasible(err error) bool {
 	var nf *alloc.ErrNoFeasible
 	return errors.As(err, &nf)
 }
+
+// TestRetryAfterScalesWithQueueDepth pins the overload hint's shape:
+// monotone non-decreasing in the observed queue depth (a deeper queue
+// never promises a sooner retry), and strictly later once the backlog
+// needs another micro-batch dispatch.
+func TestRetryAfterScalesWithQueueDepth(t *testing.T) {
+	cb, _, _ := genWorkload(t, 1, 0)
+	s := New(cb, fig1System(t, cb), Config{Shards: 1, MaxBatch: 8, BatchWindow: 100})
+	defer s.Close()
+
+	prev := device.Micros(0)
+	for q := 0; q <= 64; q++ {
+		got := s.retryAfter(q)
+		if got == 0 {
+			t.Fatalf("retryAfter(%d) = 0; the hint must always buy the backlog time", q)
+		}
+		if got < prev {
+			t.Fatalf("retryAfter(%d) = %d < retryAfter(%d) = %d; hint must be monotone in depth", q, got, q-1, prev)
+		}
+		prev = got
+	}
+	if a, b := s.retryAfter(0), s.retryAfter(8); b <= a {
+		t.Fatalf("one extra dispatch did not push the hint: retryAfter(0)=%d, retryAfter(8)=%d", a, b)
+	}
+	if a, b := s.retryAfter(0), s.retryAfter(40); b <= a {
+		t.Fatalf("a 5-dispatch backlog did not push the hint: %d vs %d", a, b)
+	}
+}
+
+// TestErrDrainingIdentity pins the sentinel contract: ErrDraining is
+// its own errors.Is target and also satisfies ErrClosed, so pre-existing
+// shutdown checks keep working while new callers can tell drain apart.
+func TestErrDrainingIdentity(t *testing.T) {
+	if !errors.Is(ErrDraining, ErrClosed) {
+		t.Error("ErrDraining must wrap ErrClosed")
+	}
+	if !errors.Is(ErrDraining, ErrDraining) {
+		t.Error("ErrDraining must match itself")
+	}
+	if errors.Is(ErrClosed, ErrDraining) {
+		t.Error("plain ErrClosed must not read as draining")
+	}
+	if !strings.Contains(ErrDraining.Error(), "draining") {
+		t.Errorf("Error() = %q, want it to mention draining", ErrDraining.Error())
+	}
+}
+
+// TestDrainFlushesQueuedJobs pins the graceful-drain contract: once
+// Close begins, new submissions get ErrDraining (distinguishable from
+// overload, still matching ErrClosed), while every job admitted before
+// the drain is answered — the wedged batch and the queued backlog both
+// complete, and the backlog goes through the shutdown flush.
+func TestDrainFlushesQueuedJobs(t *testing.T) {
+	cb, _, reqs := genWorkload(t, 4, 0)
+	s := New(cb, fig1System(t, cb), Config{Shards: 1, MaxBatch: 1, MaxQueue: 4})
+
+	sh := s.shards[0]
+	sh.mu.Lock() // wedge the worker mid-batch
+
+	ctx := context.Background()
+	done := make(chan error, 2)
+	go func() { _, err := s.Retrieve(ctx, reqs[0]); done <- err }()
+	waitFor(t, "worker to take the first job", func() bool { return len(sh.q) == 0 && s.enqueued.Load() == 1 })
+	go func() { _, err := s.Retrieve(ctx, reqs[1]); done <- err }()
+	waitFor(t, "second job to queue", func() bool { return len(sh.q) == 1 })
+
+	closed := make(chan struct{})
+	go func() { s.Close(); close(closed) }()
+	waitFor(t, "drain to begin", s.Draining)
+
+	// New work is refused with the typed sentinel, not *ErrOverload.
+	_, err := s.Retrieve(ctx, reqs[2])
+	if !errors.Is(err, ErrDraining) {
+		t.Errorf("Retrieve during drain = %v, want ErrDraining", err)
+	}
+	if !errors.Is(err, ErrClosed) {
+		t.Errorf("Retrieve during drain = %v, want it to also match ErrClosed", err)
+	}
+	var ov *ErrOverload
+	if errors.As(err, &ov) {
+		t.Errorf("drain rejection must not read as overload: %v", err)
+	}
+	if _, err := s.RetrieveBatch(ctx, reqs); !errors.Is(err, ErrDraining) {
+		t.Errorf("RetrieveBatch during drain = %v, want ErrDraining", err)
+	}
+	if _, err := s.AllocateBatch(ctx, "app", reqs, 5); !errors.Is(err, ErrDraining) {
+		t.Errorf("AllocateBatch during drain = %v, want ErrDraining", err)
+	}
+
+	sh.mu.Unlock() // unwedge: the flush must settle the backlog
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Errorf("admitted caller %d got %v during drain; admitted jobs must complete", i, err)
+		}
+	}
+	<-closed
+
+	st := s.Stats()
+	if st.DrainFlushed != 1 {
+		t.Errorf("DrainFlushed = %d, want 1 (the queued job settles via the shutdown flush)", st.DrainFlushed)
+	}
+	if st.Shed != 0 {
+		t.Errorf("Shed = %d; drain rejections must not count as overload sheds", st.Shed)
+	}
+}
+
+// TestDrainMetricsExported pins the drain observability: the draining
+// gauge flips to 1 and the flush counter lands in the registry.
+func TestDrainMetricsExported(t *testing.T) {
+	cb, _, reqs := genWorkload(t, 2, 0)
+	s := New(cb, fig1System(t, cb), Config{Shards: 1, MaxBatch: 1, MaxQueue: 4})
+	reg := obs.NewRegistry()
+	s.Instrument(reg)
+
+	sh := s.shards[0]
+	sh.mu.Lock()
+	ctx := context.Background()
+	done := make(chan error, 2)
+	go func() { _, err := s.Retrieve(ctx, reqs[0]); done <- err }()
+	waitFor(t, "worker to take the first job", func() bool { return len(sh.q) == 0 && s.enqueued.Load() == 1 })
+	go func() { _, err := s.Retrieve(ctx, reqs[1]); done <- err }()
+	waitFor(t, "second job to queue", func() bool { return len(sh.q) == 1 })
+
+	closed := make(chan struct{})
+	go func() { s.Close(); close(closed) }()
+	waitFor(t, "drain to begin", s.Draining)
+	sh.mu.Unlock()
+	<-done
+	<-done
+	<-closed
+
+	snap := reg.Snapshot()
+	if got := snap.Gauges["qos_serve_draining"]; got != 1 {
+		t.Errorf("qos_serve_draining = %d, want 1", got)
+	}
+	if got, ok := reg.CounterValue("qos_serve_drain_flushed_total"); !ok || got != 1 {
+		t.Errorf("qos_serve_drain_flushed_total = %d (present %v), want 1", got, ok)
+	}
+}

@@ -1,0 +1,133 @@
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrBadReport is the sentinel wrapped by every DecodeBenchReport
+// failure, mirroring ErrBadRequest for the harness output path. The
+// loadcheck CI target validates emitted reports through it.
+var ErrBadReport = errors.New("wire: invalid bench report")
+
+// BenchVersion guards the BENCH_qosd_*.json schema.
+const BenchVersion = 1
+
+// BenchReport is the machine-readable result of one qosload scenario —
+// the BENCH_qosd_<scenario>.json schema. Latency quantiles are wall
+// time at the harness (the one number sim time cannot give), everything
+// else is deterministic under a fixed seed and pinned by OutcomeHash.
+type BenchReport struct {
+	Version  int    `json:"version"`
+	Scenario string `json:"scenario"` // "zipf" | "uniform" | ...
+	Mode     string `json:"mode"`     // "open" | "lockstep"
+	Seed     int64  `json:"seed"`
+	Requests int    `json:"requests"`
+	Clients  int    `json:"clients"`
+
+	// RatePerSec is the open-loop arrival rate the schedule was built
+	// for (requests per second of schedule time).
+	RatePerSec int `json:"rate_per_sec"`
+
+	// Outcome counts; they sum to Requests.
+	OK          int `json:"ok"`
+	Shed        int `json:"shed"`     // 429s: rate-limited + overload
+	Rejected    int `json:"rejected"` // 503s: breaker open or draining
+	Failed      int `json:"failed"`   // 4xx/5xx outside the shed/reject classes
+	BreakerTrip int `json:"breaker_trips"`
+
+	// ThroughputRPS is completed-OK requests per wall second.
+	ThroughputRPS float64 `json:"throughput_rps"`
+
+	// Latency quantiles in wall microseconds, OK requests only.
+	LatencyUS BenchQuantiles `json:"latency_us"`
+
+	// ShedRate is Shed / Requests.
+	ShedRate float64 `json:"shed_rate"`
+
+	// OutcomeHash is an FNV-64a digest over the per-request outcome
+	// sequence (index, HTTP status, response code slug) — latency
+	// excluded. Two runs of the same seed in lockstep mode must agree.
+	OutcomeHash string `json:"outcome_hash"`
+}
+
+// BenchQuantiles are the latency summary points.
+type BenchQuantiles struct {
+	P50 int64 `json:"p50"`
+	P95 int64 `json:"p95"`
+	P99 int64 `json:"p99"`
+	Max int64 `json:"max"`
+}
+
+// Validate checks a report for internal consistency: version, known
+// scenario fields, outcome counts summing to Requests, quantile
+// ordering, and rates in range. The loadcheck target runs emitted
+// reports through this before they are committed.
+func (b *BenchReport) Validate() error {
+	if b.Version != BenchVersion {
+		return fmt.Errorf("version %d, want %d", b.Version, BenchVersion)
+	}
+	if b.Scenario == "" {
+		return errors.New("missing scenario")
+	}
+	if b.Mode != "open" && b.Mode != "lockstep" {
+		return fmt.Errorf("mode %q, want open or lockstep", b.Mode)
+	}
+	if b.Requests <= 0 {
+		return fmt.Errorf("requests %d, want > 0", b.Requests)
+	}
+	if b.Clients <= 0 || b.RatePerSec <= 0 {
+		return fmt.Errorf("clients %d / rate %d, want > 0", b.Clients, b.RatePerSec)
+	}
+	if b.OK < 0 || b.Shed < 0 || b.Rejected < 0 || b.Failed < 0 || b.BreakerTrip < 0 {
+		return errors.New("negative outcome count")
+	}
+	if sum := b.OK + b.Shed + b.Rejected + b.Failed; sum != b.Requests {
+		return fmt.Errorf("outcomes sum to %d, want requests %d", sum, b.Requests)
+	}
+	if b.ShedRate < 0 || b.ShedRate > 1 {
+		return fmt.Errorf("shed_rate %v outside [0,1]", b.ShedRate)
+	}
+	if b.ThroughputRPS < 0 {
+		return fmt.Errorf("throughput_rps %v negative", b.ThroughputRPS)
+	}
+	q := b.LatencyUS
+	if q.P50 < 0 || q.P95 < q.P50 || q.P99 < q.P95 || q.Max < q.P99 {
+		return fmt.Errorf("latency quantiles not ordered: p50=%d p95=%d p99=%d max=%d", q.P50, q.P95, q.P99, q.Max)
+	}
+	if b.OutcomeHash == "" {
+		return errors.New("missing outcome_hash")
+	}
+	return nil
+}
+
+// EncodeBenchReport writes b as indented JSON, the committed
+// BENCH_qosd_*.json form.
+func EncodeBenchReport(w io.Writer, b *BenchReport) error {
+	if err := b.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadReport, err)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// DecodeBenchReport reads and validates one report; every content
+// failure wraps ErrBadReport.
+func DecodeBenchReport(r io.Reader) (*BenchReport, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var b BenchReport
+	if err := dec.Decode(&b); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadReport, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("%w: trailing data after report", ErrBadReport)
+	}
+	if err := b.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadReport, err)
+	}
+	return &b, nil
+}

@@ -1,0 +1,67 @@
+package wire
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeAllocRequest asserts the daemon decoder's contract on
+// arbitrary bytes, mirroring FuzzDecodeCaseBase: it either returns a
+// fully validated request or an error wrapping ErrBadRequest — never a
+// panic, never a half-validated request. Seeds cover the valid shape
+// plus each rejection class so the fuzzer starts from interesting
+// corners.
+func FuzzDecodeAllocRequest(f *testing.F) {
+	f.Add(goodReq)
+	f.Add(``)
+	f.Add(`{`)
+	f.Add(`null`)
+	f.Add(`[]`)
+	f.Add(`{"client":"c","type":1,"constraints":[{"id":1,"value":2}]}`)
+	f.Add(`{"client":"","type":1,"constraints":[{"id":1,"value":2}]}`)
+	f.Add(`{"client":"c","type":1,"constraints":[]}`)
+	f.Add(`{"client":"c","type":1,"constraints":[{"id":1,"value":2},{"id":1,"value":3}]}`)
+	f.Add(`{"client":"c","type":1,"constraints":[{"id":1,"value":2,"weight":2}]}`)
+	f.Add(`{"client":"c","type":65535,"constraints":[{"id":65535,"value":65535,"weight":1}],"priority":-1}`)
+	f.Add(`{"client":"c","type":1,"constraints":[{"id":1,"value":2}],"unknown":1}`)
+	f.Add(`{"client":"c","type":1,"constraints":[{"id":1,"value":2}]} trailing`)
+
+	f.Fuzz(func(t *testing.T, body string) {
+		req, err := DecodeAllocRequest(strings.NewReader(body))
+		if err != nil {
+			if req != nil {
+				t.Fatalf("returned both a request and an error: %v", err)
+			}
+			if !errors.Is(err, ErrBadRequest) {
+				t.Fatalf("content error does not wrap ErrBadRequest: %v", err)
+			}
+			return
+		}
+		// A decoded request must satisfy the documented invariants and
+		// convert cleanly to the engine shape.
+		if req.Client == "" {
+			t.Fatal("accepted a request with no client")
+		}
+		if n := len(req.Constraints); n == 0 || n > MaxConstraints {
+			t.Fatalf("accepted %d constraints", n)
+		}
+		cr := req.Request()
+		if len(cr.Constraints) != len(req.Constraints) {
+			t.Fatalf("conversion changed constraint count: %d vs %d", len(cr.Constraints), len(req.Constraints))
+		}
+		var sum float64
+		for i, c := range cr.Constraints {
+			if i > 0 && cr.Constraints[i-1].ID > c.ID {
+				t.Fatal("converted constraints not sorted by attribute ID")
+			}
+			if c.Weight < 0 || c.Weight > 1 {
+				t.Fatalf("converted weight %v outside [0,1]", c.Weight)
+			}
+			sum += c.Weight
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("converted weights sum to %v, want 1", sum)
+		}
+	})
+}

@@ -1,0 +1,173 @@
+// Package wire is the qosd HTTP/JSON wire format: the request body the
+// daemon accepts, the response and error bodies it emits, and the
+// BENCH_qosd_*.json report schema the qosload harness writes. It is a
+// strict format — unknown fields, trailing garbage, and out-of-range
+// values are all rejected with a typed error — because the daemon edge
+// is the one place malformed bytes can enter an otherwise fully
+// validated pipeline.
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"qosalloc/internal/attr"
+	"qosalloc/internal/casebase"
+)
+
+// MaxRequestBytes bounds a request body read; DecodeAllocRequest
+// refuses anything longer. Generous for a request with a full
+// constraint list, small enough that a hostile body cannot balloon.
+const MaxRequestBytes = 1 << 16
+
+// MaxConstraints bounds the constraint list length. The attribute
+// universe is uint16, but no legitimate request constrains more than a
+// handful of attributes.
+const MaxConstraints = 64
+
+// ErrBadRequest is the sentinel wrapped by every DecodeAllocRequest
+// failure caused by body content (as opposed to transport I/O), so the
+// daemon can map the whole class to one HTTP status.
+var ErrBadRequest = errors.New("wire: invalid request")
+
+// ConstraintJSON is one requested QoS attribute on the wire.
+type ConstraintJSON struct {
+	ID     uint16  `json:"id"`
+	Value  uint16  `json:"value"`
+	Weight float64 `json:"weight,omitempty"`
+}
+
+// AllocRequest is the body of POST /v1/retrieve and /v1/allocate. The
+// allocate-only fields (App, Priority, HoldUS) are ignored by the
+// retrieve endpoint.
+type AllocRequest struct {
+	// Client keys the admission rate limiter. Required.
+	Client string `json:"client"`
+	// Type is the requested function type.
+	Type uint16 `json:"type"`
+	// Constraints is the QoS attribute list. Required, deduplicated,
+	// weights in [0,1]; the daemon normalizes weights before scoring.
+	Constraints []ConstraintJSON `json:"constraints"`
+	// App names the owning application for /v1/allocate.
+	App string `json:"app,omitempty"`
+	// Priority is the allocation base priority for /v1/allocate.
+	Priority int `json:"priority,omitempty"`
+	// HoldUS asks the daemon to auto-release the placed task after this
+	// much sim time (0 = caller releases explicitly).
+	HoldUS uint64 `json:"hold_us,omitempty"`
+}
+
+// DecodeAllocRequest reads one strict AllocRequest from r: unknown
+// fields, trailing data, and semantic violations (empty client, no or
+// duplicate constraints, weights outside [0,1], negative priority) all
+// fail with an error wrapping ErrBadRequest. On success the request is
+// safe to convert with Request().
+func DecodeAllocRequest(r io.Reader) (*AllocRequest, error) {
+	dec := json.NewDecoder(io.LimitReader(r, MaxRequestBytes))
+	dec.DisallowUnknownFields()
+	var req AllocRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("%w: trailing data after request object", ErrBadRequest)
+	}
+	if err := req.validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return &req, nil
+}
+
+func (a *AllocRequest) validate() error {
+	if a.Client == "" {
+		return errors.New("missing client")
+	}
+	if len(a.Constraints) == 0 {
+		return errors.New("no constraints")
+	}
+	if len(a.Constraints) > MaxConstraints {
+		return fmt.Errorf("%d constraints exceeds the limit of %d", len(a.Constraints), MaxConstraints)
+	}
+	seen := make(map[uint16]bool, len(a.Constraints))
+	for _, c := range a.Constraints {
+		if seen[c.ID] {
+			return fmt.Errorf("duplicate constraint on attribute %d", c.ID)
+		}
+		seen[c.ID] = true
+		if c.Weight < 0 || c.Weight > 1 {
+			return fmt.Errorf("constraint %d weight %v outside [0,1]", c.ID, c.Weight)
+		}
+	}
+	if a.Priority < 0 {
+		return fmt.Errorf("negative priority %d", a.Priority)
+	}
+	return nil
+}
+
+// Request converts a decoded request to the engine shape: constraints
+// sorted by attribute ID, weights normalized to sum to 1 (equal
+// weights when none were given).
+func (a *AllocRequest) Request() casebase.Request {
+	cs := make([]casebase.Constraint, 0, len(a.Constraints))
+	for _, c := range a.Constraints {
+		cs = append(cs, casebase.Constraint{
+			ID: attr.ID(c.ID), Value: attr.Value(c.Value), Weight: c.Weight,
+		})
+	}
+	return casebase.NewRequest(casebase.TypeID(a.Type), cs...).NormalizeWeights()
+}
+
+// RetrieveResponse is the body of a successful /v1/retrieve.
+type RetrieveResponse struct {
+	Type       uint16  `json:"type"`
+	Impl       uint16  `json:"impl"`
+	Target     string  `json:"target"`
+	Name       string  `json:"name,omitempty"`
+	Similarity float64 `json:"similarity"`
+}
+
+// AllocResponse is the body of a successful /v1/allocate.
+type AllocResponse struct {
+	Task       int     `json:"task"`
+	Type       uint16  `json:"type"`
+	Impl       uint16  `json:"impl"`
+	Target     string  `json:"target"`
+	Device     string  `json:"device"`
+	Similarity float64 `json:"similarity"`
+	ReadyAtUS  uint64  `json:"ready_at_us"`
+	ViaToken   bool    `json:"via_token,omitempty"`
+	Degraded   bool    `json:"degraded,omitempty"`
+}
+
+// ReleaseRequest is the body of POST /v1/release.
+type ReleaseRequest struct {
+	Client string `json:"client"`
+	Task   int    `json:"task"`
+}
+
+// ErrorResponse is the body of every non-2xx qosd reply. Code is a
+// stable machine-readable slug (see the Code* constants); RetryAfterUS
+// carries the typed hint in sim microseconds when the error class has
+// one (it also surfaces as an HTTP Retry-After header, rounded up to
+// whole seconds).
+type ErrorResponse struct {
+	Code         string `json:"code"`
+	Error        string `json:"error"`
+	RetryAfterUS uint64 `json:"retry_after_us,omitempty"`
+}
+
+// Stable ErrorResponse.Code slugs.
+const (
+	CodeBadRequest  = "bad_request"  // 400: DecodeAllocRequest refused the body
+	CodeNoMatch     = "no_match"     // 404: retrieval found no variant
+	CodeNoFeasible  = "no_feasible"  // 409: allocation found no feasible placement
+	CodeRateLimited = "rate_limited" // 429: client token bucket empty
+	CodeOverload    = "overload"     // 429: shard queue full (serve.ErrOverload)
+	CodeBreakerOpen = "breaker_open" // 503: shard circuit breaker open
+	CodeDraining    = "draining"     // 503: daemon is draining for shutdown
+	CodeDeadline    = "deadline"     // 504: request context expired in serve
+	CodeInternal    = "internal"     // 500: anything unclassified
+	CodeUnknownTask = "unknown_task" // 404: release of a task the runtime doesn't know
+)

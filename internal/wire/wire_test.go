@@ -1,0 +1,158 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+const goodReq = `{
+  "client": "c1",
+  "type": 1,
+  "constraints": [
+    {"id": 3, "value": 16, "weight": 0.5},
+    {"id": 1, "value": 8, "weight": 0.5}
+  ],
+  "app": "radio",
+  "priority": 5,
+  "hold_us": 100
+}`
+
+func TestDecodeAllocRequestGood(t *testing.T) {
+	req, err := DecodeAllocRequest(strings.NewReader(goodReq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Client != "c1" || req.Type != 1 || req.App != "radio" || req.Priority != 5 || req.HoldUS != 100 {
+		t.Fatalf("decoded %+v", req)
+	}
+	cr := req.Request()
+	if cr.Type != 1 || len(cr.Constraints) != 2 {
+		t.Fatalf("Request() = %+v", cr)
+	}
+	// NewRequest sorts by attribute ID; weights stay normalized.
+	if cr.Constraints[0].ID != 1 || cr.Constraints[1].ID != 3 {
+		t.Fatalf("constraints not sorted: %+v", cr.Constraints)
+	}
+	if w := cr.Constraints[0].Weight + cr.Constraints[1].Weight; w < 0.999 || w > 1.001 {
+		t.Fatalf("weights sum to %v, want 1", w)
+	}
+}
+
+func TestDecodeAllocRequestEqualWeightsWhenUnspecified(t *testing.T) {
+	req, err := DecodeAllocRequest(strings.NewReader(
+		`{"client":"c","type":1,"constraints":[{"id":1,"value":2},{"id":2,"value":3}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := req.Request()
+	for i, c := range cr.Constraints {
+		if c.Weight < 0.499 || c.Weight > 0.501 {
+			t.Fatalf("constraint %d weight %v, want 0.5", i, c.Weight)
+		}
+	}
+}
+
+func TestDecodeAllocRequestRejections(t *testing.T) {
+	cases := map[string]string{
+		"empty body":        ``,
+		"not json":          `{`,
+		"null":              `null is trailing`,
+		"unknown field":     `{"client":"c","type":1,"constraints":[{"id":1,"value":2}],"bogus":true}`,
+		"trailing data":     `{"client":"c","type":1,"constraints":[{"id":1,"value":2}]} {"again":1}`,
+		"missing client":    `{"type":1,"constraints":[{"id":1,"value":2}]}`,
+		"no constraints":    `{"client":"c","type":1,"constraints":[]}`,
+		"dup constraint":    `{"client":"c","type":1,"constraints":[{"id":1,"value":2},{"id":1,"value":3}]}`,
+		"weight above one":  `{"client":"c","type":1,"constraints":[{"id":1,"value":2,"weight":1.5}]}`,
+		"negative weight":   `{"client":"c","type":1,"constraints":[{"id":1,"value":2,"weight":-0.1}]}`,
+		"negative priority": `{"client":"c","type":1,"constraints":[{"id":1,"value":2}],"priority":-1}`,
+	}
+	for name, body := range cases {
+		got, err := DecodeAllocRequest(strings.NewReader(body))
+		if err == nil {
+			t.Errorf("%s: decoded %+v, want error", name, got)
+			continue
+		}
+		if !errors.Is(err, ErrBadRequest) {
+			t.Errorf("%s: error %v does not wrap ErrBadRequest", name, err)
+		}
+		if got != nil {
+			t.Errorf("%s: returned both a request and an error", name)
+		}
+	}
+}
+
+func TestDecodeAllocRequestTooManyConstraints(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString(`{"client":"c","type":1,"constraints":[`)
+	for i := 0; i <= MaxConstraints; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `{"id":%d,"value":1}`, i)
+	}
+	sb.WriteString(`]}`)
+	if _, err := DecodeAllocRequest(strings.NewReader(sb.String())); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("oversized constraint list: %v, want ErrBadRequest", err)
+	}
+}
+
+func validReport() *BenchReport {
+	return &BenchReport{
+		Version: BenchVersion, Scenario: "zipf", Mode: "lockstep",
+		Seed: 42, Requests: 100, Clients: 8, RatePerSec: 500,
+		OK: 90, Shed: 6, Rejected: 3, Failed: 1,
+		BreakerTrip: 2, ThroughputRPS: 480.5, ShedRate: 0.06,
+		LatencyUS:   BenchQuantiles{P50: 120, P95: 300, P99: 450, Max: 900},
+		OutcomeHash: "fnv64a:deadbeef",
+	}
+}
+
+func TestBenchReportRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeBenchReport(&buf, validReport()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeBenchReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *back != *validReport() {
+		t.Fatalf("round trip changed the report:\n got %+v\nwant %+v", back, validReport())
+	}
+}
+
+func TestBenchReportValidateRejections(t *testing.T) {
+	mutate := map[string]func(*BenchReport){
+		"bad version":         func(b *BenchReport) { b.Version = 99 },
+		"empty scenario":      func(b *BenchReport) { b.Scenario = "" },
+		"bad mode":            func(b *BenchReport) { b.Mode = "closed" },
+		"zero requests":       func(b *BenchReport) { b.Requests = 0 },
+		"zero clients":        func(b *BenchReport) { b.Clients = 0 },
+		"outcomes mismatch":   func(b *BenchReport) { b.OK-- },
+		"negative outcome":    func(b *BenchReport) { b.Shed = -1; b.OK += 7 },
+		"shed rate range":     func(b *BenchReport) { b.ShedRate = 1.5 },
+		"quantile disorder":   func(b *BenchReport) { b.LatencyUS.P95 = 10 },
+		"missing hash":        func(b *BenchReport) { b.OutcomeHash = "" },
+		"negative throughput": func(b *BenchReport) { b.ThroughputRPS = -1 },
+	}
+	for name, fn := range mutate {
+		b := validReport()
+		fn(b)
+		if err := b.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, b)
+		}
+		var buf bytes.Buffer
+		if err := EncodeBenchReport(&buf, b); !errors.Is(err, ErrBadReport) {
+			t.Errorf("%s: Encode = %v, want ErrBadReport", name, err)
+		}
+	}
+}
+
+func TestDecodeBenchReportStrict(t *testing.T) {
+	if _, err := DecodeBenchReport(strings.NewReader(`{"version":1,"bogus":true}`)); !errors.Is(err, ErrBadReport) {
+		t.Fatalf("unknown field: %v, want ErrBadReport", err)
+	}
+}

@@ -137,6 +137,13 @@ type (
 var (
 	// ErrServiceClosed reports calls into a closed Service.
 	ErrServiceClosed = serve.ErrClosed
+	// ErrServiceDraining reports calls into a Service whose graceful
+	// shutdown has begun: admission is closed but queued work is still
+	// being flushed. It wraps ErrServiceClosed, so existing
+	// errors.Is(err, ErrServiceClosed) checks keep rejecting, while a
+	// front end can distinguish drain (retry another replica soon) via
+	// errors.Is(err, ErrServiceDraining).
+	ErrServiceDraining = serve.ErrDraining
 	// ErrCanceled marks retrievals abandoned because the caller's
 	// context died; errors.Is(err, ErrCanceled) and context.Cause both
 	// work on it.

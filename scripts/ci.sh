@@ -24,3 +24,8 @@ go doc -all . | diff -u api.txt - || {
 	echo "api.txt is stale: exported API changed; run 'make api' and commit" >&2
 	exit 1
 }
+# qosd/qosload end-to-end smoke: scenario reports validate against the
+# wire schema, lockstep replay is outcome-identical, SIGTERM drains
+# cleanly. Writes its reports to a temp dir (the committed
+# BENCH_qosd_*.json are refreshed deliberately with loadcheck.sh .).
+scripts/loadcheck.sh
