@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet qosvet lint test race bench bench-smoke fuzz api api-check loadcheck ci
+.PHONY: all build vet qosvet lint test race bench bench-smoke bench-compact fuzz api api-check loadcheck ci
 
 all: ci
 
@@ -37,6 +37,13 @@ bench:
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
+# Compacted-vs-uncompacted retrieval gate: measures both kernels at
+# paper scale and fails if the block-compacted path is slower than the
+# pointer-walking baseline. `make bench-compact OUT=BENCH_compact_retrieval.json`
+# refreshes the committed report.
+bench-compact:
+	QOS_BENCH_COMPACT=1 QOS_BENCH_OUT=$(OUT) $(GO) test -run TestCompactRetrievalSpeedup -count=1 -v .
+
 # Short fuzz pass over the decoder; lengthen FUZZTIME for a real hunt.
 FUZZTIME ?= 30s
 fuzz:
@@ -58,4 +65,4 @@ OUT ?=
 loadcheck:
 	scripts/loadcheck.sh $(OUT)
 
-ci: build vet lint race bench-smoke api-check loadcheck
+ci: build vet lint race bench-smoke bench-compact api-check loadcheck

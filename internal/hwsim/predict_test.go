@@ -1,0 +1,147 @@
+package hwsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"qosalloc/internal/attr"
+	"qosalloc/internal/casebase"
+	"qosalloc/internal/memlist"
+	"qosalloc/internal/workload"
+)
+
+// TestPredictGoldenMinimal pins the predictor to the golden FSM
+// sequence: the minimal case base costs exactly 25 base cycles (the
+// TestGoldenStateSequence trace) and 12 compact cycles.
+func TestPredictGoldenMinimal(t *testing.T) {
+	reg := attr.NewRegistry()
+	reg.MustDefine(attr.Def{ID: 1, Name: "a", Lo: 0, Hi: 10})
+	b := casebase.NewBuilder(reg)
+	b.AddType(1, "t")
+	b.AddImpl(1, casebase.Implementation{ID: 1, Attrs: []attr.Pair{{ID: 1, Value: 5}}})
+	cb, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := casebase.NewRequest(1, casebase.Constraint{ID: 1, Value: 5}).EqualWeights()
+	cc, err := memlist.CompactFromCaseBase(cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := PredictCycles(cc, req, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Total != 25 {
+		t.Errorf("predicted base total = %d, want 25 (golden trace)", base.Total)
+	}
+	comp, err := PredictCycles(cc, req, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Total != 12 {
+		t.Errorf("predicted compact total = %d, want 12", comp.Total)
+	}
+	if base.Shared != comp.Shared {
+		t.Errorf("shared share differs between modes: %d vs %d", base.Shared, comp.Shared)
+	}
+}
+
+// TestPredictMatchesSimulator is the tentpole's hardware gate: across
+// randomized case bases, the cycle count derived from the compacted
+// encoding must equal the simulated unit's measured cycles exactly —
+// for both fetch modes — and the fetch shares must satisfy the paper's
+// factor-2 claim (§5) on every instance, not just on average.
+func TestPredictMatchesSimulator(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 80; trial++ {
+		cb, reg := randomCaseBase(r, 1+r.Intn(4), 1+r.Intn(8), 1+r.Intn(6), 8)
+		req := randomRequest(r, cb, reg, 1+r.Intn(5))
+		cc, err := memlist.CompactFromCaseBase(cb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pred [2]CyclePrediction
+		for mi, compact := range []bool{false, true} {
+			p, err := PredictCycles(cc, req, compact)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pred[mi] = p
+			if p.Total != p.Fetch+p.Shared {
+				t.Fatalf("trial %d: prediction shares do not sum", trial)
+			}
+			res, err := Retrieve(cb, req, Config{Compact: compact})
+			if err != nil {
+				t.Fatalf("trial %d compact=%v: %v", trial, compact, err)
+			}
+			if res.Cycles != p.Total {
+				t.Fatalf("trial %d compact=%v: simulated %d cycles, predicted %d",
+					trial, compact, res.Cycles, p.Total)
+			}
+		}
+		if pred[0].Shared != pred[1].Shared {
+			t.Fatalf("trial %d: shared share differs between modes: %d vs %d",
+				trial, pred[0].Shared, pred[1].Shared)
+		}
+		if pred[0].Fetch < 2*pred[1].Fetch {
+			t.Fatalf("trial %d: fetch share %d is not ≥ 2× the compacted %d — §5 claim violated",
+				trial, pred[0].Fetch, pred[1].Fetch)
+		}
+	}
+}
+
+// TestPredictPaperScaleTwoX measures the §5 claim at the Table 3
+// capacity point (15 types × 10 impls × 10 attrs): the memory-fetch
+// share must compact by at least 2×, and because fetches dominate at
+// scale, the end-to-end cycle count must land near the paper's
+// projected overall ~2× as well.
+func TestPredictPaperScaleTwoX(t *testing.T) {
+	cb, reg, err := workload.GenCaseBase(workload.PaperScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := memlist.CompactFromCaseBase(cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := workload.GenRequests(cb, reg, workload.RequestStreamSpec{N: 32, ConstraintsPer: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baseTotal, compTotal, baseFetch, compFetch uint64
+	for _, req := range reqs {
+		pb, err := PredictCycles(cc, req, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc, err := PredictCycles(cc, req, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Spot-check the prediction against the simulator on the
+		// stream's head; simulating all 32 at paper scale is slow.
+		baseTotal += pb.Total
+		compTotal += pc.Total
+		baseFetch += pb.Fetch
+		compFetch += pc.Fetch
+	}
+	res, err := Retrieve(cb, reqs[0], Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb0, _ := PredictCycles(cc, reqs[0], false)
+	if res.Cycles != pb0.Total {
+		t.Fatalf("paper-scale spot check: simulated %d, predicted %d", res.Cycles, pb0.Total)
+	}
+	fetchRatio := float64(baseFetch) / float64(compFetch)
+	totalRatio := float64(baseTotal) / float64(compTotal)
+	t.Logf("paper scale over %d requests: fetch %.2fx, end-to-end %.2fx (%d → %d cycles)",
+		len(reqs), fetchRatio, totalRatio, baseTotal, compTotal)
+	if fetchRatio < 2.0 {
+		t.Errorf("fetch-share compaction %.2fx < 2.0x: §5 claim fails on the new encoding", fetchRatio)
+	}
+	if totalRatio < 1.8 {
+		t.Errorf("end-to-end compaction %.2fx below the paper's projected ~2x", totalRatio)
+	}
+}

@@ -1,0 +1,242 @@
+package memlist
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"qosalloc/internal/casebase"
+	"qosalloc/internal/workload"
+)
+
+func compactSpec(seed int64) workload.CaseBaseSpec {
+	return workload.CaseBaseSpec{
+		Types: 5, ImplsPerType: 4, AttrsPerImpl: 6, AttrUniverse: 9, Seed: seed,
+	}
+}
+
+func mustCompact(t *testing.T, cb *casebase.CaseBase) *CompactCaseBase {
+	t.Helper()
+	cc, err := CompactFromCaseBase(cb)
+	if err != nil {
+		t.Fatalf("CompactFromCaseBase: %v", err)
+	}
+	return cc
+}
+
+// TestCompactFromImagesMatchesCaseBase asserts the migration path from
+// serialized fig. 4/5 images produces exactly the structure the direct
+// case-base builder produces — the Encode→Compact→Decode round-trip
+// property of the issue, on random case bases.
+func TestCompactFromImagesMatchesCaseBase(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		cb, reg, err := workload.GenCaseBase(compactSpec(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct := mustCompact(t, cb)
+		tree, err := EncodeTree(cb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		supp := EncodeSupplemental(reg)
+		viaImages, err := CompactFromImages(tree, supp)
+		if err != nil {
+			t.Fatalf("seed %d: CompactFromImages: %v", seed, err)
+		}
+		if !reflect.DeepEqual(direct, viaImages) {
+			t.Fatalf("seed %d: compact via images differs from compact via case base", seed)
+		}
+	}
+}
+
+// TestCompactEncodeDecodeRoundTrip asserts EncodeCompact/DecodeCompact
+// are exact inverses, at the struct level and at the byte level.
+func TestCompactEncodeDecodeRoundTrip(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		cb, _, err := workload.GenCaseBase(compactSpec(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cc := mustCompact(t, cb)
+		im, err := cc.EncodeCompact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(im.Words) != cc.Words() {
+			t.Fatalf("seed %d: image is %d words, Words() says %d", seed, len(im.Words), cc.Words())
+		}
+		back, err := DecodeCompact(im)
+		if err != nil {
+			t.Fatalf("seed %d: DecodeCompact: %v", seed, err)
+		}
+		if !reflect.DeepEqual(cc, back) {
+			t.Fatalf("seed %d: decode(encode(cc)) != cc", seed)
+		}
+		// Byte round-trip through the serialization used for BRAM
+		// initialization files.
+		im2, err := FromBytes(im.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		re, err := back.EncodeCompact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(im2.Bytes(), re.Bytes()) {
+			t.Fatalf("seed %d: re-encoded bytes differ", seed)
+		}
+	}
+}
+
+// TestCompactWordsClosedForm checks the closed-form size predictions
+// against the encoder, word for word, for the regular shapes Table 3
+// prices.
+func TestCompactWordsClosedForm(t *testing.T) {
+	shapes := []workload.CaseBaseSpec{
+		{Types: 1, ImplsPerType: 1, AttrsPerImpl: 1, AttrUniverse: 1, Seed: 1},
+		{Types: 3, ImplsPerType: 2, AttrsPerImpl: 4, AttrUniverse: 4, Seed: 2},
+		{Types: 15, ImplsPerType: 10, AttrsPerImpl: 10, AttrUniverse: 10, Seed: 3},
+	}
+	for _, spec := range shapes {
+		cb, _, err := workload.GenCaseBase(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cc := mustCompact(t, cb)
+		im, err := cc.EncodeCompact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := CompactWords(spec.Types, spec.ImplsPerType, spec.AttrsPerImpl, spec.AttrUniverse)
+		if len(im.Words) != want {
+			t.Fatalf("%+v: encoded %d words, CompactWords predicts %d", spec, len(im.Words), want)
+		}
+	}
+}
+
+// TestCompactReportPaperScale records the Table 3 footprint delta at the
+// paper's capacity point: the compacted layout must be strictly smaller
+// than tree+supplemental because extents replace per-impl pointers and
+// per-list terminators.
+func TestCompactReportPaperScale(t *testing.T) {
+	r := CompactReport(15, 10, 10, 10)
+	if r.UncompactedWords != TreeWords(15, 10, 10)+SupplementalWords(10) {
+		t.Fatalf("uncompacted = %d", r.UncompactedWords)
+	}
+	if r.CompactWords >= r.UncompactedWords {
+		t.Fatalf("compact layout (%d words) not smaller than uncompacted (%d words)",
+			r.CompactWords, r.UncompactedWords)
+	}
+	if r.SavedWords != r.UncompactedWords-r.CompactWords {
+		t.Fatalf("SavedWords = %d", r.SavedWords)
+	}
+	if r.SavedFraction <= 0 {
+		t.Fatalf("SavedFraction = %v", r.SavedFraction)
+	}
+	t.Logf("Table 3 delta at 15×10×10: uncompacted %d words, compact %d words, saved %d (%.1f%%)",
+		r.UncompactedWords, r.CompactWords, r.SavedWords, 100*r.SavedFraction)
+}
+
+// validCompactImage builds a small hand-checkable compacted image:
+// 2 types, 3 impls, 4 attribute pairs, 2 supplemental entries.
+func validCompactImage(t *testing.T) *Image {
+	t.Helper()
+	cc := &CompactCaseBase{
+		TypeIDs:   []uint16{1, 4},
+		ImplOff:   []uint16{0, 2, 3},
+		ImplIDs:   []uint16{10, 11, 12},
+		AttrOff:   []uint16{0, 2, 3, 4},
+		AttrIDs:   []uint16{1, 2, 1, 2},
+		AttrVals:  []uint16{7, 9, 8, 3},
+		SuppIDs:   []uint16{1, 2},
+		SuppLo:    []uint16{0, 0},
+		SuppHi:    []uint16{100, 50},
+		SuppRecip: []uint16{648, 1285},
+	}
+	im, err := cc.EncodeCompact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+// TestDecodeCompactRejectsCorrupt drives DecodeCompact through every
+// rejection class by corrupting single words of a valid image.
+func TestDecodeCompactRejectsCorrupt(t *testing.T) {
+	base := validCompactImage(t)
+	if _, err := DecodeCompact(base); err != nil {
+		t.Fatalf("valid image rejected: %v", err)
+	}
+	// Word addresses inside the valid image, for targeted corruption.
+	// header 0..5, TypeIDs 6..7, ImplOff 8..10, ImplIDs 11..13,
+	// AttrOff 14..17, AttrIDs 18..21, AttrVals 22..25, SuppIDs 26..27,
+	// SuppLo 28..29, SuppHi 30..31, SuppRecip 32..33, End 34.
+	cases := []struct {
+		name string
+		addr int
+		word uint16
+	}{
+		{"bad magic", 0, 0x1234},
+		{"bad version", 1, 2},
+		{"count changes shape", 2, 3},
+		{"missing terminator", 34, 5},
+		{"reserved type ID", 6, 0xFFFF},
+		{"zero type ID", 6, 0},
+		{"type IDs not ascending", 7, 1},
+		{"impl extents nonzero start", 8, 1},
+		{"impl extents decrease", 9, 5},
+		{"impl extents open", 10, 2},
+		{"reserved impl ID", 11, 0xFFFF},
+		{"impl IDs not ascending", 12, 10},
+		{"attr extents open", 17, 3},
+		{"reserved attr ID", 18, 0xFFFF},
+		{"attr IDs not ascending", 19, 1},
+		{"reserved supp ID", 26, 0xFFFF},
+		{"supp IDs not ascending", 27, 1},
+	}
+	for _, tc := range cases {
+		im := &Image{Words: append([]uint16(nil), base.Words...)}
+		im.Words[tc.addr] = tc.word
+		if _, err := DecodeCompact(im); err == nil {
+			t.Errorf("%s: decoded without error", tc.name)
+		}
+	}
+	// Truncation and padding must both fail the exact-length check.
+	trunc := &Image{Words: base.Words[:len(base.Words)-1]}
+	if _, err := DecodeCompact(trunc); err == nil {
+		t.Error("truncated image decoded without error")
+	}
+	padded := &Image{Words: append(append([]uint16(nil), base.Words...), EndMarker)}
+	if _, err := DecodeCompact(padded); err == nil {
+		t.Error("padded image decoded without error")
+	}
+	short := &Image{Words: []uint16{CompactMagic, CompactVersion}}
+	if _, err := DecodeCompact(short); err == nil {
+		t.Error("header-less image decoded without error")
+	}
+}
+
+// TestCompactBuilderRejectsMalformed covers the builder-side check()
+// paths that no encoder output can reach but hand-built structures can.
+func TestCompactBuilderRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*CompactCaseBase)
+	}{
+		{"misaligned attr values", func(cc *CompactCaseBase) { cc.AttrVals = cc.AttrVals[:1] }},
+		{"misaligned supplemental", func(cc *CompactCaseBase) { cc.SuppRecip = cc.SuppRecip[:1] }},
+		{"extents wrong length", func(cc *CompactCaseBase) { cc.ImplOff = cc.ImplOff[:2] }},
+	}
+	for _, tc := range cases {
+		cb, _, err := workload.GenCaseBase(compactSpec(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cc := mustCompact(t, cb)
+		tc.mutate(cc)
+		if _, err := cc.EncodeCompact(); err == nil {
+			t.Errorf("%s: encoded without error", tc.name)
+		}
+	}
+}

@@ -130,6 +130,11 @@ type DecodedRequest struct {
 }
 
 // DecodeRequest parses a request image, validating layout invariants.
+// It enforces exactly the domain EncodeRequest emits: attribute IDs in
+// [1, 0xFFFE] (0xFFFF is reserved, 0 is the terminator), strictly
+// ascending blocks, and an explicit in-bounds EndMarker — a truncated
+// image (e.g. untrusted bytes via FromBytes) fails loudly instead of
+// decoding "successfully" off the zero-padded bus that Image.At models.
 func DecodeRequest(im *Image) (DecodedRequest, error) {
 	var out DecodedRequest
 	if len(im.Words) < 2 {
@@ -142,9 +147,15 @@ func DecodeRequest(im *Image) (DecodedRequest, error) {
 	a := 1
 	prev := uint16(0)
 	for {
-		id := im.At(a)
+		if a >= len(im.Words) {
+			return out, fmt.Errorf("memlist: request image missing terminator (ends at word %d)", a)
+		}
+		id := im.Words[a]
 		if id == EndMarker {
 			break
+		}
+		if id == 0xFFFF {
+			return out, fmt.Errorf("memlist: reserved attribute ID 0xFFFF at word %d", a)
 		}
 		if a+2 >= len(im.Words) {
 			return out, fmt.Errorf("memlist: truncated constraint block at word %d", a)
@@ -186,15 +197,23 @@ type SupplementalEntry struct {
 	Recip  fixed.UQ16
 }
 
-// DecodeSupplemental parses a supplemental image.
+// DecodeSupplemental parses a supplemental image. Like DecodeRequest it
+// enforces the encoder's domain: IDs in [1, 0xFFFE], strictly ascending
+// blocks, and an explicit in-bounds EndMarker.
 func DecodeSupplemental(im *Image) ([]SupplementalEntry, error) {
 	var out []SupplementalEntry
 	a := 0
 	prev := uint16(0)
 	for {
-		id := im.At(a)
+		if a >= len(im.Words) {
+			return nil, fmt.Errorf("memlist: supplemental image missing terminator (ends at word %d)", a)
+		}
+		id := im.Words[a]
 		if id == EndMarker {
 			break
+		}
+		if id == 0xFFFF {
+			return nil, fmt.Errorf("memlist: reserved attribute ID 0xFFFF at word %d", a)
 		}
 		if a+3 >= len(im.Words) {
 			return nil, fmt.Errorf("memlist: truncated supplemental block at word %d", a)

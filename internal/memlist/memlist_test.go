@@ -284,6 +284,74 @@ func TestDecodeRejectsCorruptImages(t *testing.T) {
 	}
 }
 
+// TestDecodeRejectsReservedIDs pins the decoder half of the ID-domain
+// contract: EncodeRequest rejects the reserved attribute ID 0xFFFF, and
+// the decoders must enforce the same [1, 0xFFFE] domain — for request
+// and supplemental (and tree) images alike — instead of accepting words
+// the encoder could never have emitted.
+func TestDecodeRejectsReservedIDs(t *testing.T) {
+	// Request with the reserved attribute ID 0xFFFF.
+	req := &Image{Words: []uint16{1, 0xFFFF, 16, 0x2AAA, EndMarker}}
+	if _, err := DecodeRequest(req); err == nil {
+		t.Error("request attribute ID 0xFFFF must be rejected")
+	}
+	// Supplemental with the reserved attribute ID 0xFFFF.
+	supp := &Image{Words: []uint16{0xFFFF, 0, 1, 9, EndMarker}}
+	if _, err := DecodeSupplemental(supp); err == nil {
+		t.Error("supplemental attribute ID 0xFFFF must be rejected")
+	}
+	// Tree with reserved type / impl / attr IDs.
+	if _, err := DecodeTree(&Image{Words: []uint16{0xFFFF, 2, EndMarker}}); err == nil {
+		t.Error("tree type ID 0xFFFF must be rejected")
+	}
+	if _, err := DecodeTree(&Image{Words: []uint16{1, 3, EndMarker, 0xFFFF, 6, EndMarker, EndMarker}}); err == nil {
+		t.Error("tree impl ID 0xFFFF must be rejected")
+	}
+	if _, err := DecodeTree(&Image{Words: []uint16{1, 3, EndMarker, 5, 6, EndMarker, 0xFFFF, 7, EndMarker}}); err == nil {
+		t.Error("tree attribute ID 0xFFFF must be rejected")
+	}
+}
+
+// TestDecodeRequiresExplicitTerminator pins the truncation contract:
+// images that simply run out of words where the terminator belongs must
+// fail to decode, even though Image.At would read the missing word as
+// 0x0000 off the zero-padded bus. Untrusted input via FromBytes relies
+// on this failing loudly.
+func TestDecodeRequiresExplicitTerminator(t *testing.T) {
+	// Complete constraint block, missing trailing EndMarker.
+	req := &Image{Words: []uint16{1, 4, 16, 0x2AAA}}
+	if _, err := DecodeRequest(req); err == nil {
+		t.Error("request image without terminator must error")
+	}
+	// Complete supplemental block, missing trailing EndMarker.
+	supp := &Image{Words: []uint16{4, 0, 1, 9}}
+	if _, err := DecodeSupplemental(supp); err == nil {
+		t.Error("supplemental image without terminator must error")
+	}
+	// Empty supplemental image: not even the terminator.
+	if _, err := DecodeSupplemental(&Image{}); err == nil {
+		t.Error("empty supplemental image must error")
+	}
+	// Tree whose attribute list runs off the end without terminating.
+	tree := &Image{Words: []uint16{1, 3, EndMarker, 5, 6, EndMarker, 2, 7}}
+	if _, err := DecodeTree(tree); err == nil {
+		t.Error("tree image without attr-list terminator must error")
+	}
+	// The truncation must be detected via serialized round trips too:
+	// chop the last word (the terminator) off a valid request image.
+	im, err := EncodeRequest(casebase.PaperRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	chopped, err := FromBytes(im.Bytes()[:len(im.Bytes())-2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeRequest(chopped); err == nil {
+		t.Error("request truncated through FromBytes must error")
+	}
+}
+
 // TestTreeRoundTripProperty: for arbitrary generated case-base shapes,
 // Encode∘Decode is the identity on the hierarchy.
 func TestTreeRoundTripProperty(t *testing.T) {

@@ -94,14 +94,24 @@ type DecodedType struct {
 // DecodeTree parses a tree image back into its hierarchy, validating
 // pointers and sort order. It is the verification inverse of EncodeTree
 // and doubles as the reference reader for debugging hardware traces.
+// Every local list must close with an explicit in-bounds EndMarker and
+// every ID must lie in [1, 0xFFFE] — the domain EncodeTree emits — so a
+// truncated or corrupt image never decodes by accident off the
+// zero-padded bus semantics of Image.At.
 func DecodeTree(im *Image) ([]DecodedType, error) {
 	var out []DecodedType
 	a := 0
 	prevType := uint16(0)
 	for {
-		tid := im.At(a)
+		if a >= len(im.Words) {
+			return nil, fmt.Errorf("memlist: type list missing terminator (ends at word %d)", a)
+		}
+		tid := im.Words[a]
 		if tid == EndMarker {
 			break
+		}
+		if tid == 0xFFFF {
+			return nil, fmt.Errorf("memlist: reserved type ID 0xFFFF at word %d", a)
 		}
 		if a+1 >= len(im.Words) {
 			return nil, fmt.Errorf("memlist: truncated type entry at word %d", a)
@@ -118,9 +128,15 @@ func DecodeTree(im *Image) ([]DecodedType, error) {
 		b := implPtr
 		prevImpl := uint16(0)
 		for {
-			iid := im.At(b)
+			if b >= len(im.Words) {
+				return nil, fmt.Errorf("memlist: impl list missing terminator (ends at word %d)", b)
+			}
+			iid := im.Words[b]
 			if iid == EndMarker {
 				break
+			}
+			if iid == 0xFFFF {
+				return nil, fmt.Errorf("memlist: reserved impl ID 0xFFFF at word %d", b)
 			}
 			if b+1 >= len(im.Words) {
 				return nil, fmt.Errorf("memlist: truncated impl entry at word %d", b)
@@ -137,9 +153,15 @@ func DecodeTree(im *Image) ([]DecodedType, error) {
 			c := attrPtr
 			prevAttr := uint16(0)
 			for {
-				aid := im.At(c)
+				if c >= len(im.Words) {
+					return nil, fmt.Errorf("memlist: attr list missing terminator (ends at word %d)", c)
+				}
+				aid := im.Words[c]
 				if aid == EndMarker {
 					break
+				}
+				if aid == 0xFFFF {
+					return nil, fmt.Errorf("memlist: reserved attribute ID 0xFFFF at word %d", c)
 				}
 				if c+1 >= len(im.Words) {
 					return nil, fmt.Errorf("memlist: truncated attr entry at word %d", c)

@@ -1,0 +1,204 @@
+package retrieval
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"qosalloc/internal/casebase"
+	"qosalloc/internal/workload"
+)
+
+// unsortRequest reverses the constraint order, bypassing the sorting
+// NewRequest applies, to exercise the kernel's non-merge fallback.
+// Validate still accepts such requests, so the engines must agree on
+// them too.
+func unsortRequest(req casebase.Request) casebase.Request {
+	out := casebase.Request{Type: req.Type}
+	for i := len(req.Constraints) - 1; i >= 0; i-- {
+		out.Constraints = append(out.Constraints, req.Constraints[i])
+	}
+	return out
+}
+
+// TestCompactMatchesFixedBitIdentical is the tentpole gate on the
+// software side: across randomized case bases and requests — sorted and
+// unsorted constraint orders alike — the compacted kernel must return
+// exactly the FixedEngine result, bit for bit: same implementation,
+// same Q15 similarity, same n-best ranking.
+func TestCompactMatchesFixedBitIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	const trials = 300
+	for trial := 0; trial < trials; trial++ {
+		cb, reg := randomCaseBase(r, 3, 8, 5, 10)
+		fe := NewFixedEngine(cb)
+		ce, err := NewCompactEngine(cb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req := randomRequest(r, cb, reg, 1+r.Intn(5))
+		for _, rq := range []casebase.Request{req, unsortRequest(req)} {
+			fbest, err := fe.Retrieve(rq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cbest, err := ce.Retrieve(rq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fbest != cbest {
+				t.Fatalf("trial %d: fixed %+v, compact %+v", trial, fbest, cbest)
+			}
+			fn, err := fe.RetrieveN(rq, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cn, err := ce.RetrieveN(rq, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(fn, cn) {
+				t.Fatalf("trial %d: n-best diverges:\nfixed   %+v\ncompact %+v", trial, fn, cn)
+			}
+		}
+	}
+}
+
+// TestCompactScoreTypeMatchesFixedScores pins the per-implementation
+// Q15 column, not just the winner: every score in storage order must be
+// bit-identical to FixedEngine.Score on the corresponding variant.
+func TestCompactScoreTypeMatchesFixedScores(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		cb, reg := randomCaseBase(r, 2, 6, 4, 8)
+		fe := NewFixedEngine(cb)
+		ce, err := NewCompactEngine(cb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req := randomRequest(r, cb, reg, 3)
+		qs, err := ce.ScoreType(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ft, _ := cb.Type(req.Type)
+		if len(qs) != len(ft.Impls) {
+			t.Fatalf("scored %d impls, type has %d", len(qs), len(ft.Impls))
+		}
+		for i := range ft.Impls {
+			if want := fe.Score(&ft.Impls[i], req); qs[i] != want {
+				t.Fatalf("trial %d impl %d: compact %d, fixed %d", trial, ft.Impls[i].ID, qs[i], want)
+			}
+		}
+	}
+}
+
+// TestCompactEngineValidation checks FixedEngine error parity on the
+// rejection paths.
+func TestCompactEngineValidation(t *testing.T) {
+	cb, err := casebase.PaperCaseBase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce, err := NewCompactEngine(cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ce.Retrieve(casebase.Request{Type: 99}); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if _, err := ce.Retrieve(casebase.Request{Type: 1}); err == nil {
+		t.Error("empty constraint list accepted")
+	}
+	if _, err := ce.RetrieveN(casebase.PaperRequest(), 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+// TestEngineCompactLayoutBitIdentical gates the Engine integration: with
+// CompactLayout set (and default measures), every similarity the float
+// facade reports must be the exact Float() image of the FixedEngine Q15
+// score, and the ranking must match the plain float engine's whenever
+// similarities stay distinguishable at Q15 resolution.
+func TestEngineCompactLayoutBitIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		cb, reg := randomCaseBase(r, 3, 8, 5, 10)
+		fe := NewFixedEngine(cb)
+		ec := NewEngine(cb, Options{CompactLayout: true})
+		req := randomRequest(r, cb, reg, 4)
+		all, err := ec.RetrieveAll(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, res := range all {
+			ft, _ := cb.Type(req.Type)
+			var want float64
+			found := false
+			for i := range ft.Impls {
+				if ft.Impls[i].ID == res.Impl {
+					want = fe.Score(&ft.Impls[i], req).Float()
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("result names unknown impl %d", res.Impl)
+			}
+			if res.Similarity != want {
+				t.Fatalf("trial %d impl %d: facade %v, datapath %v", trial, res.Impl, res.Similarity, want)
+			}
+			if res.Locals != nil {
+				t.Fatal("compact path must not fabricate locals")
+			}
+		}
+	}
+}
+
+// TestEngineCompactLayoutFallsBack pins the eligibility rule: custom
+// measures or KeepLocals keep the floating-point path (locals present,
+// full-precision similarities).
+func TestEngineCompactLayoutFallsBack(t *testing.T) {
+	cb, err := casebase.PaperCaseBase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(cb, Options{CompactLayout: true, KeepLocals: true})
+	if e.compact != nil {
+		t.Error("KeepLocals must disable the compact path")
+	}
+	all, err := e.RetrieveAll(casebase.PaperRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all[0].Locals == nil {
+		t.Error("fallback path lost the locals breakdown")
+	}
+}
+
+// TestEngineCompactLayoutShardInvariant asserts the bit-identity
+// property the serve layer relies on: the compact engine is
+// deterministic across independently constructed engines over the same
+// case base, so any shard fan-out serves identical similarities.
+func TestEngineCompactLayoutShardInvariant(t *testing.T) {
+	cb, reg, err := workload.GenCaseBase(workload.PaperScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(17))
+	e1 := NewEngine(cb, Options{CompactLayout: true})
+	e2 := NewEngine(cb, Options{CompactLayout: true})
+	for trial := 0; trial < 50; trial++ {
+		req := randomRequest(r, cb, reg, 4)
+		a, err := e1.RetrieveAll(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := e2.RetrieveAll(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("trial %d: engines over the same case base diverge", trial)
+		}
+	}
+}

@@ -56,6 +56,15 @@ type Options struct {
 	// KeepLocals retains the per-attribute breakdown in results.
 	// Disable for large sweeps to avoid the allocations.
 	KeepLocals bool
+	// CompactLayout serves retrieval from the block-compacted memory
+	// layout (§5): scores come from the branch-free Q15 kernel over
+	// structure-of-arrays attribute blocks, converted to float64 at
+	// datapath precision. It applies only with the paper's default
+	// measures — a custom Local or Amalgamation, or KeepLocals, keeps
+	// the floating-point path, since the compacted kernel computes
+	// neither. Thresholding and n-best selection behave identically on
+	// the quantized similarities.
+	CompactLayout bool
 }
 
 // Engine performs floating-point retrieval over a case base.
@@ -64,6 +73,9 @@ type Engine struct {
 	opt   Options
 	stats Stats
 	met   *Metrics
+	// compact is the block-compacted kernel, non-nil only when
+	// Options.CompactLayout applies (default measures, no locals).
+	compact *CompactEngine
 }
 
 // Stats counts engine activity.
@@ -77,13 +89,25 @@ type Stats struct {
 // NewEngine returns an Engine over cb. Nil option fields get the paper's
 // defaults (Linear local measure, WeightedSum amalgamation).
 func NewEngine(cb *casebase.CaseBase, opt Options) *Engine {
+	// Compact-layout eligibility is decided before the nil fields are
+	// defaulted: a caller-supplied measure (or a locals request) means
+	// the floating-point path must run, because the compacted kernel
+	// hard-wires the paper's Linear/WeightedSum datapath arithmetic.
+	var compact *CompactEngine
+	if opt.CompactLayout && opt.Local == nil && opt.Amalgamation == nil && !opt.KeepLocals {
+		// Construction fails only past the 16-bit word-address space
+		// of the compacted image; such a case base cannot exist in
+		// hardware, so the software engine falls back to the
+		// floating-point path rather than refusing service.
+		compact, _ = NewCompactEngine(cb)
+	}
 	if opt.Local == nil {
 		opt.Local = similarity.Linear{}
 	}
 	if opt.Amalgamation == nil {
 		opt.Amalgamation = similarity.WeightedSum{}
 	}
-	return &Engine{cb: cb, opt: opt, met: NewMetrics(nil)}
+	return &Engine{cb: cb, opt: opt, met: NewMetrics(nil), compact: compact}
 }
 
 // Instrument points the engine's observability at the given bundle
@@ -163,15 +187,36 @@ func (e *Engine) RetrieveAll(req casebase.Request) ([]Result, error) {
 	e.met.Retrievals.Inc()
 	e.met.ImplsPerRetrieval.Observe(int64(len(ft.Impls)))
 	out := make([]Result, 0, len(ft.Impls))
-	for i := range ft.Impls {
-		im := &ft.Impls[i]
-		s, locals := e.score(im, req)
-		e.stats.ImplsScored++
-		e.met.ImplsScored.Inc()
-		out = append(out, Result{
-			Type: req.Type, Impl: im.ID, Target: im.Target, Name: im.Name,
-			Similarity: s, Locals: locals,
-		})
+	if e.compact != nil {
+		// Compacted datapath: one kernel pass yields the Q15 column in
+		// storage order; implementation metadata is zipped back in from
+		// the case base, which shares that order.
+		qs, err := e.compact.scoreType(req)
+		if err != nil {
+			return nil, err
+		}
+		for i := range ft.Impls {
+			im := &ft.Impls[i]
+			e.stats.ImplsScored++
+			e.met.ImplsScored.Inc()
+			e.stats.AttrsCompared += len(req.Constraints)
+			e.met.AttrsCompared.Add(int64(len(req.Constraints)))
+			out = append(out, Result{
+				Type: req.Type, Impl: im.ID, Target: im.Target, Name: im.Name,
+				Similarity: qs[i].Float(),
+			})
+		}
+	} else {
+		for i := range ft.Impls {
+			im := &ft.Impls[i]
+			s, locals := e.score(im, req)
+			e.stats.ImplsScored++
+			e.met.ImplsScored.Inc()
+			out = append(out, Result{
+				Type: req.Type, Impl: im.ID, Target: im.Target, Name: im.Name,
+				Similarity: s, Locals: locals,
+			})
+		}
 	}
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Similarity != out[j].Similarity {

@@ -15,6 +15,7 @@
 package swret
 
 import (
+	"errors"
 	"fmt"
 
 	"qosalloc/internal/casebase"
@@ -22,6 +23,15 @@ import (
 	"qosalloc/internal/mb32"
 	"qosalloc/internal/memlist"
 )
+
+// ErrTypeNotFound is returned when the requested function type is not
+// present in the case-base image — the routine's RegError outcome,
+// matching the hardware unit's StError terminal state.
+var ErrTypeNotFound = errors.New("swret: requested type not found in case base")
+
+// ErrNoImplementations is returned when the type entry exists but its
+// implementation sub-list is empty, so no best similarity was latched.
+var ErrNoImplementations = errors.New("swret: no implementations for requested type")
 
 // Register conventions of the routine.
 const (
@@ -233,11 +243,11 @@ func (r *Runner) RetrieveImages(tree, supp, reqImg *memlist.Image) (Result, erro
 		return Result{}, err
 	}
 	if cpu.Regs[RegError] != 0 {
-		return Result{Cycles: cycles}, fmt.Errorf("swret: requested type not found in case base")
+		return Result{Cycles: cycles}, fmt.Errorf("%w (request type %d)", ErrTypeNotFound, reqImg.At(0))
 	}
 	sim := cpu.Regs[RegBestSim]
 	if sim < 0 {
-		return Result{Cycles: cycles}, fmt.Errorf("swret: no implementations for requested type")
+		return Result{Cycles: cycles}, fmt.Errorf("%w (request type %d)", ErrNoImplementations, reqImg.At(0))
 	}
 	return Result{
 		ImplID:       uint16(cpu.Regs[RegBestID]),

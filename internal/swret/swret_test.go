@@ -1,6 +1,7 @@
 package swret
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -67,8 +68,15 @@ func TestSoftwareTypeNotFoundInImage(t *testing.T) {
 	r := NewRunner()
 	tree, supp, reqImg := mustImages(t, cb)
 	reqImg.Words[0] = 77
-	if _, err := r.RetrieveImages(tree, supp, reqImg); err == nil {
-		t.Error("type-not-found must surface from the routine")
+	_, err := r.RetrieveImages(tree, supp, reqImg)
+	if err == nil {
+		t.Fatal("type-not-found must surface from the routine")
+	}
+	if !errors.Is(err, ErrTypeNotFound) {
+		t.Errorf("error %v does not wrap ErrTypeNotFound", err)
+	}
+	if errors.Is(err, ErrNoImplementations) {
+		t.Errorf("error %v wrongly wraps ErrNoImplementations", err)
 	}
 }
 
@@ -235,8 +243,12 @@ func TestSoftwareNoImplementations(t *testing.T) {
 	}}
 	supp := &memlist.Image{Words: []uint16{memlist.EndMarker}}
 	reqImg := &memlist.Image{Words: []uint16{1, memlist.EndMarker}}
-	if _, err := r.RetrieveImages(tree, supp, reqImg); err == nil {
-		t.Error("empty implementation list must error")
+	_, err := r.RetrieveImages(tree, supp, reqImg)
+	if err == nil {
+		t.Fatal("empty implementation list must error")
+	}
+	if !errors.Is(err, ErrNoImplementations) {
+		t.Errorf("error %v does not wrap ErrNoImplementations", err)
 	}
 }
 

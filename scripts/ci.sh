@@ -17,6 +17,10 @@ go test -race ./...
 go test -run 'TestObs' ./internal/experiments/
 # Every benchmark must still compile and survive one iteration.
 go test -run xxx -bench . -benchtime 1x ./...
+# Block-compacted retrieval must not be slower than the pointer-walking
+# baseline (PR 7 gate; the committed BENCH_compact_retrieval.json is
+# refreshed deliberately with `make bench-compact OUT=...`).
+QOS_BENCH_COMPACT=1 go test -run TestCompactRetrievalSpeedup -count=1 .
 # API-surface gate: the exported facade must match the committed
 # snapshot. Regenerate deliberately with `make api` after an intended
 # surface change.
