@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet qosvet lint test race bench bench-smoke bench-compact fuzz api api-check loadcheck ci
+.PHONY: all build vet qosvet lint test race bench bench-smoke bench-compact fuzz api api-check loadcheck fleetcheck ci
 
 all: ci
 
@@ -65,4 +65,12 @@ OUT ?=
 loadcheck:
 	scripts/loadcheck.sh $(OUT)
 
-ci: build vet lint race bench-smoke bench-compact api-check loadcheck
+# Multi-tenant isolation gate: the seeded noisy-neighbor scenario (one
+# tenant flooding at ~10× its class budget during a scoped fault storm)
+# must leave the degraded tenant's recovery bit-identical to the
+# no-neighbor baseline, and the journal hash must match the pinned
+# golden (internal/fleet).
+fleetcheck:
+	$(GO) test -run 'TestFleetNoisyNeighborIsolation|TestFleetCheckGolden|TestFleetReplayBitIdentical' -count=1 ./internal/fleet/
+
+ci: build vet lint race bench-smoke bench-compact api-check fleetcheck loadcheck

@@ -24,6 +24,7 @@ import (
 	"qosalloc/internal/retrieval"
 	"qosalloc/internal/serve"
 	"qosalloc/internal/wire"
+	"qosalloc/internal/workload"
 )
 
 // options is the daemon configuration assembled from flags. The
@@ -66,6 +67,14 @@ type options struct {
 	// Scripted fault plan (at:kind:device[:slot];... in sim µs).
 	faults string
 
+	// Multi-tenant QoS classes: tenant→class bindings
+	// ("alice=gold,bob=bronze") and class budgets
+	// ("gold=slices:2000,brams:8;bronze=cfgbps:65536"). Empty means
+	// every tenant is unmetered. Requests name their tenant in the
+	// X-QoS-Tenant header.
+	tenants string
+	classes string
+
 	// lockstep takes the admission clock from the X-QoS-Now request
 	// header (sim µs) instead of the wall clock, making admission
 	// decisions replayable bit-for-bit for a fixed request schedule.
@@ -100,6 +109,10 @@ func defaultOptions() options {
 // nowHeader is the lockstep admission-clock request header (sim µs).
 const nowHeader = "X-QoS-Now"
 
+// tenantHeader names the requesting tenant for QoS-class budget
+// attribution; absent means unmetered.
+const tenantHeader = "X-QoS-Tenant"
+
 // daemon is the qosd server state: the allocation service behind an
 // admission gate, a fault injector feeding the gate's breakers, and
 // the drain fence the SIGTERM path uses.
@@ -128,6 +141,13 @@ type daemon struct {
 	holdMu sync.Mutex
 	holds  []hold // auto-release deadlines, kept sorted by at
 
+	// ledger enforces tenant QoS-class budgets; grants remembers which
+	// tenant and footprint each live task was charged under so Release
+	// (explicit or hold-driven) can return the holdings.
+	ledger  *admit.Ledger
+	grantMu sync.Mutex
+	grants  map[qosalloc.TaskID]grant
+
 	// preServe, when set (tests only), runs after admission and before
 	// the service call — a hook to wedge an in-flight request.
 	preServe func()
@@ -137,6 +157,13 @@ type daemon struct {
 type hold struct {
 	at device.Micros
 	id qosalloc.TaskID
+}
+
+// grant is one task's budget charge: which tenant holds which
+// footprint, to be released when the task goes away.
+type grant struct {
+	tenant string
+	foot   casebase.Footprint
 }
 
 // daemonMetrics is the qos_qosd_* bundle. The registry is always
@@ -195,15 +222,36 @@ func newDaemon(opt options) (*daemon, error) {
 	if err != nil {
 		return nil, err
 	}
+	ledger := admit.NewLedger()
+	if opt.classes != "" {
+		budgets, err := admit.ParseClassBudgets(opt.classes)
+		if err != nil {
+			return nil, err
+		}
+		for class, b := range budgets {
+			ledger.DefineClass(class, b)
+		}
+	}
+	if opt.tenants != "" {
+		specs, err := workload.ParseTenantMix(opt.tenants)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range specs {
+			ledger.BindTenant(t.ID, admit.QoSClass(t.Class))
+		}
+	}
 
 	reg := obs.NewRegistry()
 	d := &daemon{
-		opt:   opt,
-		cb:    cb,
-		rt:    rt,
-		reg:   reg,
-		met:   newDaemonMetrics(reg),
-		start: time.Now(),
+		opt:    opt,
+		cb:     cb,
+		rt:     rt,
+		reg:    reg,
+		met:    newDaemonMetrics(reg),
+		start:  time.Now(),
+		ledger: ledger,
+		grants: make(map[qosalloc.TaskID]grant),
 	}
 	d.svc = qosalloc.NewService(cb, rt,
 		qosalloc.WithShards(opt.shards),
@@ -330,9 +378,12 @@ func (d *daemon) releaseDue(now device.Micros) {
 	for _, id := range due {
 		// The task may already be gone (preempted, fault-rejected,
 		// explicitly released); that is not an error for the hold path.
+		// Either way the hold window is over, so the tenant's budget
+		// charge is returned.
 		if err := d.svc.Release(id); err == nil {
 			d.met.released.Inc()
 		}
+		d.dropGrant(id)
 	}
 }
 
@@ -342,6 +393,44 @@ func (d *daemon) addHold(at device.Micros, id qosalloc.TaskID) {
 	defer d.holdMu.Unlock()
 	d.holds = append(d.holds, hold{at: at, id: id})
 	sort.Slice(d.holds, func(i, j int) bool { return d.holds[i].at < d.holds[j].at })
+}
+
+// chargeTenant draws the placed variant's footprint from the tenant's
+// QoS-class budget and remembers the grant for release. Anonymous or
+// unbound tenants are unmetered (Ledger.Admit's contract).
+func (d *daemon) chargeTenant(tenant string, ty casebase.TypeID, dec *qosalloc.Decision, now device.Micros) error {
+	if tenant == "" {
+		return nil
+	}
+	ft, ok := d.cb.Type(ty)
+	if !ok {
+		return nil // validated earlier; belt and braces
+	}
+	im, ok := ft.Impl(dec.Impl)
+	if !ok {
+		return nil
+	}
+	if err := d.ledger.Admit(tenant, im.Foot, now); err != nil {
+		return err
+	}
+	d.grantMu.Lock()
+	d.grants[dec.Task.ID] = grant{tenant: tenant, foot: im.Foot}
+	d.grantMu.Unlock()
+	return nil
+}
+
+// dropGrant returns a released (or otherwise gone) task's holdings to
+// its tenant's budget. Safe to call for tasks that were never charged.
+func (d *daemon) dropGrant(id qosalloc.TaskID) {
+	d.grantMu.Lock()
+	g, ok := d.grants[id]
+	if ok {
+		delete(d.grants, id)
+	}
+	d.grantMu.Unlock()
+	if ok {
+		d.ledger.Release(g.tenant, g.foot)
+	}
 }
 
 // begin admits one HTTP request past the drain fence; a false return
@@ -425,6 +514,15 @@ func (d *daemon) handleAllocate(w http.ResponseWriter, r *http.Request) {
 		d.writeMapped(w, err)
 		return
 	}
+	// Charge the tenant's QoS-class budget for the variant the service
+	// actually placed. An over-budget charge rolls the placement back
+	// atomically — the tenant sees a typed 429 and the platform is as
+	// if the request never landed.
+	if err := d.chargeTenant(r.Header.Get(tenantHeader), casebase.TypeID(req.Type), dec, now); err != nil {
+		_ = d.svc.Release(dec.Task.ID)
+		d.writeMapped(w, err)
+		return
+	}
 	if req.HoldUS > 0 {
 		d.addHold(dec.ReadyAt+device.Micros(req.HoldUS), dec.Task.ID)
 	}
@@ -459,6 +557,7 @@ func (d *daemon) handleRelease(w http.ResponseWriter, r *http.Request) {
 		d.met.clientEr.Inc()
 		return
 	}
+	d.dropGrant(qosalloc.TaskID(req.Task))
 	d.writeOK(w, map[string]any{"released": req.Task})
 }
 
@@ -585,6 +684,12 @@ func mapError(err error) (int, wire.ErrorResponse) {
 	if errors.As(err, &ov) {
 		return http.StatusTooManyRequests, wire.ErrorResponse{
 			Code: wire.CodeOverload, Error: err.Error(), RetryAfterUS: uint64(ov.RetryAfter),
+		}
+	}
+	var be *admit.ErrBudgetExceeded
+	if errors.As(err, &be) {
+		return http.StatusTooManyRequests, wire.ErrorResponse{
+			Code: wire.CodeBudgetExceeded, Error: err.Error(), RetryAfterUS: uint64(be.RetryAfter),
 		}
 	}
 	var bo *admit.ErrBreakerOpen

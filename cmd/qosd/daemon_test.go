@@ -337,3 +337,89 @@ func waitForCond(t *testing.T, what string, cond func() bool) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+// postAs is post with a tenant identity attached.
+func postAs(t *testing.T, url, tenant string, body any, now uint64, out any) (*http.Response, string) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(nowHeader, fmt.Sprint(now))
+	req.Header.Set(tenantHeader, tenant)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("decode %s: %v (body %s)", url, err, data)
+		}
+	}
+	return resp, string(data)
+}
+
+func TestDaemonTenantBudgets(t *testing.T) {
+	opt := lockstepOptions()
+	// "tiny" cannot afford any bitstream (burst 1 byte, every synthetic
+	// footprint streams ≥ 1 KiB); "big" is effectively unmetered but
+	// still attributed.
+	opt.tenants = "alice=tiny,dave=big"
+	opt.classes = "tiny=cfgbps:1,cfgburst:1;big=slices:100000,brams:100000"
+	d, base, sig, done := startDaemon(t, opt)
+	defer func() { sig <- syscall.SIGTERM; <-done }()
+	reqs := testRequests(t, opt, 4)
+
+	alloc := reqs[0]
+	alloc.App = "a0"
+	alloc.Priority = 5
+
+	// Over-budget tenant: typed 429, and the placement is rolled back.
+	resp, body := postAs(t, base+"/v1/allocate", "alice", alloc, 1000, nil)
+	if resp.StatusCode != http.StatusTooManyRequests || !strings.Contains(body, wire.CodeBudgetExceeded) {
+		t.Fatalf("over-budget allocate: %d %s", resp.StatusCode, body)
+	}
+
+	// Anonymous requests are unmetered — and succeed, proving the
+	// rejected placement above did not leak platform capacity.
+	var ar wire.AllocResponse
+	resp, body = post(t, base+"/v1/allocate", alloc, 2000, &ar)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("anonymous allocate: %d %s", resp.StatusCode, body)
+	}
+
+	// A solvent tenant is charged, and release returns the grant.
+	alloc2 := reqs[1]
+	alloc2.App = "a1"
+	alloc2.Priority = 5
+	var ar2 wire.AllocResponse
+	resp, body = postAs(t, base+"/v1/allocate", "dave", alloc2, 3000, &ar2)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metered allocate: %d %s", resp.StatusCode, body)
+	}
+	d.grantMu.Lock()
+	held := len(d.grants)
+	d.grantMu.Unlock()
+	if held != 1 {
+		t.Fatalf("grants after metered allocate: %d, want 1", held)
+	}
+	resp, body = post(t, base+"/v1/release", wire.ReleaseRequest{Client: "t", Task: ar2.Task}, 4000, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("release: %d %s", resp.StatusCode, body)
+	}
+	d.grantMu.Lock()
+	held = len(d.grants)
+	d.grantMu.Unlock()
+	if held != 0 {
+		t.Fatalf("grants after release: %d, want 0", held)
+	}
+}

@@ -57,6 +57,8 @@ func main() {
 	flag.Uint64Var(&opt.brkBackoffUS, "brk-backoff-us", opt.brkBackoffUS, "breaker first open interval (sim µs, 0 = default)")
 	flag.Uint64Var(&opt.brkMaxBackoffUS, "brk-max-backoff-us", opt.brkMaxBackoffUS, "breaker backoff cap (sim µs, 0 = default)")
 	flag.StringVar(&opt.faults, "faults", opt.faults, "scripted fault plan (at:kind:device[:slot];...)")
+	flag.StringVar(&opt.tenants, "tenants", opt.tenants, "tenant QoS-class bindings (tenant=class,...; empty = unmetered)")
+	flag.StringVar(&opt.classes, "classes", opt.classes, "QoS class budgets (class=slices:N,brams:N,cfgbps:N,cfgburst:N;...)")
 	flag.BoolVar(&opt.lockstep, "lockstep", opt.lockstep, "take the admission clock from the X-QoS-Now header")
 	flag.DurationVar(&opt.requestTimeout, "request-timeout", opt.requestTimeout, "per-request service deadline")
 	flag.DurationVar(&opt.drainTimeout, "drain-timeout", opt.drainTimeout, "SIGTERM drain deadline")

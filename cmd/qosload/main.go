@@ -53,6 +53,7 @@ type options struct {
 	rate     int // requests per second of schedule time
 	allocPct int // percent of requests that allocate (with hold_us)
 	holdUS   uint64
+	tenants  string // tenant mix "tenant=class[:weight],..."; empty = anonymous
 	out      string
 
 	// Case-base spec (must mirror the daemon's flags).
@@ -80,6 +81,7 @@ func main() {
 	flag.IntVar(&opt.rate, "rate", opt.rate, "scheduled arrival rate (req/s)")
 	flag.IntVar(&opt.allocPct, "alloc-pct", opt.allocPct, "percent of requests that allocate (rest retrieve)")
 	flag.Uint64Var(&opt.holdUS, "hold-us", opt.holdUS, "hold_us on allocate requests")
+	flag.StringVar(&opt.tenants, "tenants", opt.tenants, "tenant mix tenant=class[:weight],... (empty = anonymous; classes must match qosd -tenants/-classes)")
 	flag.StringVar(&opt.out, "out", "", "report path (default BENCH_qosd_<scenario>.json)")
 	flag.IntVar(&opt.types, "types", opt.types, "case-base function types (must match qosd)")
 	flag.IntVar(&opt.implsPerType, "impls", opt.implsPerType, "implementations per type (must match qosd)")
@@ -137,6 +139,7 @@ func main() {
 type shot struct {
 	at     uint64 // µs offset on the schedule grid
 	client string
+	tenant string // X-QoS-Tenant identity; empty = anonymous
 	req    wire.AllocRequest
 }
 
@@ -167,6 +170,20 @@ func buildSchedule(opt options) ([]shot, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The tenant dimension draws from its own generator seeded by the
+	// schedule seed, so adding -tenants never perturbs the client mix or
+	// the retrieve/allocate split of an existing schedule.
+	var tenanted []qosalloc.TenantedRequest
+	if opt.tenants != "" {
+		mix, err := qosalloc.ParseTenantMix(opt.tenants)
+		if err != nil {
+			return nil, err
+		}
+		tenanted, err = qosalloc.AssignTenants(pool, qosalloc.TenantMixSpec{Tenants: mix, Seed: opt.seed})
+		if err != nil {
+			return nil, err
+		}
+	}
 	var zipf *rand.Zipf
 	if opt.scenario == "zipf" && opt.clients > 1 {
 		// s=1.2 hotkey skew: client 0 dominates, the tail thins out.
@@ -196,6 +213,9 @@ func buildSchedule(opt options) ([]shot, error) {
 			at:     uint64(i) * 1_000_000 / uint64(opt.rate),
 			client: w.Client,
 			req:    w,
+		}
+		if tenanted != nil {
+			shots[i].tenant = tenanted[i].Tenant
 		}
 	}
 	return shots, nil
@@ -268,6 +288,38 @@ func run(opt options) (*wire.BenchReport, error) {
 		rep.ThroughputRPS = float64(rep.OK) / secs
 	}
 	rep.LatencyUS = quantiles(lats)
+
+	if opt.tenants != "" {
+		// Per-tenant outcome tally (sorted, deterministic): how the
+		// daemon's class budgets treated each tenant in this run.
+		type tstat struct{ ok, budget, other int }
+		byTenant := make(map[string]*tstat)
+		for i, o := range results {
+			ts := byTenant[shots[i].tenant]
+			if ts == nil {
+				ts = &tstat{}
+				byTenant[shots[i].tenant] = ts
+			}
+			switch {
+			case o.status == http.StatusOK:
+				ts.ok++
+			case o.code == wire.CodeBudgetExceeded:
+				ts.budget++
+			default:
+				ts.other++
+			}
+		}
+		names := make([]string, 0, len(byTenant))
+		for n := range byTenant {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			ts := byTenant[n]
+			fmt.Printf("qosload: tenant %s: %d ok, %d budget-rejected, %d other\n",
+				n, ts.ok, ts.budget, ts.other)
+		}
+	}
 	return rep, nil
 }
 
@@ -288,6 +340,9 @@ func fire(opt options, s shot, lockstep bool) outcome {
 	hreq.Header.Set("Content-Type", "application/json")
 	if lockstep {
 		hreq.Header.Set("X-QoS-Now", fmt.Sprint(s.at))
+	}
+	if s.tenant != "" {
+		hreq.Header.Set("X-QoS-Tenant", s.tenant)
 	}
 	t0 := time.Now()
 	resp, err := http.DefaultClient.Do(hreq)

@@ -1,0 +1,134 @@
+package admit
+
+import (
+	"errors"
+	"testing"
+
+	"qosalloc/internal/casebase"
+	"qosalloc/internal/device"
+)
+
+func TestLedgerUnboundTenantUnmetered(t *testing.T) {
+	l := NewLedger()
+	f := casebase.Footprint{Slices: 1000, BRAMs: 1000, ConfigBytes: 1 << 30}
+	for i := 0; i < 10; i++ {
+		if err := l.Admit("anon", f, 0); err != nil {
+			t.Fatalf("unbound tenant rejected: %v", err)
+		}
+	}
+}
+
+func TestLedgerSliceBudget(t *testing.T) {
+	l := NewLedger()
+	l.DefineClass("bronze", ClassBudget{Slices: 3})
+	l.BindTenant("t1", "bronze")
+	f := casebase.Footprint{Slices: 2}
+	if err := l.Admit("t1", f, 0); err != nil {
+		t.Fatalf("first admit: %v", err)
+	}
+	err := l.Admit("t1", f, 0)
+	var be *ErrBudgetExceeded
+	if !errors.As(err, &be) {
+		t.Fatalf("second admit = %v, want *ErrBudgetExceeded", err)
+	}
+	if be.Resource != ResourceSlices || be.Used != 2 || be.Budget != 3 {
+		t.Errorf("exceeded = %+v, want slices 2/3", be)
+	}
+	// Atomicity: the failed admit charged nothing.
+	if s, _ := l.Usage("t1"); s != 2 {
+		t.Errorf("usage after rejection = %d slices, want 2", s)
+	}
+	l.Release("t1", f)
+	if err := l.Admit("t1", f, 0); err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+}
+
+func TestLedgerBRAMBudget(t *testing.T) {
+	l := NewLedger()
+	l.DefineClass("gold", ClassBudget{BRAMs: 4})
+	l.BindTenant("t1", "gold")
+	if err := l.Admit("t1", casebase.Footprint{BRAMs: 4}, 0); err != nil {
+		t.Fatalf("admit at budget: %v", err)
+	}
+	err := l.Admit("t1", casebase.Footprint{BRAMs: 1}, 0)
+	var be *ErrBudgetExceeded
+	if !errors.As(err, &be) || be.Resource != ResourceBRAMs {
+		t.Fatalf("over-BRAM admit = %v, want brams exceeded", err)
+	}
+}
+
+func TestLedgerConfigBandwidth(t *testing.T) {
+	l := NewLedger()
+	l.DefineClass("silver", ClassBudget{ConfigBytesPerSec: 1000, ConfigBurstBytes: 1000})
+	l.BindTenant("t1", "silver")
+	f := casebase.Footprint{ConfigBytes: 600}
+	if err := l.Admit("t1", f, 0); err != nil {
+		t.Fatalf("first bitstream: %v", err)
+	}
+	// 600 of 1000 burst bytes remain accrued; the second 600-byte
+	// bitstream must wait for 200 more bytes at 1000 B/s = 200 ms.
+	err := l.Admit("t1", f, 0)
+	var be *ErrBudgetExceeded
+	if !errors.As(err, &be) || be.Resource != ResourceConfigBytes {
+		t.Fatalf("second bitstream = %v, want config_bytes exceeded", err)
+	}
+	if be.RetryAfter != 200_000 {
+		t.Errorf("RetryAfter = %d µs, want 200000", be.RetryAfter)
+	}
+	// After exactly RetryAfter the bucket has refilled just enough.
+	if err := l.Admit("t1", f, 200_000); err != nil {
+		t.Fatalf("bitstream after refill: %v", err)
+	}
+	// Bandwidth is not refunded on release.
+	l.Release("t1", f)
+	if err := l.Admit("t1", f, 200_000); err == nil {
+		t.Fatal("release refunded bandwidth; bytes already streamed")
+	}
+}
+
+func TestLedgerTenantsIsolated(t *testing.T) {
+	l := NewLedger()
+	l.DefineClass("bronze", ClassBudget{Slices: 2})
+	l.BindTenant("noisy", "bronze")
+	l.BindTenant("quiet", "bronze")
+	f := casebase.Footprint{Slices: 2}
+	if err := l.Admit("noisy", f, 0); err != nil {
+		t.Fatalf("noisy admit: %v", err)
+	}
+	if err := l.Admit("noisy", f, 0); err == nil {
+		t.Fatal("noisy tenant exceeded its class budget unchecked")
+	}
+	// Same class, separate envelope: quiet is untouched by noisy's spend.
+	if err := l.Admit("quiet", f, 0); err != nil {
+		t.Fatalf("quiet tenant throttled by noisy neighbor: %v", err)
+	}
+}
+
+func TestLedgerReplayDeterminism(t *testing.T) {
+	run := func() []string {
+		l := NewLedger()
+		l.DefineClass("c", ClassBudget{Slices: 3, ConfigBytesPerSec: 500})
+		l.BindTenant("t", "c")
+		var out []string
+		f := casebase.Footprint{Slices: 1, ConfigBytes: 300}
+		for i := 0; i < 8; i++ {
+			err := l.Admit("t", f, device.Micros(i)*100_000)
+			if err != nil {
+				out = append(out, err.Error())
+			} else {
+				out = append(out, "ok")
+			}
+			if i%3 == 2 {
+				l.Release("t", f)
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at step %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package admit
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseClassBudgets parses the CLI class-budget syntax shared by qosd:
+// ';'-separated "class=res:val,res:val" entries where res is one of
+// slices, brams, cfgbps (config bytes per second of sim time) or
+// cfgburst (bandwidth bucket capacity in bytes), e.g.
+//
+//	"gold=slices:2000,brams:8;bronze=slices:920,cfgbps:65536"
+//
+// Omitted resources stay unmetered (the ClassBudget zero value).
+func ParseClassBudgets(s string) (map[QoSClass]ClassBudget, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("admit: empty class-budget spec")
+	}
+	out := make(map[QoSClass]ClassBudget)
+	for _, entry := range strings.Split(s, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, spec, ok := strings.Cut(entry, "=")
+		if !ok || name == "" || spec == "" {
+			return nil, fmt.Errorf("admit: bad class entry %q (want class=res:val,...)", entry)
+		}
+		class := QoSClass(name)
+		if _, dup := out[class]; dup {
+			return nil, fmt.Errorf("admit: class %q listed twice", name)
+		}
+		var b ClassBudget
+		for _, rv := range strings.Split(spec, ",") {
+			rv = strings.TrimSpace(rv)
+			res, val, ok := strings.Cut(rv, ":")
+			if !ok {
+				return nil, fmt.Errorf("admit: class %q: bad resource %q (want res:val)", name, rv)
+			}
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("admit: class %q: bad %s value %q", name, res, val)
+			}
+			switch res {
+			case "slices":
+				b.Slices = int(n)
+			case "brams":
+				b.BRAMs = int(n)
+			case "cfgbps":
+				b.ConfigBytesPerSec = n
+			case "cfgburst":
+				b.ConfigBurstBytes = n
+			default:
+				return nil, fmt.Errorf("admit: class %q: unknown resource %q (want slices, brams, cfgbps or cfgburst)", name, res)
+			}
+		}
+		out[class] = b
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("admit: empty class-budget spec")
+	}
+	return out, nil
+}

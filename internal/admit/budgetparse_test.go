@@ -1,0 +1,29 @@
+package admit
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseClassBudgets(t *testing.T) {
+	got, err := ParseClassBudgets("gold=slices:2000,brams:8; bronze=slices:920,cfgbps:65536,cfgburst:131072")
+	if err != nil {
+		t.Fatalf("ParseClassBudgets: %v", err)
+	}
+	want := map[QoSClass]ClassBudget{
+		"gold":   {Slices: 2000, BRAMs: 8},
+		"bronze": {Slices: 920, ConfigBytesPerSec: 65536, ConfigBurstBytes: 131072},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %+v want %+v", got, want)
+	}
+	for _, bad := range []string{
+		"", ";", "gold", "gold=", "=slices:1", "gold=slices",
+		"gold=slices:0", "gold=slices:x", "gold=watts:5",
+		"gold=slices:1;gold=slices:2",
+	} {
+		if _, err := ParseClassBudgets(bad); err == nil {
+			t.Fatalf("ParseClassBudgets(%q) accepted", bad)
+		}
+	}
+}

@@ -11,8 +11,8 @@ package alloc
 import (
 	"errors"
 	"fmt"
-	"sort"
 
+	"qosalloc/internal/alloc/policy"
 	"qosalloc/internal/attr"
 	"qosalloc/internal/casebase"
 	"qosalloc/internal/device"
@@ -152,9 +152,13 @@ type origin struct {
 	sim  float64
 }
 
-// Manager is the function-allocation manager.
+// Manager is the function-allocation manager: the thin composition of
+// the pure policy package (which candidate, which victim, what was
+// lost) with the Mechanism execution layer (resolve records, snapshot
+// devices, place and preempt). All bookkeeping that spans both —
+// counters, metrics, bypass tokens, task origins — lives here.
 type Manager struct {
-	cb     *casebase.CaseBase
+	mech   *Mechanism
 	engine *retrieval.Engine
 	// locEngine keeps per-attribute breakdowns (off the hot path) for
 	// degradation accounting: which QoS attributes got worse.
@@ -174,7 +178,7 @@ func New(cb *casebase.CaseBase, sys *rtsys.System, opt Options) *Manager {
 		opt.NBest = 3
 	}
 	return &Manager{
-		cb:        cb,
+		mech:      NewMechanism(cb, sys),
 		engine:    retrieval.NewEngine(cb, retrieval.Options{Threshold: opt.Threshold}),
 		locEngine: retrieval.NewEngine(cb, retrieval.Options{KeepLocals: true}),
 		sys:       sys,
@@ -295,69 +299,52 @@ func (m *Manager) placeCandidates(app string, req casebase.Request, candidates [
 	return nil, &ErrNoFeasible{Alternatives: candidates}
 }
 
-// rankForPower re-sorts the candidate list by the power-discounted
-// score S - PowerWeight·(PowerMW/1000). A no-op when PowerWeight is 0.
+// rankForPower re-orders the candidate list by the power-discounted
+// score S - PowerWeight·(PowerMW/1000): the mechanism resolves each
+// candidate's power figure, policy.PowerOrder decides the order, and
+// the permutation is applied in place. A no-op when PowerWeight is 0.
 func (m *Manager) rankForPower(ty casebase.TypeID, candidates []retrieval.Result) {
 	if m.opt.PowerWeight == 0 {
 		return
 	}
-	score := func(r retrieval.Result) float64 {
-		im, err := m.implOf(ty, r.Impl)
-		if err != nil {
-			return r.Similarity
-		}
-		return r.Similarity - m.opt.PowerWeight*float64(im.Foot.PowerMW)/1000
+	sims := make([]float64, len(candidates))
+	power := make([]int, len(candidates))
+	for i, r := range candidates {
+		sims[i] = r.Similarity
+		power[i] = m.mech.PowerMW(ty, r.Impl)
 	}
-	sort.SliceStable(candidates, func(i, j int) bool {
-		return score(candidates[i]) > score(candidates[j])
-	})
+	order := policy.PowerOrder(sims, power, m.opt.PowerWeight)
+	reordered := make([]retrieval.Result, len(candidates))
+	for i, j := range order {
+		reordered[i] = candidates[j]
+	}
+	copy(candidates, reordered)
 }
 
-// implOf resolves an implementation record.
+// implOf resolves an implementation record via the mechanism layer.
 func (m *Manager) implOf(ty casebase.TypeID, id casebase.ImplID) (*casebase.Implementation, error) {
-	ft, ok := m.cb.Type(ty)
-	if !ok {
-		return nil, fmt.Errorf("alloc: unknown function type %d", ty)
-	}
-	im, ok := ft.Impl(id)
-	if !ok {
-		return nil, fmt.Errorf("alloc: type %d has no implementation %d", ty, id)
-	}
-	return im, nil
+	return m.mech.ImplOf(ty, id)
 }
 
 // tryPlace attempts to place an implementation on any device of its
-// target class with free capacity.
+// target class with free capacity: the mechanism executes, the manager
+// keeps the books (stats, origins, the Decision).
 func (m *Manager) tryPlace(app string, req casebase.Request, id casebase.ImplID, sim float64, basePrio int) (*Decision, error) {
 	im, err := m.implOf(req.Type, id)
 	if err != nil {
 		return nil, err
 	}
-	var lastErr error
-	for _, dev := range m.sys.DevicesByKind(im.Target) {
-		if !dev.CanPlace(im.Foot) {
-			continue
-		}
-		task := m.sys.CreateTask(app, req.Type, basePrio)
-		if err := m.sys.Place(task, dev, im); err != nil {
-			// Capacity raced away or repository miss: finish the
-			// tentative task and keep looking.
-			lastErr = err
-			_ = m.sys.Complete(task)
-			continue
-		}
-		m.stats.Placed++
-		m.met.placed.Inc()
-		m.origins[task.ID] = origin{app: app, req: req, impl: id, sim: sim}
-		return &Decision{
-			Task: task, Impl: id, Target: im.Target, Device: dev.Name(),
-			Similarity: sim, ReadyAt: task.ReadyAt,
-		}, nil
+	task, dev, err := m.mech.TryPlace(app, req.Type, im, basePrio)
+	if err != nil {
+		return nil, err
 	}
-	if lastErr != nil {
-		return nil, fmt.Errorf("alloc: no %v device has capacity for impl %d: %w", im.Target, id, lastErr)
-	}
-	return nil, fmt.Errorf("alloc: no %v device has capacity for impl %d", im.Target, id)
+	m.stats.Placed++
+	m.met.placed.Inc()
+	m.origins[task.ID] = origin{app: app, req: req, impl: id, sim: sim}
+	return &Decision{
+		Task: task, Impl: id, Target: im.Target, Device: dev.Name(),
+		Similarity: sim, ReadyAt: task.ReadyAt,
+	}, nil
 }
 
 // tryPreemptivePlace evicts the lowest-priority strictly-lower-priority
@@ -400,22 +387,15 @@ func (m *Manager) tryPreemptivePlace(app string, req casebase.Request, candidate
 }
 
 // lowestVictim returns the running/configuring task with the lowest
-// effective priority on dev, provided it is strictly below prio.
+// effective priority on dev, provided it is strictly below prio: the
+// mechanism snapshots the occupants, policy.LowestVictim chooses.
 func (m *Manager) lowestVictim(dev device.Device, prio int) *rtsys.Task {
-	var victim *rtsys.Task
-	victimPrio := prio // must be strictly below the requester
-	for _, pl := range dev.Placements() {
-		t, ok := m.sys.Task(rtsys.TaskID(pl.Task))
-		if !ok || (t.State != rtsys.Running && t.State != rtsys.Configuring) {
-			continue
-		}
-		p := m.sys.EffectivePriority(t)
-		if p < victimPrio {
-			victim = t
-			victimPrio = p
-		}
+	occ, tasks := m.mech.Occupants(dev)
+	i, ok := policy.LowestVictim(occ, prio)
+	if !ok {
+		return nil
 	}
-	return victim
+	return tasks[i]
 }
 
 // Release completes a task and invalidates nothing: bypass tokens stay
@@ -447,37 +427,21 @@ func (m *Manager) ReplacePending() int {
 		if err != nil {
 			return placed
 		}
-		replaced := false
-		for _, dev := range m.sys.DevicesByKind(im.Target) {
-			if !dev.CanPlace(im.Foot) {
-				continue
-			}
-			if err := m.sys.Place(best, dev, im); err == nil {
-				placed++
-				replaced = true
-				break
-			}
-		}
-		if !replaced {
+		if _, ok := m.mech.PlaceExisting(best, im); !ok {
 			return placed
 		}
+		placed++
 	}
 }
 
 // bestWaiting returns the preempted task with the highest aged priority.
 func (m *Manager) bestWaiting() *rtsys.Task {
-	var best *rtsys.Task
-	bestPrio := 0
-	for _, t := range m.sys.Tasks() {
-		if t.State != rtsys.Preempted {
-			continue
-		}
-		p := m.sys.EffectivePriority(t)
-		if best == nil || p > bestPrio {
-			best, bestPrio = t, p
-		}
+	occ, tasks := m.mech.Waiting()
+	i, ok := policy.BestWaiting(occ)
+	if !ok {
+		return nil
 	}
-	return best
+	return tasks[i]
 }
 
 // InvalidateCaseBase drops all bypass tokens for a function type, the
@@ -492,7 +456,7 @@ func (m *Manager) InvalidateCaseBase(ty casebase.TypeID) int {
 // pinned selections may no longer be the best match. Tasks already
 // placed keep running; only future requests see the new tree.
 func (m *Manager) UpdateCaseBase(cb *casebase.CaseBase) {
-	m.cb = cb
+	m.mech = NewMechanism(cb, m.sys)
 	m.engine = retrieval.NewEngine(cb, retrieval.Options{Threshold: m.opt.Threshold})
 	m.locEngine = retrieval.NewEngine(cb, retrieval.Options{KeepLocals: true})
 	if m.retMet != nil {
@@ -551,17 +515,11 @@ func (m *Manager) recoverTask(t *rtsys.Task) Recovery {
 	var tried []retrieval.Result
 	for _, cand := range candidates {
 		im, err := m.implOf(org.req.Type, cand.Impl)
-		if err != nil || excludedTarget(excluded, im.Target) {
+		if err != nil || policy.TargetExcluded(excluded, im.Target) {
 			continue
 		}
 		tried = append(tried, cand)
-		for _, dev := range m.sys.DevicesByKind(im.Target) {
-			if !dev.CanPlace(im.Foot) {
-				continue
-			}
-			if err := m.sys.Place(t, dev, im); err != nil {
-				continue
-			}
+		if dev, ok := m.mech.PlaceExisting(t, im); ok {
 			m.stats.Recovered++
 			m.met.recovered.Inc()
 			m.met.nbestDepth.Observe(int64(len(tried)))
@@ -572,7 +530,7 @@ func (m *Manager) recoverTask(t *rtsys.Task) Recovery {
 			}
 			if known && cand.Impl != org.impl {
 				lost := m.lostAttrs(org.req, org.impl, cand.Impl)
-				if cand.Similarity < org.sim || len(lost) > 0 {
+				if policy.IsDegradation(org.sim, cand.Similarity, lost) {
 					m.stats.Degraded++
 					m.met.degraded.Inc()
 					m.met.event(int64(m.sys.Now()), "degrade", "task=%d impl %d->%d sim %.3f->%.3f", t.ID, org.impl, cand.Impl, org.sim, cand.Similarity)
@@ -602,7 +560,7 @@ func (m *Manager) reject(t *rtsys.Task, org origin, excluded []casebase.Target, 
 	rep := &DegradationReport{
 		App: org.app, Task: t.ID, Req: org.req,
 		Excluded: excluded, Tried: tried,
-		LostAttrs: rejectedAttrs(org.req, tried),
+		LostAttrs: policy.RejectedAttrs(org.req, tried),
 	}
 	_ = m.sys.Complete(t)
 	delete(m.origins, t.ID)
@@ -612,35 +570,14 @@ func (m *Manager) reject(t *rtsys.Task, org origin, excluded []casebase.Target, 
 // excludedTargets returns the target classes with no device able to
 // accept new work — the "failed target" the re-run retrieval excludes.
 func (m *Manager) excludedTargets() []casebase.Target {
-	alive := make(map[casebase.Target]bool)
-	seen := make(map[casebase.Target]bool)
-	for _, d := range m.sys.Devices() {
-		seen[d.Kind()] = true
-		if d.Health() != device.Failed {
-			alive[d.Kind()] = true
-		}
-	}
-	var out []casebase.Target
-	for _, k := range []casebase.Target{casebase.TargetFPGA, casebase.TargetDSP, casebase.TargetGPP} {
-		if seen[k] && !alive[k] {
-			out = append(out, k)
-		}
-	}
-	return out
-}
-
-func excludedTarget(excluded []casebase.Target, t casebase.Target) bool {
-	for _, e := range excluded {
-		if e == t {
-			return true
-		}
-	}
-	return false
+	seen, alive := m.mech.TargetHealth()
+	return policy.ExcludedTargets(seen, alive)
 }
 
 // lostAttrs compares the per-attribute similarity of two variants for
 // the same request and returns the requested attributes the substitute
-// satisfies worse.
+// satisfies worse: the locals engine supplies the breakdowns,
+// policy.LostAttrs does the comparison.
 func (m *Manager) lostAttrs(req casebase.Request, from, to casebase.ImplID) []attr.ID {
 	all, err := m.locEngine.RetrieveAll(req)
 	if err != nil {
@@ -654,39 +591,5 @@ func (m *Manager) lostAttrs(req casebase.Request, from, to casebase.ImplID) []at
 		}
 		return nil
 	}
-	fromLoc, toLoc := locals(from), locals(to)
-	if toLoc == nil {
-		return nil
-	}
-	var out []attr.ID
-	for i, tl := range toLoc {
-		if fromLoc != nil && i < len(fromLoc) {
-			if tl.Sim < fromLoc[i].Sim {
-				out = append(out, attr.ID(tl.ID))
-			}
-		} else if tl.Sim < 1 {
-			out = append(out, attr.ID(tl.ID))
-		}
-	}
-	return out
-}
-
-// rejectedAttrs names the lost QoS attributes of a rejection: the
-// requested attributes the best examined candidate could not fully
-// satisfy, or every requested attribute when nothing was examined.
-func rejectedAttrs(req casebase.Request, tried []retrieval.Result) []attr.ID {
-	if len(tried) == 0 {
-		out := make([]attr.ID, 0, len(req.Constraints))
-		for _, c := range req.Constraints {
-			out = append(out, c.ID)
-		}
-		return out
-	}
-	var out []attr.ID
-	for _, l := range tried[0].Locals {
-		if l.Sim < 1 {
-			out = append(out, attr.ID(l.ID))
-		}
-	}
-	return out
+	return policy.LostAttrs(locals(from), locals(to))
 }

@@ -1,0 +1,213 @@
+package alloc
+
+// The mechanism half of the policy/mechanism split (DESIGN.md §13).
+// Mechanism owns every interaction with the case base, the run-time
+// system and the devices: resolving implementation records, taking the
+// plain-data snapshots package policy scores, and executing the
+// placements and preemptions policy decides. Manager composes the two
+// (policy for choices, Mechanism for effects) and keeps its public API
+// unchanged; the fleet layer drives a Mechanism per node directly.
+
+import (
+	"fmt"
+
+	"qosalloc/internal/alloc/policy"
+	"qosalloc/internal/casebase"
+	"qosalloc/internal/device"
+	"qosalloc/internal/rtsys"
+)
+
+// UnknownTypeError reports a request for a function type the case base
+// does not hold.
+type UnknownTypeError struct{ Type casebase.TypeID }
+
+func (e *UnknownTypeError) Error() string {
+	return fmt.Sprintf("alloc: unknown function type %d", e.Type)
+}
+
+// UnknownImplError reports a reference to an implementation variant the
+// function type does not offer.
+type UnknownImplError struct {
+	Type casebase.TypeID
+	Impl casebase.ImplID
+}
+
+func (e *UnknownImplError) Error() string {
+	return fmt.Sprintf("alloc: type %d has no implementation %d", e.Type, e.Impl)
+}
+
+// Mechanism executes allocation decisions against one node's case base
+// and run-time system. It holds no policy state: no options, no
+// counters, no token cache — those stay in Manager (or the fleet).
+type Mechanism struct {
+	cb  *casebase.CaseBase
+	sys *rtsys.System
+}
+
+// NewMechanism builds the execution layer over a case base and runtime.
+func NewMechanism(cb *casebase.CaseBase, sys *rtsys.System) *Mechanism {
+	return &Mechanism{cb: cb, sys: sys}
+}
+
+// System returns the underlying run-time system.
+func (x *Mechanism) System() *rtsys.System { return x.sys }
+
+// ImplOf resolves an implementation record.
+func (x *Mechanism) ImplOf(ty casebase.TypeID, id casebase.ImplID) (*casebase.Implementation, error) {
+	ft, ok := x.cb.Type(ty)
+	if !ok {
+		return nil, &UnknownTypeError{Type: ty}
+	}
+	im, ok := ft.Impl(id)
+	if !ok {
+		return nil, &UnknownImplError{Type: ty, Impl: id}
+	}
+	return im, nil
+}
+
+// PowerMW returns the power figure of an implementation, or
+// policy.PowerUnknown when the record cannot be resolved — the value
+// policy.PowerOrder treats as "rank by similarity alone".
+func (x *Mechanism) PowerMW(ty casebase.TypeID, id casebase.ImplID) int {
+	im, err := x.ImplOf(ty, id)
+	if err != nil {
+		return policy.PowerUnknown
+	}
+	return im.Foot.PowerMW
+}
+
+// TryPlace creates a task for app and places im on the first device of
+// its target class with free capacity. When Place fails after CanPlace
+// passed (capacity raced away, repository miss), the tentative task is
+// completed and the walk continues.
+func (x *Mechanism) TryPlace(app string, ty casebase.TypeID, im *casebase.Implementation, basePrio int) (*rtsys.Task, device.Device, error) {
+	var lastErr error
+	for _, dev := range x.sys.DevicesByKind(im.Target) {
+		if !dev.CanPlace(im.Foot) {
+			continue
+		}
+		task := x.sys.CreateTask(app, ty, basePrio)
+		if err := x.sys.Place(task, dev, im); err != nil {
+			lastErr = err
+			_ = x.sys.Complete(task)
+			continue
+		}
+		return task, dev, nil
+	}
+	if lastErr != nil {
+		return nil, nil, fmt.Errorf("alloc: no %v device has capacity for impl %d: %w", im.Target, im.ID, lastErr)
+	}
+	return nil, nil, fmt.Errorf("alloc: no %v device has capacity for impl %d", im.Target, im.ID)
+}
+
+// PlaceExisting places an already-created (re-queued or preempted)
+// task on the first device of im's target class with free capacity,
+// reporting which device took it.
+func (x *Mechanism) PlaceExisting(t *rtsys.Task, im *casebase.Implementation) (device.Device, bool) {
+	for _, dev := range x.sys.DevicesByKind(im.Target) {
+		if !dev.CanPlace(im.Foot) {
+			continue
+		}
+		if err := x.sys.Place(t, dev, im); err != nil {
+			continue
+		}
+		return dev, true
+	}
+	return nil, false
+}
+
+// Preempt evicts t, releasing its capacity; the task re-bids later
+// with aged priority.
+func (x *Mechanism) Preempt(t *rtsys.Task) error { return x.sys.Preempt(t) }
+
+// Occupants snapshots dev's preemptible occupants for victim
+// selection: tasks in Running or Configuring, in task-handle order
+// (the order Placements reports), with their effective (aged)
+// priorities. tasks is positionally aligned with the returned
+// policy.Occupant slice so the caller can map the selected index back
+// to a task.
+func (x *Mechanism) Occupants(dev device.Device) ([]policy.Occupant, []*rtsys.Task) {
+	var occ []policy.Occupant
+	var tasks []*rtsys.Task
+	for _, pl := range dev.Placements() {
+		t, ok := x.sys.Task(rtsys.TaskID(pl.Task))
+		if !ok || (t.State != rtsys.Running && t.State != rtsys.Configuring) {
+			continue
+		}
+		occ = append(occ, policy.Occupant{Task: pl.Task, Prio: x.sys.EffectivePriority(t)})
+		tasks = append(tasks, t)
+	}
+	return occ, tasks
+}
+
+// Waiting snapshots the preempted tasks (in task-handle order, the
+// order Tasks reports) with their effective priorities, positionally
+// aligned like Occupants.
+func (x *Mechanism) Waiting() ([]policy.Occupant, []*rtsys.Task) {
+	var occ []policy.Occupant
+	var tasks []*rtsys.Task
+	for _, t := range x.sys.Tasks() {
+		if t.State != rtsys.Preempted {
+			continue
+		}
+		occ = append(occ, policy.Occupant{Task: int(t.ID), Prio: x.sys.EffectivePriority(t)})
+		tasks = append(tasks, t)
+	}
+	return occ, tasks
+}
+
+// TargetHealth snapshots which target classes exist on the platform
+// and which still have a device accepting work — the inputs to
+// policy.ExcludedTargets.
+func (x *Mechanism) TargetHealth() (seen, alive map[casebase.Target]bool) {
+	seen = make(map[casebase.Target]bool)
+	alive = make(map[casebase.Target]bool)
+	for _, d := range x.sys.Devices() {
+		seen[d.Kind()] = true
+		if d.Health() != device.Failed {
+			alive[d.Kind()] = true
+		}
+	}
+	return seen, alive
+}
+
+// View reduces the node to the plain-integer snapshot policy.RankNodes
+// scores: surviving capacity, health, and queue pressure.
+func (x *Mechanism) View(name string) policy.NodeView {
+	v := policy.NodeView{Name: name, Failed: true}
+	for _, d := range x.sys.Devices() {
+		h := d.Health()
+		if h != device.Failed {
+			v.Failed = false
+		}
+		if h == device.Degraded {
+			v.Degraded = true
+		}
+		switch dev := d.(type) {
+		case *device.FPGA:
+			if h == device.Failed {
+				v.Degraded = true
+				continue
+			}
+			v.FreeSlots += dev.FreeSlots()
+		case *device.Processor:
+			if h == device.Failed {
+				v.Degraded = true
+				continue
+			}
+			if free := dev.LoadCapacity - dev.Load(); free > 0 {
+				v.FreeLoadPermille += free
+			}
+		default:
+			if h == device.Failed {
+				v.Degraded = true
+			}
+		}
+	}
+	for _, t := range x.sys.Tasks() {
+		if t.State == rtsys.Pending || t.State == rtsys.Preempted {
+			v.Waiting++
+		}
+	}
+	return v
+}

@@ -1,0 +1,242 @@
+// Package policy is the pure decision half of the allocation layer:
+// candidate ordering, preemption-victim selection, degradation
+// accounting, and cross-node placement scoring. Every function here is
+// a side-effect-free computation over plain data snapshots — the
+// mechanism layer (package alloc) resolves implementation records,
+// takes device snapshots, and executes whatever this package decides.
+//
+// The split mirrors how adaptive reconfigurable-system managers
+// separate *where to place* from *how to place*: floor-plan/region
+// managers score candidate regions with a pure cost function and hand
+// the winner to a loader that owns the reconfiguration port. Keeping
+// the scoring side pure makes it table-testable (the preemption
+// ordering below is pinned by exhaustive tables) and lets the fleet
+// layer reuse the same ranking across many nodes without touching any
+// run-time state.
+//
+// The package must stay free of rtsys and device imports — a test
+// parses the sources and fails if either creeps in. Time, priorities
+// and capacities arrive as plain integers.
+package policy
+
+import (
+	"sort"
+
+	"qosalloc/internal/attr"
+	"qosalloc/internal/casebase"
+	"qosalloc/internal/retrieval"
+)
+
+// --- Candidate ordering -------------------------------------------------
+
+// PowerUnknown marks a candidate whose implementation record (and so
+// its power figure) could not be resolved; its score falls back to the
+// raw similarity, matching the paper's pure-similarity ranking.
+const PowerUnknown = -1
+
+// PowerOrder returns the candidate visit order after power
+// discounting: a permutation of indices into sims, stable for equal
+// scores, ranked by S - weight·(powerMW/1000). powerMW is positionally
+// aligned with sims; PowerUnknown entries keep their raw similarity.
+// A zero weight returns the identity order (the paper's ranking).
+func PowerOrder(sims []float64, powerMW []int, weight float64) []int {
+	order := make([]int, len(sims))
+	for i := range order {
+		order[i] = i
+	}
+	if weight == 0 {
+		return order
+	}
+	score := func(i int) float64 {
+		if powerMW[i] == PowerUnknown {
+			return sims[i]
+		}
+		return sims[i] - weight*float64(powerMW[i])/1000
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return score(order[a]) > score(order[b])
+	})
+	return order
+}
+
+// --- Preemption-victim selection ----------------------------------------
+
+// Occupant is one live placement on a device, reduced to what victim
+// selection needs: the task handle (for reporting) and its effective
+// (aged) priority. The mechanism layer lists occupants in task-handle
+// order and pre-filters to preemptible lifecycle states.
+type Occupant struct {
+	Task int
+	Prio int
+}
+
+// LowestVictim selects the occupant to evict for a requester at
+// requesterPrio: the occupant with the lowest effective priority,
+// provided it is strictly below the requester's. Ties on the minimum
+// go to the earliest occupant in the list (the lowest task handle,
+// given the mechanism's ordering) — a deterministic choice the
+// preemption tables pin, including equal-priority ties. Returns the
+// index into occ, or ok=false when no occupant is strictly below the
+// requester.
+func LowestVictim(occ []Occupant, requesterPrio int) (int, bool) {
+	victim := -1
+	victimPrio := requesterPrio // must be strictly below the requester
+	for i, o := range occ {
+		if o.Prio < victimPrio {
+			victim = i
+			victimPrio = o.Prio
+		}
+	}
+	return victim, victim >= 0
+}
+
+// BestWaiting selects the waiting task to re-place first: the highest
+// effective priority wins; ties go to the earliest entry (lowest task
+// handle, given the mechanism's ordering). Returns ok=false for an
+// empty list.
+func BestWaiting(waiting []Occupant) (int, bool) {
+	best := -1
+	bestPrio := 0
+	for i, w := range waiting {
+		if best == -1 || w.Prio > bestPrio {
+			best = i
+			bestPrio = w.Prio
+		}
+	}
+	return best, best >= 0
+}
+
+// --- Degradation accounting ---------------------------------------------
+
+// IsDegradation reports whether a recovery onto a substitute variant
+// cost the application QoS: the global similarity dropped, or at least
+// one requested attribute is satisfied worse.
+func IsDegradation(fromSim, toSim float64, lost []attr.ID) bool {
+	return toSim < fromSim || len(lost) > 0
+}
+
+// LostAttrs compares the per-attribute similarity breakdowns of the
+// original and the substitute variant (positionally aligned, the order
+// retrieval reports locals in) and returns the attributes the
+// substitute satisfies worse. With no original breakdown, every
+// imperfect local of the substitute counts as lost.
+func LostAttrs(fromLoc, toLoc []retrieval.LocalScore) []attr.ID {
+	if toLoc == nil {
+		return nil
+	}
+	var out []attr.ID
+	for i, tl := range toLoc {
+		if fromLoc != nil && i < len(fromLoc) {
+			if tl.Sim < fromLoc[i].Sim {
+				out = append(out, attr.ID(tl.ID))
+			}
+		} else if tl.Sim < 1 {
+			out = append(out, attr.ID(tl.ID))
+		}
+	}
+	return out
+}
+
+// RejectedAttrs names the lost QoS attributes of a rejection: the
+// requested attributes the best examined candidate could not fully
+// satisfy, or every requested attribute when nothing was examined.
+func RejectedAttrs(req casebase.Request, tried []retrieval.Result) []attr.ID {
+	if len(tried) == 0 {
+		out := make([]attr.ID, 0, len(req.Constraints))
+		for _, c := range req.Constraints {
+			out = append(out, c.ID)
+		}
+		return out
+	}
+	var out []attr.ID
+	for _, l := range tried[0].Locals {
+		if l.Sim < 1 {
+			out = append(out, attr.ID(l.ID))
+		}
+	}
+	return out
+}
+
+// ExcludedTargets returns the target classes present on the platform
+// but with no device able to accept work — the "failed target" a
+// degrade-and-retry retrieval excludes. Canonical FPGA, DSP, GPP order
+// keeps reports and replays stable.
+func ExcludedTargets(seen, alive map[casebase.Target]bool) []casebase.Target {
+	var out []casebase.Target
+	for _, k := range []casebase.Target{casebase.TargetFPGA, casebase.TargetDSP, casebase.TargetGPP} {
+		if seen[k] && !alive[k] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// TargetExcluded reports whether t is in the excluded list.
+func TargetExcluded(excluded []casebase.Target, t casebase.Target) bool {
+	for _, e := range excluded {
+		if e == t {
+			return true
+		}
+	}
+	return false
+}
+
+// --- Cross-node placement scoring ---------------------------------------
+
+// NodeView is one fleet node's placement snapshot, reduced to plain
+// integers: no device handles, no runtime pointers. The fleet layer
+// produces one view per node and ranks them here.
+type NodeView struct {
+	// Name identifies the node; the final ranking tie-break, so node
+	// order never depends on map iteration or construction order.
+	Name string
+	// Failed means no device on the node accepts work at all.
+	Failed bool
+	// Degraded means the node lost part of its capacity to faults
+	// (failed FPGA slots or a dead device) but still accepts work.
+	Degraded bool
+	// FreeSlots counts unoccupied healthy FPGA slots.
+	FreeSlots int
+	// FreeLoadPermille sums the uncommitted processor budget across the
+	// node's DSPs and GPPs, in permille.
+	FreeLoadPermille int
+	// Waiting counts tasks parked in Pending or Preempted.
+	Waiting int
+}
+
+// capacityScore folds a view's free capacity into one integer: an FPGA
+// slot is weighted like one fully idle core, so mixed platforms
+// compare sensibly.
+func (v NodeView) capacityScore() int {
+	return v.FreeSlots*1000 + v.FreeLoadPermille
+}
+
+// RankNodes orders node indices best-first for a new placement:
+// accepting nodes before failed ones, fully healthy before degraded
+// (a storm-hit node keeps its surviving capacity for recovering its
+// own tenants), then more free capacity, fewer waiters, and finally
+// ascending name. The result is a pure function of the views, so a
+// fleet replay places identically at any node count.
+func RankNodes(views []NodeView) []int {
+	order := make([]int, len(views))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		va, vb := views[order[a]], views[order[b]]
+		if va.Failed != vb.Failed {
+			return !va.Failed
+		}
+		if va.Degraded != vb.Degraded {
+			return !va.Degraded
+		}
+		if ca, cb := va.capacityScore(), vb.capacityScore(); ca != cb {
+			return ca > cb
+		}
+		if va.Waiting != vb.Waiting {
+			return va.Waiting < vb.Waiting
+		}
+		return va.Name < vb.Name
+	})
+	return order
+}

@@ -1,0 +1,416 @@
+package policy
+
+import (
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"qosalloc/internal/attr"
+	"qosalloc/internal/casebase"
+	"qosalloc/internal/retrieval"
+)
+
+// TestPurity parses every source file of this package and fails if the
+// forbidden runtime imports creep in — the acceptance criterion that
+// the policy layer has zero dependencies on rtsys or device.
+func TestPurity(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", nil, parser.ImportsOnly)
+	if err != nil {
+		t.Fatalf("parse package: %v", err)
+	}
+	for _, pkg := range pkgs {
+		for file, f := range pkg.Files {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					t.Fatalf("%s: bad import %s", file, imp.Path.Value)
+				}
+				for _, banned := range []string{
+					"qosalloc/internal/rtsys",
+					"qosalloc/internal/device",
+				} {
+					if path == banned {
+						t.Errorf("%s imports %s; policy must stay pure",
+							filepath.Base(file), path)
+					}
+				}
+			}
+		}
+	}
+}
+
+// --- Victim ordering (satellite: pins lowestVictim semantics) ----------
+
+func TestLowestVictim(t *testing.T) {
+	tests := []struct {
+		name      string
+		occ       []Occupant
+		requester int
+		want      int // index into occ; -1 = no victim
+	}{
+		{
+			name:      "empty device",
+			occ:       nil,
+			requester: 5,
+			want:      -1,
+		},
+		{
+			name:      "single lower-priority occupant",
+			occ:       []Occupant{{Task: 1, Prio: 3}},
+			requester: 5,
+			want:      0,
+		},
+		{
+			name:      "equal priority is not preemptible (strictly below)",
+			occ:       []Occupant{{Task: 1, Prio: 5}},
+			requester: 5,
+			want:      -1,
+		},
+		{
+			name:      "higher priority is not preemptible",
+			occ:       []Occupant{{Task: 1, Prio: 9}},
+			requester: 5,
+			want:      -1,
+		},
+		{
+			name: "minimum wins among several eligible",
+			occ: []Occupant{
+				{Task: 1, Prio: 4},
+				{Task: 2, Prio: 2},
+				{Task: 3, Prio: 3},
+			},
+			requester: 5,
+			want:      1,
+		},
+		{
+			name: "equal-priority tie goes to the earliest occupant",
+			occ: []Occupant{
+				{Task: 7, Prio: 2},
+				{Task: 9, Prio: 2},
+				{Task: 11, Prio: 2},
+			},
+			requester: 5,
+			want:      0,
+		},
+		{
+			name: "tie on the minimum after a higher entry",
+			occ: []Occupant{
+				{Task: 3, Prio: 4},
+				{Task: 5, Prio: 1},
+				{Task: 8, Prio: 1},
+			},
+			requester: 5,
+			want:      1,
+		},
+		{
+			name: "mixed eligibility: only strictly-below considered",
+			occ: []Occupant{
+				{Task: 1, Prio: 9}, // above requester
+				{Task: 2, Prio: 5}, // equal — ineligible
+				{Task: 3, Prio: 4},
+				{Task: 4, Prio: 4}, // tie with task 3, later — loses
+			},
+			requester: 5,
+			want:      2,
+		},
+		{
+			name: "aged priorities can disqualify every occupant",
+			occ: []Occupant{
+				{Task: 1, Prio: 6},
+				{Task: 2, Prio: 7},
+			},
+			requester: 5,
+			want:      -1,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, ok := LowestVictim(tt.occ, tt.requester)
+			if tt.want == -1 {
+				if ok {
+					t.Fatalf("LowestVictim = %d (task %d), want no victim",
+						got, tt.occ[got].Task)
+				}
+				return
+			}
+			if !ok {
+				t.Fatalf("LowestVictim found no victim, want index %d (task %d)",
+					tt.want, tt.occ[tt.want].Task)
+			}
+			if got != tt.want {
+				t.Errorf("LowestVictim = index %d (task %d), want index %d (task %d)",
+					got, tt.occ[got].Task, tt.want, tt.occ[tt.want].Task)
+			}
+		})
+	}
+}
+
+// TestLowestVictimPreemptiveWalk pins the ordering tryPreemptivePlace
+// relies on: the victim is re-selected per device with the requester's
+// base priority as the bar, and eviction of the selected victim must
+// never cascade to a second equal-priority occupant in the same pass
+// (the mechanism re-snapshots after each eviction; the tie still goes
+// to the earliest survivor).
+func TestLowestVictimPreemptiveWalk(t *testing.T) {
+	occ := []Occupant{
+		{Task: 2, Prio: 1},
+		{Task: 4, Prio: 1},
+		{Task: 6, Prio: 3},
+	}
+	first, ok := LowestVictim(occ, 4)
+	if !ok || occ[first].Task != 2 {
+		t.Fatalf("first victim = %v/%v, want task 2", first, ok)
+	}
+	// After task 2 is evicted the snapshot shrinks; the tie-break again
+	// picks the earliest remaining minimum.
+	rest := occ[1:]
+	second, ok := LowestVictim(rest, 4)
+	if !ok || rest[second].Task != 4 {
+		t.Fatalf("second victim = %v/%v, want task 4", second, ok)
+	}
+	// A requester at the victims' priority gets nothing: preemption is
+	// strictly-below, so equal-priority storms cannot evict each other.
+	if i, ok := LowestVictim(rest[1:], 3); ok {
+		t.Fatalf("requester at prio 3 evicted task %d; want no victim", rest[1:][i].Task)
+	}
+}
+
+func TestBestWaiting(t *testing.T) {
+	tests := []struct {
+		name    string
+		waiting []Occupant
+		want    int
+	}{
+		{name: "empty", waiting: nil, want: -1},
+		{
+			name:    "single",
+			waiting: []Occupant{{Task: 1, Prio: 0}},
+			want:    0,
+		},
+		{
+			name: "highest aged priority wins",
+			waiting: []Occupant{
+				{Task: 1, Prio: 2},
+				{Task: 2, Prio: 8},
+				{Task: 3, Prio: 5},
+			},
+			want: 1,
+		},
+		{
+			name: "equal-priority tie goes to the earliest task",
+			waiting: []Occupant{
+				{Task: 4, Prio: 6},
+				{Task: 9, Prio: 6},
+			},
+			want: 0,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, ok := BestWaiting(tt.waiting)
+			if tt.want == -1 {
+				if ok {
+					t.Fatalf("BestWaiting = %d, want none", got)
+				}
+				return
+			}
+			if !ok || got != tt.want {
+				t.Errorf("BestWaiting = %d/%v, want %d", got, ok, tt.want)
+			}
+		})
+	}
+}
+
+// --- Power ordering -----------------------------------------------------
+
+func TestPowerOrder(t *testing.T) {
+	tests := []struct {
+		name   string
+		sims   []float64
+		power  []int
+		weight float64
+		want   []int
+	}{
+		{
+			name: "zero weight keeps similarity order",
+			sims: []float64{0.9, 0.8, 0.7}, power: []int{900, 10, 10},
+			weight: 0, want: []int{0, 1, 2},
+		},
+		{
+			name: "power discount flips a hungry best match",
+			sims: []float64{0.9, 0.8}, power: []int{900, 100},
+			weight: 0.5, want: []int{1, 0}, // 0.45 vs 0.75
+		},
+		{
+			name: "unknown power keeps raw similarity",
+			sims: []float64{0.9, 0.8}, power: []int{PowerUnknown, 100},
+			weight: 0.5, want: []int{0, 1}, // 0.9 vs 0.75
+		},
+		{
+			name: "equal scores stay in similarity order (stable)",
+			sims: []float64{0.8, 0.8, 0.8}, power: []int{200, 200, 200},
+			weight: 1, want: []int{0, 1, 2},
+		},
+		{
+			name: "empty",
+			sims: nil, power: nil, weight: 1, want: []int{},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := PowerOrder(tt.sims, tt.power, tt.weight)
+			if len(got) == 0 && len(tt.want) == 0 {
+				return
+			}
+			if !reflect.DeepEqual(got, tt.want) {
+				t.Errorf("PowerOrder = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+// --- Degradation accounting ---------------------------------------------
+
+func TestLostAttrs(t *testing.T) {
+	loc := func(pairs ...float64) []retrieval.LocalScore {
+		var out []retrieval.LocalScore
+		for i := 0; i+1 < len(pairs); i += 2 {
+			out = append(out, retrieval.LocalScore{ID: uint16(pairs[i]), Sim: pairs[i+1]})
+		}
+		return out
+	}
+	tests := []struct {
+		name     string
+		from, to []retrieval.LocalScore
+		want     []attr.ID
+	}{
+		{name: "no substitute breakdown", from: loc(1, 0.9), to: nil, want: nil},
+		{
+			name: "substitute worse on one attribute",
+			from: loc(1, 0.9, 2, 0.8), to: loc(1, 0.9, 2, 0.5),
+			want: []attr.ID{2},
+		},
+		{
+			name: "substitute equal or better loses nothing",
+			from: loc(1, 0.5, 2, 0.8), to: loc(1, 0.5, 2, 0.9),
+			want: nil,
+		},
+		{
+			name: "no original: every imperfect local counts",
+			from: nil, to: loc(1, 1.0, 2, 0.7),
+			want: []attr.ID{2},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := LostAttrs(tt.from, tt.to)
+			if !reflect.DeepEqual(got, tt.want) {
+				t.Errorf("LostAttrs = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestIsDegradation(t *testing.T) {
+	if IsDegradation(0.8, 0.8, nil) {
+		t.Error("equal similarity with no lost attrs should not degrade")
+	}
+	if !IsDegradation(0.8, 0.7, nil) {
+		t.Error("similarity drop must degrade")
+	}
+	if !IsDegradation(0.8, 0.9, []attr.ID{3}) {
+		t.Error("lost attribute must degrade even when global similarity rose")
+	}
+}
+
+func TestExcludedTargets(t *testing.T) {
+	seen := map[casebase.Target]bool{
+		casebase.TargetFPGA: true, casebase.TargetDSP: true, casebase.TargetGPP: true,
+	}
+	alive := map[casebase.Target]bool{casebase.TargetDSP: true}
+	got := ExcludedTargets(seen, alive)
+	want := []casebase.Target{casebase.TargetFPGA, casebase.TargetGPP}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ExcludedTargets = %v, want %v (canonical order)", got, want)
+	}
+	if !TargetExcluded(got, casebase.TargetFPGA) || TargetExcluded(got, casebase.TargetDSP) {
+		t.Error("TargetExcluded membership wrong")
+	}
+	// A target class that was never present is not "excluded" — there
+	// is nothing to degrade away from.
+	if out := ExcludedTargets(map[casebase.Target]bool{casebase.TargetGPP: true},
+		map[casebase.Target]bool{casebase.TargetGPP: true}); out != nil {
+		t.Errorf("healthy platform excluded %v", out)
+	}
+}
+
+// --- Node ranking -------------------------------------------------------
+
+func TestRankNodes(t *testing.T) {
+	tests := []struct {
+		name  string
+		views []NodeView
+		want  []string // node names best-first
+	}{
+		{
+			name: "healthy before degraded before failed",
+			views: []NodeView{
+				{Name: "n0", Failed: true},
+				{Name: "n1", Degraded: true, FreeSlots: 9},
+				{Name: "n2", FreeSlots: 1},
+			},
+			want: []string{"n2", "n1", "n0"},
+		},
+		{
+			name: "more free capacity first",
+			views: []NodeView{
+				{Name: "n0", FreeSlots: 1},
+				{Name: "n1", FreeSlots: 3},
+				{Name: "n2", FreeLoadPermille: 3500},
+			},
+			want: []string{"n2", "n1", "n0"},
+		},
+		{
+			name: "fewer waiters breaks capacity ties",
+			views: []NodeView{
+				{Name: "n0", FreeSlots: 2, Waiting: 4},
+				{Name: "n1", FreeSlots: 2, Waiting: 1},
+			},
+			want: []string{"n1", "n0"},
+		},
+		{
+			name: "name is the final tie-break",
+			views: []NodeView{
+				{Name: "nodeB", FreeSlots: 2},
+				{Name: "nodeA", FreeSlots: 2},
+				{Name: "nodeC", FreeSlots: 2},
+			},
+			want: []string{"nodeA", "nodeB", "nodeC"},
+		},
+		{
+			name: "slot weighted like a full core",
+			views: []NodeView{
+				{Name: "n0", FreeLoadPermille: 999},
+				{Name: "n1", FreeSlots: 1},
+			},
+			want: []string{"n1", "n0"},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			order := RankNodes(tt.views)
+			var got []string
+			for _, i := range order {
+				got = append(got, tt.views[i].Name)
+			}
+			if strings.Join(got, ",") != strings.Join(tt.want, ",") {
+				t.Errorf("RankNodes = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}

@@ -135,6 +135,23 @@ func ParsePlan(s string) (Plan, error) {
 	return p, nil
 }
 
+// ForDevices filters the plan to events hitting only the named devices
+// — how a fleet scopes one storm to a single node's platform while the
+// other nodes run clean. Event order is preserved.
+func (p Plan) ForDevices(devs ...device.ID) Plan {
+	keep := make(map[device.ID]bool, len(devs))
+	for _, d := range devs {
+		keep[d] = true
+	}
+	var out Plan
+	for _, e := range p.Events {
+		if keep[e.Device] {
+			out.Events = append(out.Events, e)
+		}
+	}
+	return out
+}
+
 // StormTarget names one device a storm may hit. Slots must be the slot
 // count for FPGAs and 0 for processors (which then only receive
 // device-level and configuration faults).

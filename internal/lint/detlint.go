@@ -11,6 +11,8 @@ import (
 // which equals the final import-path element throughout the repo.
 var deterministicPkgs = map[string]bool{
 	"alloc":       true,
+	"policy":      true,
+	"fleet":       true,
 	"rtsys":       true,
 	"serve":       true,
 	"retrieval":   true,

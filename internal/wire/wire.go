@@ -170,4 +170,8 @@ const (
 	CodeDeadline    = "deadline"     // 504: request context expired in serve
 	CodeInternal    = "internal"     // 500: anything unclassified
 	CodeUnknownTask = "unknown_task" // 404: release of a task the runtime doesn't know
+	// CodeBudgetExceeded (429) reports a tenant over its QoS class's
+	// resource budget (admit.ErrBudgetExceeded); Retry-After is set only
+	// for the bandwidth dimension, where waiting accrues headroom.
+	CodeBudgetExceeded = "budget_exceeded"
 )

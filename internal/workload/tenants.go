@@ -1,0 +1,173 @@
+package workload
+
+// The per-tenant dimension of a workload: generated requests carry a
+// tenant identity and that tenant's QoS class, so the fleet layer's
+// class budgets (internal/admit.Ledger) and qosload's multi-tenant
+// schedules are driven by the same deterministic draw. Tenants are
+// assigned by weighted lottery from an explicit seed or source — the
+// same discipline as the case-base and stream generators, so one seed
+// replays the whole multi-tenant run bit-identically.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"qosalloc/internal/attr"
+	"qosalloc/internal/casebase"
+)
+
+// TenantSpec names one tenant with its QoS class and its relative
+// weight in the request mix. A zero weight counts as 1.
+type TenantSpec struct {
+	ID     string
+	Class  string
+	Weight int
+}
+
+// TenantMixSpec parameterizes the tenant dimension of a stream.
+type TenantMixSpec struct {
+	Tenants []TenantSpec
+	Seed    int64
+	// Rand, when non-nil, takes precedence over Seed (see
+	// CaseBaseSpec.Rand).
+	Rand *rand.Rand
+}
+
+// TenantedRequest is one generated request with its tenant attribution.
+type TenantedRequest struct {
+	Tenant string
+	Class  string
+	Req    casebase.Request
+}
+
+// DefaultTenantMix is the three-class demo mix: a small premium
+// tenant, a mid-weight standard one, and a heavy best-effort one.
+func DefaultTenantMix() []TenantSpec {
+	return []TenantSpec{
+		{ID: "tenant-gold", Class: "gold", Weight: 1},
+		{ID: "tenant-silver", Class: "silver", Weight: 2},
+		{ID: "tenant-bronze", Class: "bronze", Weight: 4},
+	}
+}
+
+// AssignTenants attributes each request to a tenant by weighted draw.
+// The input slice is not modified; the output preserves request order.
+func AssignTenants(reqs []casebase.Request, spec TenantMixSpec) ([]TenantedRequest, error) {
+	if len(spec.Tenants) == 0 {
+		return nil, fmt.Errorf("workload: tenant mix must name at least one tenant")
+	}
+	total := 0
+	for i, t := range spec.Tenants {
+		if t.ID == "" {
+			return nil, fmt.Errorf("workload: tenant %d has an empty ID", i)
+		}
+		if t.Weight < 0 {
+			return nil, fmt.Errorf("workload: tenant %q has negative weight %d", t.ID, t.Weight)
+		}
+		w := t.Weight
+		if w == 0 {
+			w = 1
+		}
+		total += w
+	}
+	r := spec.Rand
+	if r == nil {
+		r = rand.New(rand.NewSource(spec.Seed))
+	}
+	out := make([]TenantedRequest, len(reqs))
+	for i, req := range reqs {
+		draw := r.Intn(total)
+		for _, t := range spec.Tenants {
+			w := t.Weight
+			if w == 0 {
+				w = 1
+			}
+			if draw -= w; draw < 0 {
+				out[i] = TenantedRequest{Tenant: t.ID, Class: t.Class, Req: req}
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// GenTenantedRequests composes GenRequests and AssignTenants: a full
+// multi-tenant request stream from two specs. When stream.Rand is set
+// and mix.Rand is nil, the mix draws from the same source, so a single
+// threaded *rand.Rand still replays the whole schedule.
+func GenTenantedRequests(cb *casebase.CaseBase, reg *attr.Registry, stream RequestStreamSpec, mix TenantMixSpec) ([]TenantedRequest, error) {
+	reqs, err := GenRequests(cb, reg, stream)
+	if err != nil {
+		return nil, err
+	}
+	if mix.Rand == nil && stream.Rand != nil {
+		mix.Rand = stream.Rand
+	}
+	return AssignTenants(reqs, mix)
+}
+
+// ParseTenantMix parses the CLI tenant-mix syntax shared by qosload:
+// comma-separated "tenant=class" or "tenant=class:weight" entries,
+// e.g. "alice=gold,bob=bronze:4". Entries keep their written order.
+func ParseTenantMix(s string) ([]TenantSpec, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("workload: empty tenant mix")
+	}
+	var out []TenantSpec
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, rest, ok := strings.Cut(part, "=")
+		if !ok || id == "" || rest == "" {
+			return nil, fmt.Errorf("workload: bad tenant entry %q (want tenant=class[:weight])", part)
+		}
+		class, wstr, hasW := strings.Cut(rest, ":")
+		if class == "" {
+			return nil, fmt.Errorf("workload: tenant %q has an empty class", id)
+		}
+		w := 1
+		if hasW {
+			v, err := strconv.Atoi(wstr)
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("workload: tenant %q has bad weight %q", id, wstr)
+			}
+			w = v
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("workload: tenant %q listed twice", id)
+		}
+		seen[id] = true
+		out = append(out, TenantSpec{ID: id, Class: class, Weight: w})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("workload: empty tenant mix")
+	}
+	return out, nil
+}
+
+// TenantCounts tallies a tenanted stream by tenant ID, sorted by ID —
+// the deterministic summary qosload prints per run.
+func TenantCounts(reqs []TenantedRequest) []TenantCount {
+	byID := make(map[string]int)
+	for _, tr := range reqs {
+		byID[tr.Tenant]++
+	}
+	out := make([]TenantCount, 0, len(byID))
+	for id, n := range byID {
+		out = append(out, TenantCount{Tenant: id, N: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
+// TenantCount is one tenant's request tally.
+type TenantCount struct {
+	Tenant string
+	N      int
+}

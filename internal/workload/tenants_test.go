@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func tenantTestStream(t *testing.T, n int, seed int64) []TenantedRequest {
+	t.Helper()
+	cb, reg, err := GenCaseBase(CaseBaseSpec{Types: 4, ImplsPerType: 3, AttrsPerImpl: 3, AttrUniverse: 5, Seed: 7})
+	if err != nil {
+		t.Fatalf("GenCaseBase: %v", err)
+	}
+	out, err := GenTenantedRequests(cb, reg,
+		RequestStreamSpec{N: n, ConstraintsPer: 2, Seed: seed},
+		TenantMixSpec{Tenants: DefaultTenantMix(), Seed: seed})
+	if err != nil {
+		t.Fatalf("GenTenantedRequests: %v", err)
+	}
+	return out
+}
+
+func TestAssignTenantsDeterministic(t *testing.T) {
+	a := tenantTestStream(t, 200, 3)
+	b := tenantTestStream(t, 200, 3)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different tenant assignments")
+	}
+	c := tenantTestStream(t, 200, 4)
+	same := true
+	for i := range a {
+		if a[i].Tenant != c[i].Tenant {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical tenant sequences")
+	}
+}
+
+func TestAssignTenantsRespectsWeights(t *testing.T) {
+	reqs := tenantTestStream(t, 900, 1)
+	counts := TenantCounts(reqs)
+	byID := make(map[string]int)
+	total := 0
+	for _, c := range counts {
+		byID[c.Tenant] = c.N
+		total += c.N
+	}
+	if total != 900 {
+		t.Fatalf("tally lost requests: %d of 900", total)
+	}
+	// Weights 1/2/4 over 900 draws: expect roughly 129/257/514. Allow a
+	// generous band; the point is ordering and rough proportion, not a
+	// statistical test.
+	if !(byID["tenant-gold"] < byID["tenant-silver"] && byID["tenant-silver"] < byID["tenant-bronze"]) {
+		t.Fatalf("weighted mix out of order: %+v", byID)
+	}
+	if byID["tenant-bronze"] < 350 || byID["tenant-gold"] > 300 {
+		t.Fatalf("weighted mix far off 1:2:4 proportions: %+v", byID)
+	}
+	// Class labels ride along.
+	for _, tr := range reqs {
+		switch tr.Tenant {
+		case "tenant-gold":
+			if tr.Class != "gold" {
+				t.Fatalf("tenant %s carries class %q", tr.Tenant, tr.Class)
+			}
+		case "tenant-bronze":
+			if tr.Class != "bronze" {
+				t.Fatalf("tenant %s carries class %q", tr.Tenant, tr.Class)
+			}
+		}
+	}
+}
+
+func TestAssignTenantsSharedRand(t *testing.T) {
+	cb, reg, err := GenCaseBase(CaseBaseSpec{Types: 3, ImplsPerType: 2, AttrsPerImpl: 2, AttrUniverse: 4, Seed: 1})
+	if err != nil {
+		t.Fatalf("GenCaseBase: %v", err)
+	}
+	gen := func() []TenantedRequest {
+		r := rand.New(rand.NewSource(11))
+		out, err := GenTenantedRequests(cb, reg,
+			RequestStreamSpec{N: 50, ConstraintsPer: 2, Rand: r},
+			TenantMixSpec{Tenants: DefaultTenantMix()}) // mix inherits r
+		if err != nil {
+			t.Fatalf("GenTenantedRequests: %v", err)
+		}
+		return out
+	}
+	if !reflect.DeepEqual(gen(), gen()) {
+		t.Fatal("shared-source generation not replayable")
+	}
+}
+
+func TestAssignTenantsValidation(t *testing.T) {
+	if _, err := AssignTenants(nil, TenantMixSpec{}); err == nil {
+		t.Fatal("empty mix accepted")
+	}
+	if _, err := AssignTenants(nil, TenantMixSpec{Tenants: []TenantSpec{{ID: "", Class: "c"}}}); err == nil {
+		t.Fatal("empty tenant ID accepted")
+	}
+	if _, err := AssignTenants(nil, TenantMixSpec{Tenants: []TenantSpec{{ID: "a", Class: "c", Weight: -1}}}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+func TestParseTenantMix(t *testing.T) {
+	got, err := ParseTenantMix("alice=gold, bob=bronze:4")
+	if err != nil {
+		t.Fatalf("ParseTenantMix: %v", err)
+	}
+	want := []TenantSpec{{ID: "alice", Class: "gold", Weight: 1}, {ID: "bob", Class: "bronze", Weight: 4}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %+v want %+v", got, want)
+	}
+	for _, bad := range []string{"", "alice", "alice=", "=gold", "a=g:0", "a=g:x", "a=g,a=g"} {
+		if _, err := ParseTenantMix(bad); err == nil {
+			t.Fatalf("ParseTenantMix(%q) accepted", bad)
+		}
+	}
+}

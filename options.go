@@ -24,6 +24,13 @@ type config struct {
 	maxIdle   int // engine-pool idle cap; 0 = pool default
 	maxTokens int // token-cache LRU cap; 0 = retrieval.DefaultMaxTokens
 	reg       *obs.Registry
+
+	// Fleet construction state (NewFleet only): nodes, tenant→class
+	// bindings and class budgets, all kept in declaration order so a
+	// fleet built from the same option list replays bit-identically.
+	fleetNodes   []fleetNodeSpec
+	tenantBinds  []tenantBinding
+	classBudgets []classBudgetDef
 }
 
 // Option configures a v2 entry point (NewService, NewRetrievalEngine,

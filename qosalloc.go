@@ -427,6 +427,14 @@ type (
 	RequestStreamSpec = workload.RequestStreamSpec
 	// AppProfile is one fig. 1 application script.
 	AppProfile = workload.AppProfile
+	// TenantSpec names one tenant with its QoS class and mix weight.
+	TenantSpec = workload.TenantSpec
+	// TenantMixSpec parameterizes the tenant dimension of a stream.
+	TenantMixSpec = workload.TenantMixSpec
+	// TenantedRequest is one request with its tenant attribution.
+	TenantedRequest = workload.TenantedRequest
+	// TenantCount is one tenant's request tally.
+	TenantCount = workload.TenantCount
 	// PaperExperiment is one registered table/figure driver.
 	PaperExperiment = experiments.Experiment
 )
@@ -438,6 +446,26 @@ func GenCaseBase(spec CaseBaseSpec) (*CaseBase, *Registry, error) { return workl
 func GenRequests(cb *CaseBase, reg *Registry, spec RequestStreamSpec) ([]Request, error) {
 	return workload.GenRequests(cb, reg, spec)
 }
+
+// AssignTenants attributes each request to a tenant by weighted draw
+// from an explicit seed or source.
+func AssignTenants(reqs []Request, spec TenantMixSpec) ([]TenantedRequest, error) {
+	return workload.AssignTenants(reqs, spec)
+}
+
+// GenTenantedRequests synthesizes a multi-tenant request stream.
+func GenTenantedRequests(cb *CaseBase, reg *Registry, stream RequestStreamSpec, mix TenantMixSpec) ([]TenantedRequest, error) {
+	return workload.GenTenantedRequests(cb, reg, stream, mix)
+}
+
+// ParseTenantMix parses "tenant=class[:weight],..." CLI tenant mixes.
+func ParseTenantMix(s string) ([]TenantSpec, error) { return workload.ParseTenantMix(s) }
+
+// DefaultTenantMix is the gold/silver/bronze demo mix.
+func DefaultTenantMix() []TenantSpec { return workload.DefaultTenantMix() }
+
+// TenantCounts tallies a tenanted stream by tenant ID, sorted by ID.
+func TenantCounts(reqs []TenantedRequest) []TenantCount { return workload.TenantCounts(reqs) }
 
 // PaperScaleSpec is the Table 3 capacity point (15×10×10).
 func PaperScaleSpec() CaseBaseSpec { return workload.PaperScale() }

@@ -28,6 +28,10 @@ go doc -all . | diff -u api.txt - || {
 	echo "api.txt is stale: exported API changed; run 'make api' and commit" >&2
 	exit 1
 }
+# Multi-tenant isolation gate: the noisy-neighbor scenario must leave
+# the degraded tenant's recovery identical to the no-neighbor baseline
+# and reproduce the pinned fleet journal hash (mirrors `make fleetcheck`).
+go test -run 'TestFleetNoisyNeighborIsolation|TestFleetCheckGolden|TestFleetReplayBitIdentical' -count=1 ./internal/fleet/
 # qosd/qosload end-to-end smoke: scenario reports validate against the
 # wire schema, lockstep replay is outcome-identical, SIGTERM drains
 # cleanly. Writes its reports to a temp dir (the committed
