@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet qosvet lint test race bench bench-smoke bench-compact fuzz api api-check loadcheck fleetcheck ci
+.PHONY: all build vet qosvet lint test race bench bench-smoke bench-compact bench-learn fuzz api api-check loadcheck fleetcheck learncheck ci
 
 all: ci
 
@@ -44,6 +44,13 @@ bench-smoke:
 bench-compact:
 	QOS_BENCH_COMPACT=1 QOS_BENCH_OUT=$(OUT) $(GO) test -run TestCompactRetrievalSpeedup -count=1 -v .
 
+# Live-mutation read-path gate: measures the batched read path frozen
+# vs with the epoch-snapshot layer enabled (idle and under churn) and
+# fails if enabling learning slows reads beyond noise.
+# `make bench-learn OUT=BENCH_learn_churn.json` refreshes the report.
+bench-learn:
+	QOS_BENCH_LEARN=1 QOS_BENCH_OUT=$(OUT) $(GO) test -run TestServeLearnReadPathNoRegression -count=1 -v .
+
 # Short fuzz pass over the decoder; lengthen FUZZTIME for a real hunt.
 FUZZTIME ?= 30s
 fuzz:
@@ -73,4 +80,12 @@ loadcheck:
 fleetcheck:
 	$(GO) test -run 'TestFleetNoisyNeighborIsolation|TestFleetCheckGolden|TestFleetReplayBitIdentical' -count=1 ./internal/fleet/
 
-ci: build vet lint race bench-smoke bench-compact api-check fleetcheck loadcheck
+# Live case-base mutation gate (DESIGN.md §14): the pinned E21 epoch
+# journal replays bit-identically at any shard count, retiring a
+# tokenized variant never serves a stale bypass, and the churn-under-
+# load stress passes under the race detector.
+learncheck:
+	$(GO) test -run 'TestLearnChurnGoldenReplay|TestLearnChurnShardInvariance' -count=1 ./internal/experiments/
+	$(GO) test -race -run 'TestReplayShardInvariant|TestRetireInvalidatesBypassTokens|TestSwapMatchesFromScratchRebuild|TestLearnChurnRaceStress' -count=1 ./internal/serve/
+
+ci: build vet lint race bench-smoke bench-compact bench-learn api-check fleetcheck learncheck loadcheck

@@ -17,6 +17,7 @@ import (
 
 	"qosalloc"
 	"qosalloc/internal/admit"
+	"qosalloc/internal/attr"
 	"qosalloc/internal/casebase"
 	"qosalloc/internal/device"
 	"qosalloc/internal/fault"
@@ -75,6 +76,14 @@ type options struct {
 	tenants string
 	classes string
 
+	// Live case-base mutation: POST /v1/observe|retain|retire commit
+	// through the service's epoch snapshot pipeline. Off by default —
+	// mutation requests then get a typed 403 learning_off.
+	learn         bool
+	learnAlpha    float64
+	learnFold     int
+	learnMaxAgeUS uint64
+
 	// lockstep takes the admission clock from the X-QoS-Now request
 	// header (sim µs) instead of the wall clock, making admission
 	// decisions replayable bit-for-bit for a fixed request schedule.
@@ -100,6 +109,8 @@ func defaultOptions() options {
 		brkWindow:      admit.DefaultWindow,
 		brkRatio:       admit.DefaultTripRatio,
 		brkMinSamples:  admit.DefaultMinSamples,
+		learnAlpha:     serve.DefaultAlpha,
+		learnFold:      serve.DefaultFoldThreshold,
 		preemption:     true,
 		requestTimeout: 2 * time.Second,
 		drainTimeout:   10 * time.Second,
@@ -173,6 +184,9 @@ type daemonMetrics struct {
 	retrieve *obs.Counter
 	allocate *obs.Counter
 	release  *obs.Counter
+	observe  *obs.Counter
+	retain   *obs.Counter
+	retire   *obs.Counter
 	ok       *obs.Counter
 	clientEr *obs.Counter
 	serverEr *obs.Counter
@@ -185,6 +199,9 @@ func newDaemonMetrics(reg *obs.Registry) *daemonMetrics {
 		retrieve: reg.Counter("qos_qosd_requests_total{endpoint=\"retrieve\"}", "requests to /v1/retrieve"),
 		allocate: reg.Counter("qos_qosd_requests_total{endpoint=\"allocate\"}", "requests to /v1/allocate"),
 		release:  reg.Counter("qos_qosd_requests_total{endpoint=\"release\"}", "requests to /v1/release"),
+		observe:  reg.Counter("qos_qosd_requests_total{endpoint=\"observe\"}", "requests to /v1/observe"),
+		retain:   reg.Counter("qos_qosd_requests_total{endpoint=\"retain\"}", "requests to /v1/retain"),
+		retire:   reg.Counter("qos_qosd_requests_total{endpoint=\"retire\"}", "requests to /v1/retire"),
 		ok:       reg.Counter("qos_qosd_responses_total{class=\"2xx\"}", "successful responses"),
 		clientEr: reg.Counter("qos_qosd_responses_total{class=\"4xx\"}", "client-error responses (bad request, shed, no match)"),
 		serverEr: reg.Counter("qos_qosd_responses_total{class=\"5xx\"}", "server-error responses (breaker, draining, deadline, internal)"),
@@ -253,7 +270,7 @@ func newDaemon(opt options) (*daemon, error) {
 		ledger: ledger,
 		grants: make(map[qosalloc.TaskID]grant),
 	}
-	d.svc = qosalloc.NewService(cb, rt,
+	svcOpts := []qosalloc.Option{
 		qosalloc.WithShards(opt.shards),
 		qosalloc.WithMaxBatch(opt.maxBatch),
 		qosalloc.WithMaxQueue(opt.maxQueue),
@@ -262,7 +279,12 @@ func newDaemon(opt options) (*daemon, error) {
 		qosalloc.WithPreemption(opt.preemption),
 		qosalloc.WithCompactLayout(opt.compact),
 		qosalloc.WithRegistry(reg),
-	)
+	}
+	if opt.learn {
+		svcOpts = append(svcOpts, qosalloc.WithLearning(
+			opt.learnAlpha, opt.learnFold, qosalloc.Micros(opt.learnMaxAgeUS)))
+	}
+	d.svc = qosalloc.NewService(cb, rt, svcOpts...)
 	d.gate = admit.NewGate(admit.GateConfig{
 		Shards:  d.svc.Shards(),
 		Limiter: admit.LimiterConfig{RatePerSec: opt.ratePerSec, Burst: opt.burst},
@@ -309,6 +331,9 @@ func newDaemon(opt options) (*daemon, error) {
 	d.mux.HandleFunc("POST /v1/retrieve", d.handleRetrieve)
 	d.mux.HandleFunc("POST /v1/allocate", d.handleAllocate)
 	d.mux.HandleFunc("POST /v1/release", d.handleRelease)
+	d.mux.HandleFunc("POST /v1/observe", d.handleObserve)
+	d.mux.HandleFunc("POST /v1/retain", d.handleRetain)
+	d.mux.HandleFunc("POST /v1/retire", d.handleRetire)
 	d.mux.HandleFunc("GET /metrics", d.handleMetrics)
 	d.mux.HandleFunc("GET /statz", d.handleStatz)
 	d.mux.HandleFunc("GET /healthz", d.handleHealthz)
@@ -402,7 +427,9 @@ func (d *daemon) chargeTenant(tenant string, ty casebase.TypeID, dec *qosalloc.D
 	if tenant == "" {
 		return nil
 	}
-	ft, ok := d.cb.Type(ty)
+	// Footprints come from the committed epoch's tree — with -learn the
+	// construction-time d.cb goes stale after the first commit.
+	ft, ok := d.svc.CaseBase().Type(ty)
 	if !ok {
 		return nil // validated earlier; belt and braces
 	}
@@ -561,6 +588,127 @@ func (d *daemon) handleRelease(w http.ResponseWriter, r *http.Request) {
 	d.writeOK(w, map[string]any{"released": req.Task})
 }
 
+// handleObserve folds one run-time QoS measurement into the service's
+// deferred net-commit layer. The observation itself never blocks
+// readers; when it trips the fold policy the commit happens inline and
+// the response's epoch reflects it.
+func (d *daemon) handleObserve(w http.ResponseWriter, r *http.Request) {
+	d.met.observe.Inc()
+	if !d.begin(w) {
+		return
+	}
+	defer d.inflight.Done()
+	req, err := wire.DecodeObserveRequest(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, wire.ErrorResponse{
+			Code: wire.CodeBadRequest, Error: err.Error(),
+		})
+		d.met.clientEr.Inc()
+		return
+	}
+	if _, err := d.now(r); err != nil { // advance the sim clock (age bound)
+		writeError(w, http.StatusBadRequest, wire.ErrorResponse{
+			Code: wire.CodeBadRequest, Error: err.Error(),
+		})
+		d.met.clientEr.Inc()
+		return
+	}
+	if err := d.checkVariant(req.Type, req.Impl, req.Measured); err != nil {
+		writeError(w, http.StatusNotFound, wire.ErrorResponse{
+			Code: wire.CodeNoMatch, Error: err.Error(),
+		})
+		d.met.clientEr.Inc()
+		return
+	}
+	if err := d.svc.Observe(req.Observation()); err != nil {
+		d.writeMapped(w, err)
+		return
+	}
+	st := d.svc.EpochStats()
+	d.writeOK(w, wire.ObserveResponse{
+		Epoch: st.Epoch, PendingRevs: st.PendingRevs, PendingObs: st.PendingObs,
+	})
+}
+
+// handleRetain commits a new implementation variant through the epoch
+// snapshot pipeline and registers its configuration blob.
+func (d *daemon) handleRetain(w http.ResponseWriter, r *http.Request) {
+	d.met.retain.Inc()
+	if !d.begin(w) {
+		return
+	}
+	defer d.inflight.Done()
+	req, err := wire.DecodeRetainRequest(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, wire.ErrorResponse{
+			Code: wire.CodeBadRequest, Error: err.Error(),
+		})
+		d.met.clientEr.Inc()
+		return
+	}
+	if _, err := d.now(r); err != nil {
+		writeError(w, http.StatusBadRequest, wire.ErrorResponse{
+			Code: wire.CodeBadRequest, Error: err.Error(),
+		})
+		d.met.clientEr.Inc()
+		return
+	}
+	if err := d.checkVariant(req.Type, 0, req.Attrs); err != nil {
+		writeError(w, http.StatusNotFound, wire.ErrorResponse{
+			Code: wire.CodeNoMatch, Error: err.Error(),
+		})
+		d.met.clientEr.Inc()
+		return
+	}
+	id, err := d.svc.Retain(casebase.TypeID(req.Type), req.Implementation(), req.AtEpoch)
+	if err != nil {
+		d.writeMapped(w, err)
+		return
+	}
+	d.writeOK(w, wire.RetainResponse{
+		Type: req.Type, Impl: uint16(id), Epoch: d.svc.Epoch(),
+	})
+}
+
+// handleRetire withdraws an implementation variant through the epoch
+// snapshot pipeline.
+func (d *daemon) handleRetire(w http.ResponseWriter, r *http.Request) {
+	d.met.retire.Inc()
+	if !d.begin(w) {
+		return
+	}
+	defer d.inflight.Done()
+	req, err := wire.DecodeRetireRequest(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, wire.ErrorResponse{
+			Code: wire.CodeBadRequest, Error: err.Error(),
+		})
+		d.met.clientEr.Inc()
+		return
+	}
+	if _, err := d.now(r); err != nil {
+		writeError(w, http.StatusBadRequest, wire.ErrorResponse{
+			Code: wire.CodeBadRequest, Error: err.Error(),
+		})
+		d.met.clientEr.Inc()
+		return
+	}
+	if err := d.checkVariant(req.Type, req.Impl, nil); err != nil {
+		writeError(w, http.StatusNotFound, wire.ErrorResponse{
+			Code: wire.CodeNoMatch, Error: err.Error(),
+		})
+		d.met.clientEr.Inc()
+		return
+	}
+	if err := d.svc.Retire(casebase.TypeID(req.Type), casebase.ImplID(req.Impl), req.AtEpoch); err != nil {
+		d.writeMapped(w, err)
+		return
+	}
+	d.writeOK(w, wire.RetireResponse{
+		Type: req.Type, Impl: req.Impl, Epoch: d.svc.Epoch(),
+	})
+}
+
 func (d *daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	if err := d.reg.WriteProm(w); err != nil {
@@ -578,6 +726,11 @@ func (d *daemon) handleStatz(w http.ResponseWriter, r *http.Request) {
 		"sim_now_us":    d.simNow.Load(),
 		"draining":      d.svc.Draining(),
 		"lockstep":      d.opt.lockstep,
+	}
+	if d.opt.learn {
+		out["learn"] = d.svc.EpochStats()
+		out["epoch_journal"] = d.svc.Journal()
+		out["replay_hash"] = d.svc.ReplayHash()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
@@ -613,8 +766,9 @@ func (d *daemon) decode(w http.ResponseWriter, r *http.Request) (*wire.AllocRequ
 	// Semantic validation against the served case base (unknown type,
 	// value outside an attribute's design bounds) is still the client's
 	// fault — surface it as 400 here rather than as an internal error
-	// out of the engine.
-	if err := req.Request().Validate(d.cb); err != nil {
+	// out of the engine. The committed epoch's tree is the reference —
+	// with -learn the construction-time d.cb goes stale after commits.
+	if err := req.Request().Validate(d.svc.CaseBase()); err != nil {
 		writeError(w, http.StatusBadRequest, wire.ErrorResponse{
 			Code: wire.CodeBadRequest, Error: err.Error(),
 		})
@@ -630,6 +784,31 @@ func (d *daemon) decode(w http.ResponseWriter, r *http.Request) (*wire.AllocRequ
 		return nil, 0, false
 	}
 	return req, now, true
+}
+
+// checkVariant validates a mutation request against the committed
+// epoch's tree so the common client mistakes (unknown type, unknown
+// impl, unknown attribute) get typed 4xx replies instead of surfacing
+// as internal errors out of the commit pipeline. impl 0 skips the
+// implementation check (retain assigns fresh IDs). A commit racing this
+// check is caught again inside the pipeline.
+func (d *daemon) checkVariant(ty, impl uint16, attrs []wire.MeasurementJSON) error {
+	cb := d.svc.CaseBase()
+	ft, ok := cb.Type(casebase.TypeID(ty))
+	if !ok {
+		return fmt.Errorf("unknown function type %d", ty)
+	}
+	if impl != 0 {
+		if _, ok := ft.Impl(casebase.ImplID(impl)); !ok {
+			return fmt.Errorf("unknown impl %d of type %d", impl, ty)
+		}
+	}
+	for _, a := range attrs {
+		if _, ok := cb.Registry().Lookup(attr.ID(a.ID)); !ok {
+			return fmt.Errorf("unknown attribute %d", a.ID)
+		}
+	}
+	return nil
 }
 
 // breakerFailure decides whether a service error is a health signal
@@ -674,6 +853,17 @@ func (d *daemon) writeMapped(w http.ResponseWriter, err error) {
 
 // mapError is the single error → (status, body) table for the daemon.
 func mapError(err error) (int, wire.ErrorResponse) {
+	if errors.Is(err, serve.ErrLearningOff) {
+		return http.StatusForbidden, wire.ErrorResponse{
+			Code: wire.CodeLearningOff, Error: err.Error(),
+		}
+	}
+	var se *serve.ErrStaleEpoch
+	if errors.As(err, &se) {
+		return http.StatusConflict, wire.ErrorResponse{
+			Code: wire.CodeStaleEpoch, Error: err.Error(),
+		}
+	}
 	var rl *admit.ErrRateLimited
 	if errors.As(err, &rl) {
 		return http.StatusTooManyRequests, wire.ErrorResponse{

@@ -9,6 +9,9 @@
 //	POST /v1/retrieve   {"client","type","constraints":[{"id","value","weight"}]}
 //	POST /v1/allocate   retrieve body + {"app","priority","hold_us"}
 //	POST /v1/release    {"client","task"}
+//	POST /v1/observe    {"client","type","impl","measured":[{"id","value"}]}        (-learn)
+//	POST /v1/retain     {"client","type","target","attrs",...,"footprint",...}      (-learn)
+//	POST /v1/retire     {"client","type","impl","at_epoch"}                         (-learn)
 //	GET  /metrics       Prometheus text exposition
 //	GET  /statz         JSON state snapshot
 //	GET  /healthz       "ok", or 503 "draining" during shutdown
@@ -59,6 +62,10 @@ func main() {
 	flag.StringVar(&opt.faults, "faults", opt.faults, "scripted fault plan (at:kind:device[:slot];...)")
 	flag.StringVar(&opt.tenants, "tenants", opt.tenants, "tenant QoS-class bindings (tenant=class,...; empty = unmetered)")
 	flag.StringVar(&opt.classes, "classes", opt.classes, "QoS class budgets (class=slices:N,brams:N,cfgbps:N,cfgburst:N;...)")
+	flag.BoolVar(&opt.learn, "learn", opt.learn, "enable live case-base mutation (/v1/observe|retain|retire)")
+	flag.Float64Var(&opt.learnAlpha, "learn-alpha", opt.learnAlpha, "EWMA weight of new observations in (0,1]")
+	flag.IntVar(&opt.learnFold, "learn-fold", opt.learnFold, "pending LSB-visible revisions that trip a commit")
+	flag.Uint64Var(&opt.learnMaxAgeUS, "learn-max-age-us", opt.learnMaxAgeUS, "sim-µs age of pending observations that trips a commit (0 = off)")
 	flag.BoolVar(&opt.lockstep, "lockstep", opt.lockstep, "take the admission clock from the X-QoS-Now header")
 	flag.DurationVar(&opt.requestTimeout, "request-timeout", opt.requestTimeout, "per-request service deadline")
 	flag.DurationVar(&opt.drainTimeout, "drain-timeout", opt.drainTimeout, "SIGTERM drain deadline")

@@ -18,6 +18,13 @@
 // The case-base spec flags must match the daemon's (same seed ⇒ same
 // synthetic case base); the defaults on both sides agree.
 //
+// With -churn N, a seeded fraction (N%) of schedule slots gain an
+// interleaved case-base mutation — observe/retain/retire in an
+// 80/10/10 mix against a daemon running -learn. The churn schedule is
+// drawn from its own generator (seed+1), so adding -churn never
+// perturbs the base retrieve/allocate schedule; in lockstep mode the
+// combined schedule still replays to an identical outcome hash.
+//
 // Maintenance:
 //
 //	qosload -validate BENCH_qosd_zipf.json     # schema-check a report
@@ -54,6 +61,7 @@ type options struct {
 	allocPct int // percent of requests that allocate (with hold_us)
 	holdUS   uint64
 	tenants  string // tenant mix "tenant=class[:weight],..."; empty = anonymous
+	churnPct int    // percent of slots that gain an interleaved mutation
 	out      string
 
 	// Case-base spec (must mirror the daemon's flags).
@@ -82,6 +90,7 @@ func main() {
 	flag.IntVar(&opt.allocPct, "alloc-pct", opt.allocPct, "percent of requests that allocate (rest retrieve)")
 	flag.Uint64Var(&opt.holdUS, "hold-us", opt.holdUS, "hold_us on allocate requests")
 	flag.StringVar(&opt.tenants, "tenants", opt.tenants, "tenant mix tenant=class[:weight],... (empty = anonymous; classes must match qosd -tenants/-classes)")
+	flag.IntVar(&opt.churnPct, "churn", opt.churnPct, "percent of schedule slots that gain an interleaved case-base mutation (observe/retain/retire; needs qosd -learn)")
 	flag.StringVar(&opt.out, "out", "", "report path (default BENCH_qosd_<scenario>.json)")
 	flag.IntVar(&opt.types, "types", opt.types, "case-base function types (must match qosd)")
 	flag.IntVar(&opt.implsPerType, "impls", opt.implsPerType, "implementations per type (must match qosd)")
@@ -135,12 +144,18 @@ func main() {
 		report.LatencyUS.P99, report.OutcomeHash)
 }
 
-// shot is one scheduled request: who fires what, when.
+// shot is one scheduled request: who fires what, when. Exactly one of
+// the mutation pointers is set for a churn shot; all nil means the
+// retrieve/allocate request in req.
 type shot struct {
 	at     uint64 // µs offset on the schedule grid
 	client string
 	tenant string // X-QoS-Tenant identity; empty = anonymous
 	req    wire.AllocRequest
+
+	observe *wire.ObserveRequest
+	retain  *wire.RetainRequest
+	retire  *wire.RetireRequest
 }
 
 // outcome is one settled request, hashed in schedule order.
@@ -218,7 +233,74 @@ func buildSchedule(opt options) ([]shot, error) {
 			shots[i].tenant = tenanted[i].Tenant
 		}
 	}
+	if opt.churnPct > 0 {
+		shots = interleaveChurn(opt, cb, shots)
+	}
 	return shots, nil
+}
+
+// interleaveChurn weaves case-base mutations into the schedule: after
+// each base slot, with -churn percent probability, one mutation fires
+// at the same grid time. The churn dimension draws from its own
+// generator (seed+1) — like the tenant mix, adding -churn never
+// perturbs the arrival grid, client mix or retrieve/allocate split of
+// an existing schedule. In lockstep mode the mutation sequence — and
+// therefore the daemon's epoch journal — is a pure function of the
+// seed.
+func interleaveChurn(opt options, cb *qosalloc.CaseBase, base []shot) []shot {
+	cr := rand.New(rand.NewSource(opt.seed + 1))
+	types := cb.Types()
+	merged := make([]shot, 0, len(base)+len(base)*opt.churnPct/100+1)
+	for i, s := range base {
+		merged = append(merged, s)
+		if cr.Intn(100) >= opt.churnPct {
+			continue
+		}
+		ft := types[cr.Intn(len(types))]
+		client := fmt.Sprintf("churn-%d", cr.Intn(4))
+		m := shot{at: s.at, client: client}
+		switch k := cr.Intn(10); {
+		case k < 8: // observe: nudge a deployed variant's attributes ±1
+			im := ft.Impls[cr.Intn(len(ft.Impls))]
+			var ms []wire.MeasurementJSON
+			for _, p := range im.Attrs {
+				v := int(p.Value) + cr.Intn(3) - 1
+				if v < 0 {
+					v = 0
+				}
+				ms = append(ms, wire.MeasurementJSON{ID: uint16(p.ID), Value: uint16(v)})
+			}
+			m.observe = &wire.ObserveRequest{
+				Client: client, Type: uint16(ft.ID), Impl: uint16(im.ID), Measured: ms,
+			}
+		case k < 9: // retain: a fresh variant cloned from a seeded one
+			im := ft.Impls[cr.Intn(len(ft.Impls))]
+			rr := &wire.RetainRequest{
+				Client: client, Type: uint16(ft.ID),
+				Name: fmt.Sprintf("churn-%d", i), Target: im.Target.String(),
+				Foot: wire.FootprintJSON{
+					Slices: im.Foot.Slices, BRAMs: im.Foot.BRAMs,
+					Multipliers: im.Foot.Multipliers, CPULoad: im.Foot.CPULoad,
+					MemBytes: im.Foot.MemBytes, PowerMW: im.Foot.PowerMW,
+					ConfigBytes: im.Foot.ConfigBytes,
+				},
+			}
+			for _, p := range im.Attrs {
+				rr.Attrs = append(rr.Attrs, wire.MeasurementJSON{ID: uint16(p.ID), Value: uint16(p.Value)})
+			}
+			m.retain = rr
+		default: // retire a seeded variant (never the first; repeats 404)
+			hi := len(ft.Impls) - 1
+			if hi < 1 {
+				hi = 1
+			}
+			m.retire = &wire.RetireRequest{
+				Client: client, Type: uint16(ft.ID), Impl: uint16(2 + cr.Intn(hi)),
+			}
+		}
+		merged = append(merged, m)
+	}
+	return merged
 }
 
 func run(opt options) (*wire.BenchReport, error) {
@@ -325,13 +407,23 @@ func run(opt options) (*wire.BenchReport, error) {
 
 // fire sends one scheduled request and classifies the outcome.
 func fire(opt options, s shot, lockstep bool) outcome {
-	body, err := json.Marshal(s.req)
+	var (
+		payload any    = s.req
+		path    string = "/v1/retrieve"
+	)
+	switch {
+	case s.observe != nil:
+		payload, path = s.observe, "/v1/observe"
+	case s.retain != nil:
+		payload, path = s.retain, "/v1/retain"
+	case s.retire != nil:
+		payload, path = s.retire, "/v1/retire"
+	case s.req.App != "":
+		path = "/v1/allocate"
+	}
+	body, err := json.Marshal(payload)
 	if err != nil {
 		return outcome{status: -1, code: "marshal_error"}
-	}
-	path := "/v1/retrieve"
-	if s.req.App != "" {
-		path = "/v1/allocate"
 	}
 	hreq, err := http.NewRequest(http.MethodPost, opt.addr+path, bytes.NewReader(body))
 	if err != nil {

@@ -13,7 +13,7 @@ import (
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"bitwidth", "bypass", "capacity", "compact", "faults",
-		"fixedpoint", "latency", "learning", "mahalanobis", "nbest",
+		"fixedpoint", "latency", "learn", "learning", "mahalanobis", "nbest",
 		"negotiate", "obs", "policy", "powertrade", "serve", "speedup",
 		"system", "table1", "table2", "table3",
 	}

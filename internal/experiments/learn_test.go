@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestLearnChurnGoldenReplay pins the exact E21 replay: the epoch
+// journal — fold points, epoch numbers, commit reasons, fold sizes —
+// is a pure function of the seeded schedule, and the replay hash is
+// its bit-exact digest. Drift here means fold-policy evaluation, the
+// commit pipeline, or epoch numbering changed — a
+// deliberate-change-only event (update DESIGN.md §14 alongside).
+func TestLearnChurnGoldenReplay(t *testing.T) {
+	out, err := LearnChurnRun(LearnChurnSpec{Steps: 200, Shards: 4, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Mismatches != 0 {
+		t.Errorf("served results diverged from fresh walks %d time(s)", out.Mismatches)
+	}
+	if out.ReplayHash != "fnv64a:58264aecece4db43" {
+		t.Errorf("replay hash = %s, want fnv64a:58264aecece4db43", out.ReplayHash)
+	}
+	if out.Epoch != 24 || out.Stats.Commits != 23 || out.Stats.Folds != 4 {
+		t.Errorf("epoch/commits/folds = %d/%d/%d, want 24/23/4",
+			out.Epoch, out.Stats.Commits, out.Stats.Folds)
+	}
+	if out.Stats.Observations != 70 || out.Stats.FoldedObs != 68 {
+		t.Errorf("observations = %d (%d folded), want 70 (68)",
+			out.Stats.Observations, out.Stats.FoldedObs)
+	}
+	if out.Stats.Retained != 11 || out.Stats.Retired != 8 {
+		t.Errorf("retained/retired = %d/%d, want 11/8", out.Stats.Retained, out.Stats.Retired)
+	}
+	if len(out.Journal) != 23 || out.Journal[0] != "epoch=2 t=125 reason=retire changed=2 folded_obs=4" {
+		t.Errorf("journal head = %q (%d lines)", out.Journal[0], len(out.Journal))
+	}
+}
+
+// TestLearnChurnShardInvariance is the acceptance criterion: the same
+// schedule at any shard count replays the identical journal — fold
+// points depend on the global pending counters, never on striping.
+func TestLearnChurnShardInvariance(t *testing.T) {
+	base, err := LearnChurnRun(LearnChurnSpec{Steps: 200, Shards: 4, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 8} {
+		out, err := LearnChurnRun(LearnChurnSpec{Steps: 200, Shards: shards, Seed: 21})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.ReplayHash != base.ReplayHash {
+			t.Errorf("shards=%d: replay hash %s != %s at shards=4", shards, out.ReplayHash, base.ReplayHash)
+		}
+		if out.Mismatches != 0 {
+			t.Errorf("shards=%d: %d retrieval mismatches", shards, out.Mismatches)
+		}
+	}
+}
+
+// TestLearnChurnRendersStableReport smoke-checks the printed report.
+func TestLearnChurnRendersStableReport(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := LearnChurn(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := LearnChurn(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("learn report not replay-stable")
+	}
+	for _, want := range []string{"replay hash", "identical", "committed epoch"} {
+		if !strings.Contains(a.String(), want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(a.String(), "DIVERGED") {
+		t.Error("resharded replay diverged")
+	}
+}

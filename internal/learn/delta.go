@@ -1,0 +1,183 @@
+package learn
+
+// Deferred net-commit accumulation (DESIGN.md §14). High-frequency
+// run-time observations must never serialize readers of the committed
+// case base, so each writer folds its measurements into a volatile
+// Delta first: per-(type, impl, attribute) EWMA state kept entirely off
+// the read path. The deltas flow into a committed snapshot only when a
+// FoldPolicy trips — enough pending LSB-visible revisions to matter, or
+// pending state old enough that it must not stay invisible — at which
+// point the committer drains every Delta into a Learner, rebuilds, and
+// swaps the published snapshot in one unit.
+//
+// The fold quantizes each pending value to the attribute LSB (the
+// 16-bit datapath grid); sub-LSB EWMA residue is deliberately discarded
+// and the next accumulation round seeds from the committed value. That
+// keeps a replay a pure function of the observation schedule and the
+// fold points, independent of how many writer stripes the deltas were
+// spread across: every (type, impl, attribute) key's state is key-local,
+// so striping changes only who holds the state, never its value.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"qosalloc/internal/attr"
+	"qosalloc/internal/casebase"
+	"qosalloc/internal/device"
+)
+
+// FoldPolicy decides when accumulated deltas must fold into a committed
+// snapshot.
+type FoldPolicy struct {
+	// Threshold trips a fold once the pending LSB-visible revision
+	// count — attribute values whose rounded pending state differs from
+	// the committed case base — reaches it. Zero or negative disables
+	// the magnitude trigger.
+	Threshold int
+	// MaxAge trips a fold once the oldest pending observation is at
+	// least this old on the sim clock, so a trickle of observations
+	// cannot stay invisible forever. Zero disables the age trigger.
+	MaxAge device.Micros
+}
+
+// Due reports whether the policy requires a fold given the pending
+// revision count and the sim-time of the oldest pending observation
+// (hasPending=false means the delta layer is empty: never due).
+func (p FoldPolicy) Due(pendingRevs int, firstAt, now device.Micros, hasPending bool) bool {
+	if !hasPending {
+		return false
+	}
+	if p.Threshold > 0 && pendingRevs >= p.Threshold {
+		return true
+	}
+	return p.MaxAge > 0 && now >= firstAt && now-firstAt >= p.MaxAge
+}
+
+// Delta is one writer's volatile observation accumulator over a
+// committed case base. It is not safe for concurrent use; each writer
+// stripe owns one Delta behind its own mutex. Readers of the committed
+// snapshot never touch it.
+type Delta struct {
+	base  *casebase.CaseBase
+	alpha float64
+
+	pending map[implKey]map[attr.ID]float64 // EWMA state, clamped to design bounds
+	obs     int
+}
+
+// NewDelta returns an empty delta over the committed base with EWMA
+// weight alpha in (0, 1].
+func NewDelta(base *casebase.CaseBase, alpha float64) (*Delta, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("learn: alpha %v outside (0, 1]", alpha)
+	}
+	return &Delta{
+		base: base, alpha: alpha,
+		pending: make(map[implKey]map[attr.ID]float64),
+	}, nil
+}
+
+// Observations returns how many observations are pending in this delta.
+func (d *Delta) Observations() int { return d.obs }
+
+// Empty reports whether the delta holds no pending state.
+func (d *Delta) Empty() bool { return d.obs == 0 }
+
+// Observe folds one measurement into the pending EWMA state, exactly
+// like Learner.Observe but against the committed base plus this delta's
+// own state. It returns the change in the LSB-visible revision count:
+// +1 for every attribute whose rounded pending value just started
+// differing from the committed value, -1 for every one that just
+// drifted back onto it — so a caller can maintain a global pending
+// count across stripes without scanning them.
+func (d *Delta) Observe(o Observation) (revDelta int, err error) {
+	ft, ok := d.base.Type(o.Type)
+	if !ok {
+		return 0, fmt.Errorf("learn: observation for unknown type %d", o.Type)
+	}
+	im, ok := ft.Impl(o.Impl)
+	if !ok {
+		return 0, fmt.Errorf("learn: observation for unknown impl %d of type %d", o.Impl, o.Type)
+	}
+	k := implKey{o.Type, o.Impl}
+	for _, p := range o.Measured {
+		def, ok := d.base.Registry().Lookup(p.ID)
+		if !ok {
+			return revDelta, fmt.Errorf("learn: observation references unknown attribute %d", p.ID)
+		}
+		committed, has := im.Attr(p.ID)
+		if !has {
+			continue // case does not describe this attribute
+		}
+		cur := float64(committed)
+		if m := d.pending[k]; m != nil {
+			if v, ok := m[p.ID]; ok {
+				cur = v
+			}
+		}
+		next := (1-d.alpha)*cur + d.alpha*float64(p.Value)
+		next = math.Max(float64(def.Lo), math.Min(float64(def.Hi), next))
+		if d.pending[k] == nil {
+			d.pending[k] = make(map[attr.ID]float64)
+		}
+		wasDirty := uint16(math.Round(cur)) != uint16(committed)
+		nowDirty := uint16(math.Round(next)) != uint16(committed)
+		d.pending[k][p.ID] = next
+		if nowDirty && !wasDirty {
+			revDelta++
+		} else if !nowDirty && wasDirty {
+			revDelta--
+		}
+	}
+	d.obs++
+	return revDelta, nil
+}
+
+// FoldInto drains the pending state into l (a Learner over the same
+// committed base, built with alpha 1 so each fold write replaces the
+// stored value outright). Keys are visited in sorted (type, impl,
+// attribute) order so the fold — and everything journaled about it — is
+// identical no matter how map iteration or stripe assignment shuffled
+// the state. Values are quantized to the attribute LSB here; sub-LSB
+// residue is dropped by design (see the package comment above). The
+// delta itself is not cleared — call Reset against the newly committed
+// base once the swap has landed.
+func (d *Delta) FoldInto(l *Learner) (folded int, err error) {
+	keys := make([]implKey, 0, len(d.pending))
+	for k := range d.pending {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].t != keys[j].t {
+			return keys[i].t < keys[j].t
+		}
+		return keys[i].i < keys[j].i
+	})
+	for _, k := range keys {
+		m := d.pending[k]
+		ids := make([]attr.ID, 0, len(m))
+		for id := range m {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		pairs := make([]attr.Pair, 0, len(ids))
+		for _, id := range ids {
+			pairs = append(pairs, attr.Pair{ID: id, Value: attr.Value(math.Round(m[id]))})
+		}
+		if err := l.Observe(Observation{Type: k.t, Impl: k.i, Measured: pairs}); err != nil {
+			return folded, err
+		}
+		folded += len(pairs)
+	}
+	return folded, nil
+}
+
+// Reset clears the delta and rebases it onto a newly committed case
+// base. Pending state not folded first is discarded.
+func (d *Delta) Reset(base *casebase.CaseBase) {
+	d.base = base
+	d.pending = make(map[implKey]map[attr.ID]float64)
+	d.obs = 0
+}

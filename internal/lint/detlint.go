@@ -6,9 +6,11 @@ import (
 )
 
 // deterministicPkgs are the packages whose behaviour the golden
-// experiments (E18–E20) and bit-exact replay tests pin: everything on
-// the sim-time retrieval/allocation pipeline. Keyed by package name,
-// which equals the final import-path element throughout the repo.
+// experiments (E18–E21) and bit-exact replay tests pin: everything on
+// the sim-time retrieval/allocation pipeline, including the deferred
+// net-commit layer whose fold points are part of the replay contract.
+// Keyed by package name, which equals the final import-path element
+// throughout the repo.
 var deterministicPkgs = map[string]bool{
 	"alloc":       true,
 	"policy":      true,
@@ -19,6 +21,7 @@ var deterministicPkgs = map[string]bool{
 	"obs":         true,
 	"experiments": true,
 	"casebase":    true,
+	"learn":       true,
 }
 
 // DetLint guards the determinism invariant: the pipeline replays

@@ -44,6 +44,7 @@ type TokenCache struct {
 	tokens    map[string]*list.Element // value: *tokenEntry
 	order     *list.List               // front = most recently used
 	max       int
+	epoch     uint64 // case-base epoch the live tokens were minted against
 	hits      int
 	misses    int
 	evictions int
@@ -165,6 +166,26 @@ func (tc *TokenCache) InvalidateType(t casebase.TypeID) int {
 func (tc *TokenCache) InvalidateAll() {
 	tc.tokens = make(map[string]*list.Element)
 	tc.order.Init()
+}
+
+// Epoch returns the case-base epoch the live tokens were minted against
+// (zero until SetEpoch is first called).
+func (tc *TokenCache) Epoch() uint64 { return tc.epoch }
+
+// SetEpoch binds the cache to a case-base epoch. Moving to a different
+// epoch empties the cache first: a token minted against snapshot N must
+// never bypass retrieval against snapshot N+1, because the pinned
+// implementation may have been revised or retired in between. It
+// returns how many stale tokens were dropped. Invalidations are not
+// counted as evictions.
+func (tc *TokenCache) SetEpoch(epoch uint64) int {
+	if epoch == tc.epoch {
+		return 0
+	}
+	n := tc.order.Len()
+	tc.InvalidateAll()
+	tc.epoch = epoch
+	return n
 }
 
 // Len returns the number of live tokens.

@@ -177,3 +177,37 @@ func TestTokenCacheStoreRefreshesRecency(t *testing.T) {
 		t.Errorf("map/list out of sync after invalidate: %d/%d", tc.Len(), tc.order.Len())
 	}
 }
+
+func TestTokenCacheSetEpoch(t *testing.T) {
+	tc := NewTokenCache()
+	if tc.Epoch() != 0 {
+		t.Fatalf("fresh cache epoch = %d, want 0", tc.Epoch())
+	}
+	tc.SetEpoch(1)
+	req := casebase.PaperRequest()
+	tc.Store(req, Token{Type: req.Type, Impl: 2, Similarity: 0.96})
+	tc.Store(lruReq(7), Token{Type: 1, Impl: 1})
+
+	// Re-binding to the same epoch is a no-op: tokens survive.
+	if n := tc.SetEpoch(1); n != 0 {
+		t.Fatalf("SetEpoch(same) dropped %d tokens", n)
+	}
+	if _, ok := tc.Lookup(req); !ok {
+		t.Fatal("same-epoch rebind lost a token")
+	}
+
+	// A new epoch empties the cache: a token minted against epoch N
+	// must never bypass retrieval against epoch N+1.
+	if n := tc.SetEpoch(2); n != 2 {
+		t.Fatalf("SetEpoch(new) dropped %d tokens, want 2", n)
+	}
+	if tc.Epoch() != 2 {
+		t.Fatalf("epoch = %d, want 2", tc.Epoch())
+	}
+	if tc.Len() != 0 {
+		t.Fatalf("Len = %d after epoch change, want 0", tc.Len())
+	}
+	if _, ok := tc.Lookup(req); ok {
+		t.Fatal("stale-epoch token still served")
+	}
+}

@@ -29,6 +29,14 @@ type metrics struct {
 	batchSize *obs.Histogram
 
 	draining *obs.Gauge // 1 once Close/Drain has begun
+	epoch    *obs.Gauge // committed case-base epoch (1 until a commit)
+
+	commitsFold       *obs.Counter
+	commitsStructural *obs.Counter
+	commitsManual     *obs.Counter
+	observations      *obs.Counter
+	foldedObs         *obs.Counter
+	staleRetries      *obs.Counter
 
 	queueDepth []*obs.Gauge // per shard
 	busy       []*obs.Gauge // per shard, 0/1 occupancy
@@ -50,6 +58,19 @@ func newMetrics(reg *obs.Registry, n int) *metrics {
 		allocOK:   reg.Counter("qos_serve_allocations_total{outcome=\"placed\"}", "allocation calls that placed a variant"),
 		allocFail: reg.Counter("qos_serve_allocations_total{outcome=\"failed\"}", "allocation calls that returned an error"),
 		batchSize: reg.Histogram("qos_serve_batch_size", "requests coalesced per micro-batch", batchBuckets),
+		epoch:     reg.Gauge("qos_serve_epoch", "committed case-base epoch installed by the snapshot swap"),
+		commitsFold: reg.Counter("qos_serve_commits_total{reason=\"fold\"}",
+			"epoch commits tripped by the fold policy (threshold or age)"),
+		commitsStructural: reg.Counter("qos_serve_commits_total{reason=\"structural\"}",
+			"epoch commits forced by Retain/Retire"),
+		commitsManual: reg.Counter("qos_serve_commits_total{reason=\"manual\"}",
+			"epoch commits forced by CommitNow"),
+		observations: reg.Counter("qos_serve_observations_total",
+			"run-time observations accumulated into writer deltas"),
+		foldedObs: reg.Counter("qos_serve_folded_attrs_total",
+			"attribute values folded from deltas into committed snapshots"),
+		staleRetries: reg.Counter("qos_serve_stale_retries_total",
+			"Allocate candidate fetches retried because a commit landed in between"),
 	}
 	for i := 0; i < n; i++ {
 		m.queueDepth = append(m.queueDepth, reg.Gauge(

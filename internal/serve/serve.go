@@ -77,6 +77,34 @@ type Config struct {
 	// Manager tunes the allocation policy fed by AllocateBatch and
 	// Allocate.
 	Manager alloc.Options
+	// Learning enables live case-base mutation: Observe/Retain/Retire/
+	// CommitNow accumulate into volatile deltas and commit through the
+	// epoch-snapshot swap pipeline. The zero value leaves the case base
+	// frozen (mutation calls return ErrLearningOff).
+	Learning LearnConfig
+}
+
+// Learning defaults for zero LearnConfig fields (with Enabled set).
+const (
+	DefaultAlpha         = 0.5
+	DefaultFoldThreshold = 64
+)
+
+// LearnConfig tunes the deferred net-commit layer (DESIGN.md §14).
+type LearnConfig struct {
+	// Enabled turns the mutation API on.
+	Enabled bool
+	// Alpha is the EWMA weight of new observations in (0, 1];
+	// out-of-range values (including zero) fall back to DefaultAlpha.
+	Alpha float64
+	// FoldThreshold trips a commit once this many attribute values have
+	// pending LSB-visible revisions across all writer stripes; <= 0
+	// falls back to DefaultFoldThreshold.
+	FoldThreshold int
+	// MaxAge trips a commit once the oldest pending observation is this
+	// old on the sim clock, checked at every mutation entry point and
+	// CommitNow (never from a wall clock). Zero disables the age bound.
+	MaxAge device.Micros
 }
 
 // ErrClosed reports a call into a service whose Close has begun.
@@ -141,9 +169,10 @@ type job struct {
 }
 
 type jobResult struct {
-	best retrieval.Result
-	list []retrieval.Result
-	err  error
+	best  retrieval.Result
+	list  []retrieval.Result
+	epoch uint64 // snapshot epoch the retrieval ran against
+	err   error
 }
 
 // jobKey is the singleflight key: kind-qualified signature, so a
@@ -155,14 +184,18 @@ func jobKey(j *job) string {
 	return "r|" + j.sig
 }
 
-// shard is one partition: a queue, an engine, a token cache.
+// shard is one partition: a queue plus the mutex serializing its slice
+// of the current snapshot (engine and token cache). The engine itself
+// lives in the snapshot — an epoch swap replaces it wholesale — but the
+// shard mutex persists across swaps, which is what makes it the swap
+// fence: a committer that locks and unlocks every shard mutex after
+// storing the new snapshot pointer knows no reader still works on the
+// old epoch.
 type shard struct {
 	idx int
 	q   chan *job
 
-	mu     sync.Mutex // serializes the engine and token cache
-	eng    *retrieval.Engine
-	tokens *retrieval.TokenCache
+	mu sync.Mutex // serializes this shard's engine and token cache
 }
 
 // Service is the concurrent allocation front end. Create with New,
@@ -171,12 +204,35 @@ type shard struct {
 // and run-time system are serialized internally.
 type Service struct {
 	cfg Config
-	cb  *casebase.CaseBase
 	sys *rtsys.System
 	mgr *alloc.Manager
 
 	shards []*shard
-	met    atomic.Pointer[metrics]
+	// snap is the committed epoch: case base + per-shard engines +
+	// per-shard token caches, swapped as one unit. Readers load it once
+	// per batch under their shard mutex and never take any other lock.
+	snap atomic.Pointer[snapshot]
+	met  atomic.Pointer[metrics]
+
+	// commitMu serializes the swap pipeline (and guards retMet, which
+	// every freshly built epoch's engines are instrumented with).
+	commitMu sync.Mutex
+	retMet   *retrieval.Metrics
+	// mgrEpoch is the epoch the manager's case base matches; guarded by
+	// allocMu so placement can detect candidates from a stale epoch.
+	mgrEpoch uint64
+	// pastRetrievals accumulates engine walk counts from retired
+	// snapshots so Stats stays cumulative across epochs.
+	pastRetrievals atomic.Int64
+
+	// ls is the deferred net-commit state; nil when learning is off.
+	ls *learnState
+
+	// journal is the epoch replay witness: one line per commit, hashed
+	// by ReplayHash. Fold points and epoch numbering are part of the
+	// replay contract (DESIGN.md §14).
+	journalMu sync.Mutex
+	journal   []string
 
 	// now mirrors the sim clock for the linger budget and overload
 	// hints; reading rtsys.System.Now directly from workers would race
@@ -191,6 +247,9 @@ type Service struct {
 	dedupHits, tokenHits, canceled       atomic.Int64
 	maxBatch, drainFlushed               atomic.Int64
 	allocated, allocFailed               atomic.Int64
+	commits, folds, observations         atomic.Int64
+	foldedObs, retainedN, retiredN       atomic.Int64
+	staleRetries                         atomic.Int64
 
 	// drainMu fences admission against shutdown: submissions hold the
 	// read side across the draining check and the queue send, Close
@@ -223,23 +282,34 @@ func New(cb *casebase.CaseBase, sys *rtsys.System, cfg Config) *Service {
 	if cfg.Manager.NBest <= 0 {
 		cfg.Manager.NBest = 3
 	}
-	s := &Service{
-		cfg:    cfg,
-		cb:     cb,
-		sys:    sys,
-		mgr:    alloc.New(cb, sys, cfg.Manager),
-		tickCh: make(chan struct{}),
-		drain:  make(chan struct{}),
-		done:   make(chan struct{}),
+	if cfg.Learning.Enabled {
+		if cfg.Learning.Alpha <= 0 || cfg.Learning.Alpha > 1 {
+			cfg.Learning.Alpha = DefaultAlpha
+		}
+		if cfg.Learning.FoldThreshold <= 0 {
+			cfg.Learning.FoldThreshold = DefaultFoldThreshold
+		}
 	}
+	s := &Service{
+		cfg:      cfg,
+		sys:      sys,
+		mgr:      alloc.New(cb, sys, cfg.Manager),
+		mgrEpoch: 1,
+		tickCh:   make(chan struct{}),
+		drain:    make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	s.snap.Store(newSnapshot(1, cb, cfg.Shards, cfg.Engine, nil))
 	s.met.Store(newMetrics(nil, cfg.Shards))
+	s.met.Load().epoch.Set(1)
 	s.now.Store(uint64(sys.Now()))
+	if cfg.Learning.Enabled {
+		s.ls = newLearnState(cb, cfg.Learning, cfg.Shards)
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		sh := &shard{
-			idx:    i,
-			q:      make(chan *job, cfg.MaxQueue),
-			eng:    retrieval.NewEngine(cb, cfg.Engine),
-			tokens: retrieval.NewTokenCache(),
+			idx: i,
+			q:   make(chan *job, cfg.MaxQueue),
 		}
 		s.shards = append(s.shards, sh)
 		s.wg.Add(1)
@@ -291,13 +361,19 @@ func (s *Service) Manager() *alloc.Manager { return s.mgr }
 func (s *Service) System() *rtsys.System { return s.sys }
 
 // Instrument registers the serve metric set on reg and threads the
-// registry through every shard engine and the manager.
+// registry through the current epoch's shard engines and the manager.
+// Engines built by later commits inherit the same retrieval metric set.
 func (s *Service) Instrument(reg *obs.Registry) {
-	s.met.Store(newMetrics(reg, len(s.shards)))
-	rm := retrieval.NewMetrics(reg)
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	m := newMetrics(reg, len(s.shards))
+	sn := s.snap.Load()
+	m.epoch.Set(int64(sn.epoch))
+	s.met.Store(m)
+	s.retMet = retrieval.NewMetrics(reg)
 	for _, sh := range s.shards {
 		sh.mu.Lock()
-		sh.eng.Instrument(rm)
+		sn.engines[sh.idx].Instrument(s.retMet)
 		sh.mu.Unlock()
 	}
 	s.allocMu.Lock()
@@ -320,9 +396,14 @@ func (s *Service) Stats() Stats {
 		Allocated:    s.allocated.Load(),
 		AllocFailed:  s.allocFailed.Load(),
 	}
+	// Walk counts live in the epoch's engines; retired epochs roll into
+	// pastRetrievals at commit. A commit racing this loop can transiently
+	// undercount — acceptable for a monitoring snapshot.
+	st.EngineRetrievals = s.pastRetrievals.Load()
 	for _, sh := range s.shards {
 		sh.mu.Lock()
-		st.EngineRetrievals += int64(sh.eng.Stats().Retrievals)
+		sn := s.snap.Load()
+		st.EngineRetrievals += int64(sn.engines[sh.idx].Stats().Retrievals)
 		sh.mu.Unlock()
 	}
 	return st
@@ -422,54 +503,75 @@ func (s *Service) Retrieve(ctx context.Context, req casebase.Request) (retrieval
 // Allocate retrieves the N-best candidates for req on its shard, then
 // feeds them to the allocation manager under the serialization lock.
 // It is Manager.Request with the retrieval half sharded and batched.
+// Candidates scored against an epoch a commit has since retired are
+// re-fetched (the manager's case base moved under them); after
+// maxStaleRetries re-fetches the call fails with *ErrStaleEpoch.
 func (s *Service) Allocate(ctx context.Context, app string, req casebase.Request, basePrio int) (*alloc.Decision, error) {
 	if err := s.acquire(ctx); err != nil {
 		return nil, err
 	}
 	defer s.inflight.Done()
 	met := s.met.Load()
-	cands, err := s.candidates(ctx, req)
-	if err == nil {
-		err = retrieval.Canceled(ctx)
+	for attempt := 0; ; attempt++ {
+		cands, epoch, err := s.candidates(ctx, req)
+		if err == nil {
+			err = retrieval.Canceled(ctx)
+		}
+		if err != nil {
+			s.allocFailed.Add(1)
+			met.allocFail.Inc()
+			return nil, err
+		}
+		s.allocMu.Lock()
+		if epoch != s.mgrEpoch {
+			committed := s.mgrEpoch
+			s.allocMu.Unlock()
+			if attempt < maxStaleRetries {
+				s.staleRetries.Add(1)
+				met.staleRetries.Inc()
+				continue
+			}
+			s.allocFailed.Add(1)
+			met.allocFail.Inc()
+			return nil, &ErrStaleEpoch{At: epoch, Committed: committed}
+		}
+		d, err := s.mgr.PlaceCandidates(app, req, append([]retrieval.Result(nil), cands...), basePrio)
+		s.now.Store(uint64(s.sys.Now()))
+		s.allocMu.Unlock()
+		if err != nil {
+			s.allocFailed.Add(1)
+			met.allocFail.Inc()
+			return nil, err
+		}
+		s.allocated.Add(1)
+		met.allocOK.Inc()
+		return d, nil
 	}
-	if err != nil {
-		s.allocFailed.Add(1)
-		met.allocFail.Inc()
-		return nil, err
-	}
-	s.allocMu.Lock()
-	d, err := s.mgr.PlaceCandidates(app, req, append([]retrieval.Result(nil), cands...), basePrio)
-	s.now.Store(uint64(s.sys.Now()))
-	s.allocMu.Unlock()
-	if err != nil {
-		s.allocFailed.Add(1)
-		met.allocFail.Inc()
-		return nil, err
-	}
-	s.allocated.Add(1)
-	met.allocOK.Inc()
-	return d, nil
 }
 
+// maxStaleRetries bounds how many times Allocate re-fetches candidates
+// when commits keep landing between its retrieval and its placement.
+const maxStaleRetries = 2
+
 // candidates fetches the N-best list for one request through the shard
-// queue.
-func (s *Service) candidates(ctx context.Context, req casebase.Request) ([]retrieval.Result, error) {
+// queue, returning the epoch it was scored against.
+func (s *Service) candidates(ctx context.Context, req casebase.Request) ([]retrieval.Result, uint64, error) {
 	j := &job{ctx: ctx, kind: jobCandidates, req: req, n: s.cfg.Manager.NBest, done: make(chan jobResult, 1)}
 	if err := s.submit(j); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	select {
 	case r := <-j.done:
-		return r.list, r.err
+		return r.list, r.epoch, r.err
 	case <-ctx.Done():
-		return nil, retrieval.Canceled(ctx)
+		return nil, 0, retrieval.Canceled(ctx)
 	case <-s.done:
 		select { // prefer the buffered reply (see Retrieve)
 		case r := <-j.done:
-			return r.list, r.err
+			return r.list, r.epoch, r.err
 		default:
 		}
-		return nil, ErrDraining
+		return nil, 0, ErrDraining
 	}
 }
 
@@ -490,7 +592,7 @@ func (s *Service) RetrieveBatch(ctx context.Context, reqs []casebase.Request) ([
 		return nil, err
 	}
 	defer s.inflight.Done()
-	bests, _, errs, err := s.fanout(ctx, reqs, jobRetrieve, 0)
+	bests, _, _, errs, err := s.fanout(ctx, reqs, jobRetrieve, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -512,13 +614,16 @@ type BatchResult struct {
 // across shards (pre-formed batches, like RetrieveBatch), then places
 // them strictly in input order under the serialization lock — so the
 // allocation outcome of a deterministic input is deterministic, no
-// matter how the shards interleave.
+// matter how the shards interleave. An element whose candidates were
+// scored against an epoch a commit has since retired fails with a
+// per-item *ErrStaleEpoch (the batch is not re-fetched; the caller
+// retries the marked items).
 func (s *Service) AllocateBatch(ctx context.Context, app string, reqs []casebase.Request, basePrio int) ([]BatchResult, error) {
 	if err := s.acquire(ctx); err != nil {
 		return nil, err
 	}
 	defer s.inflight.Done()
-	_, lists, errs, err := s.fanout(ctx, reqs, jobCandidates, s.cfg.Manager.NBest)
+	_, lists, epochs, errs, err := s.fanout(ctx, reqs, jobCandidates, s.cfg.Manager.NBest)
 	if err != nil {
 		return nil, err
 	}
@@ -531,6 +636,12 @@ func (s *Service) AllocateBatch(ctx context.Context, app string, reqs []casebase
 			s.allocFailed.Add(1)
 			met.allocFail.Inc()
 			out[i].Err = errs[i]
+			continue
+		}
+		if epochs[i] != s.mgrEpoch {
+			s.allocFailed.Add(1)
+			met.allocFail.Inc()
+			out[i].Err = &ErrStaleEpoch{At: epochs[i], Committed: s.mgrEpoch}
 			continue
 		}
 		d, err := s.mgr.PlaceCandidates(app, reqs[i], append([]retrieval.Result(nil), lists[i]...), basePrio)
@@ -704,13 +815,18 @@ func (s *Service) gather(sh *shard, batch *[]*job) {
 }
 
 // runBatch executes one coalesced batch of queued jobs, deduplicating
-// identical signatures, and replies to every job.
+// identical signatures, and replies to every job. The snapshot is
+// loaded once per batch, after the shard mutex is held — the ordering
+// the commit fence relies on: a committer that has swapped the pointer
+// and then cycled this mutex knows every later batch sees the new
+// epoch.
 func (s *Service) runBatch(sh *shard, batch []*job) {
 	met := s.met.Load()
 	met.busy[sh.idx].Set(1)
 	defer met.busy[sh.idx].Set(0)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	sn := s.snap.Load()
 	s.noteBatch(met, len(batch))
 	seen := make(map[string]*jobResult, len(batch))
 	for _, j := range batch {
@@ -720,7 +836,7 @@ func (s *Service) runBatch(sh *shard, batch []*job) {
 			j.done <- jobResult{err: err}
 			continue
 		}
-		j.done <- s.resolve(sh, j, seen, met)
+		j.done <- s.resolve(sn, sh, j, seen, met)
 	}
 }
 
@@ -728,12 +844,13 @@ func (s *Service) runBatch(sh *shard, batch []*job) {
 // points: it scores one shard group of reqs (selected by idxs) and
 // writes results positionally. The caller splits groups at MaxBatch.
 func (s *Service) runGroup(ctx context.Context, sh *shard, reqs []casebase.Request, idxs []int, kind jobKind, n int,
-	bests []retrieval.Result, lists [][]retrieval.Result, errs []error) {
+	bests []retrieval.Result, lists [][]retrieval.Result, epochs []uint64, errs []error) {
 	met := s.met.Load()
 	met.busy[sh.idx].Set(1)
 	defer met.busy[sh.idx].Set(0)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	sn := s.snap.Load() // after sh.mu — see runBatch
 	s.noteBatch(met, len(idxs))
 	seen := make(map[string]*jobResult, len(idxs))
 	for _, i := range idxs {
@@ -744,8 +861,8 @@ func (s *Service) runGroup(ctx context.Context, sh *shard, reqs []casebase.Reque
 			continue
 		}
 		j := &job{ctx: ctx, kind: kind, req: reqs[i], n: n, sig: retrieval.Signature(reqs[i])}
-		r := s.resolve(sh, j, seen, met)
-		bests[i], lists[i], errs[i] = r.best, r.list, r.err
+		r := s.resolve(sn, sh, j, seen, met)
+		bests[i], lists[i], epochs[i], errs[i] = r.best, r.list, r.epoch, r.err
 	}
 }
 
@@ -764,75 +881,59 @@ func (s *Service) noteBatch(met *metrics, n int) {
 }
 
 // resolve serves one job from the singleflight map, the token cache, or
-// an engine walk. Caller holds sh.mu.
-func (s *Service) resolve(sh *shard, j *job, seen map[string]*jobResult, met *metrics) jobResult {
+// an engine walk against the sn epoch. Caller holds sh.mu.
+func (s *Service) resolve(sn *snapshot, sh *shard, j *job, seen map[string]*jobResult, met *metrics) jobResult {
 	key := jobKey(j)
 	if r, ok := seen[key]; ok {
 		s.dedupHits.Add(1)
 		met.dedup.Inc()
 		return *r
 	}
-	r := s.runJob(sh, j, met)
+	r := s.runJob(sn, sh, j, met)
 	seen[key] = &r
 	return r
 }
 
-// runJob performs the actual retrieval for one deduplicated job. Caller
-// holds sh.mu.
-func (s *Service) runJob(sh *shard, j *job, met *metrics) jobResult {
+// runJob performs the actual retrieval for one deduplicated job against
+// the sn epoch. Caller holds sh.mu.
+func (s *Service) runJob(sn *snapshot, sh *shard, j *job, met *metrics) jobResult {
+	eng, tokens := sn.engines[sh.idx], sn.tokens[sh.idx]
 	if j.kind == jobCandidates {
-		list, err := sh.eng.RetrieveN(j.req, j.n)
-		return jobResult{list: list, err: err}
+		list, err := eng.RetrieveN(j.req, j.n)
+		return jobResult{list: list, epoch: sn.epoch, err: err}
 	}
 	// Best-match path: the shard token cache bypasses the walk for
 	// signatures it has already resolved ("only an availability check
-	// ... has to be done", §3). Disabled when locals are kept — a token
-	// cannot carry the per-attribute breakdown, and the bit-identical
-	// contract with sequential retrieval must hold.
+	// ... has to be done", §3). The cache lives inside the snapshot and
+	// is born empty at each epoch, so a token can only ever bypass
+	// retrieval against the exact tree it was minted from. Disabled when
+	// locals are kept — a token cannot carry the per-attribute breakdown,
+	// and the bit-identical contract with sequential retrieval must hold.
 	if !s.cfg.Engine.KeepLocals {
-		if tok, ok := sh.tokens.LookupSig(j.sig); ok {
-			if r, live := s.resultFromToken(tok); live {
+		if tok, ok := tokens.LookupSig(j.sig); ok {
+			if r, live := sn.resultFromToken(tok); live {
 				s.tokenHits.Add(1)
 				met.tokenHits.Inc()
-				return jobResult{best: r}
+				return jobResult{best: r, epoch: sn.epoch}
 			}
 		}
 	}
-	r, err := sh.eng.Retrieve(j.req)
+	r, err := eng.Retrieve(j.req)
 	if err != nil {
-		return jobResult{err: err}
+		return jobResult{epoch: sn.epoch, err: err}
 	}
-	sh.tokens.StoreSig(j.sig, retrieval.Token{Type: r.Type, Impl: r.Impl, Similarity: r.Similarity})
-	return jobResult{best: r}
-}
-
-// resultFromToken rebuilds the full Result a fresh engine walk would
-// return for the token's signature: the engine is deterministic over the
-// immutable case base, so (Type, Impl, Similarity) plus the tree's
-// Target/Name reproduce it bit for bit — with nil Locals, exactly like a
-// KeepLocals-off walk.
-func (s *Service) resultFromToken(tok retrieval.Token) (retrieval.Result, bool) {
-	ft, ok := s.cb.Type(tok.Type)
-	if !ok {
-		return retrieval.Result{}, false
-	}
-	im, ok := ft.Impl(tok.Impl)
-	if !ok {
-		return retrieval.Result{}, false
-	}
-	return retrieval.Result{
-		Type: tok.Type, Impl: tok.Impl, Target: im.Target, Name: im.Name,
-		Similarity: tok.Similarity,
-	}, true
+	tokens.StoreSig(j.sig, retrieval.Token{Type: r.Type, Impl: r.Impl, Similarity: r.Similarity})
+	return jobResult{best: r, epoch: sn.epoch}
 }
 
 // fanout routes reqs to shards and processes each shard's group as
 // pre-formed micro-batches (split at MaxBatch) in parallel across
 // shards. Results are positionally aligned with reqs.
 func (s *Service) fanout(ctx context.Context, reqs []casebase.Request, kind jobKind, n int) (
-	bests []retrieval.Result, lists [][]retrieval.Result, errs []error, err error) {
+	bests []retrieval.Result, lists [][]retrieval.Result, epochs []uint64, errs []error, err error) {
 	bests = make([]retrieval.Result, len(reqs))
 	lists = make([][]retrieval.Result, len(reqs))
+	epochs = make([]uint64, len(reqs))
 	errs = make([]error, len(reqs))
 	groups := make([][]int, len(s.shards))
 	for i, r := range reqs {
@@ -849,14 +950,14 @@ func (s *Service) fanout(ctx context.Context, reqs []casebase.Request, kind jobK
 			defer wg.Done()
 			for len(idxs) > 0 {
 				nb := min(len(idxs), s.cfg.MaxBatch)
-				s.runGroup(ctx, sh, reqs, idxs[:nb], kind, n, bests, lists, errs)
+				s.runGroup(ctx, sh, reqs, idxs[:nb], kind, n, bests, lists, epochs, errs)
 				idxs = idxs[nb:]
 			}
 		}(s.shards[si], idxs)
 	}
 	wg.Wait()
 	if cerr := retrieval.Canceled(ctx); cerr != nil {
-		return nil, nil, nil, cerr
+		return nil, nil, nil, nil, cerr
 	}
-	return bests, lists, errs, nil
+	return bests, lists, epochs, errs, nil
 }

@@ -65,3 +65,55 @@ func FuzzDecodeAllocRequest(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeObserveRequest asserts the mutation decoder's contract the
+// same way: arbitrary bytes produce either a validated request or an
+// error wrapping ErrBadRequest — never a panic, never both.
+func FuzzDecodeObserveRequest(f *testing.F) {
+	f.Add(goodObserve)
+	f.Add(``)
+	f.Add(`{`)
+	f.Add(`null`)
+	f.Add(`[]`)
+	f.Add(`{"client":"c","type":1,"impl":1,"measured":[{"id":1,"value":2}]}`)
+	f.Add(`{"client":"","type":1,"impl":1,"measured":[{"id":1,"value":2}]}`)
+	f.Add(`{"client":"c","type":1,"impl":0,"measured":[{"id":1,"value":2}]}`)
+	f.Add(`{"client":"c","type":1,"impl":1,"measured":[]}`)
+	f.Add(`{"client":"c","type":1,"impl":1,"measured":[{"id":1,"value":2},{"id":1,"value":3}]}`)
+	f.Add(`{"client":"c","type":65535,"impl":65535,"measured":[{"id":65535,"value":65535}]}`)
+	f.Add(`{"client":"c","type":1,"impl":1,"measured":[{"id":1,"value":2}],"unknown":1}`)
+	f.Add(`{"client":"c","type":1,"impl":1,"measured":[{"id":1,"value":2}]} trailing`)
+
+	f.Fuzz(func(t *testing.T, body string) {
+		req, err := DecodeObserveRequest(strings.NewReader(body))
+		if err != nil {
+			if req != nil {
+				t.Fatalf("returned both a request and an error: %v", err)
+			}
+			if !errors.Is(err, ErrBadRequest) {
+				t.Fatalf("content error does not wrap ErrBadRequest: %v", err)
+			}
+			return
+		}
+		if req.Client == "" {
+			t.Fatal("accepted a request with no client")
+		}
+		if req.Impl == 0 {
+			t.Fatal("accepted a request with no impl")
+		}
+		if n := len(req.Measured); n == 0 || n > MaxConstraints {
+			t.Fatalf("accepted %d measurements", n)
+		}
+		o := req.Observation()
+		if len(o.Measured) != len(req.Measured) {
+			t.Fatalf("conversion changed measurement count: %d vs %d", len(o.Measured), len(req.Measured))
+		}
+		ids := make(map[uint16]bool, len(req.Measured))
+		for _, m := range req.Measured {
+			if ids[m.ID] {
+				t.Fatalf("accepted a duplicate measurement of attribute %d", m.ID)
+			}
+			ids[m.ID] = true
+		}
+	})
+}

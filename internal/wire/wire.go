@@ -12,9 +12,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 
 	"qosalloc/internal/attr"
 	"qosalloc/internal/casebase"
+	"qosalloc/internal/learn"
 )
 
 // MaxRequestBytes bounds a request body read; DecodeAllocRequest
@@ -147,6 +149,243 @@ type ReleaseRequest struct {
 	Task   int    `json:"task"`
 }
 
+// --- Mutation endpoints (live case-base update, DESIGN.md §14) ---------
+
+// MeasurementJSON is one observed or declared QoS attribute value on
+// the wire (no weight — measurements are facts, not preferences).
+type MeasurementJSON struct {
+	ID    uint16 `json:"id"`
+	Value uint16 `json:"value"`
+}
+
+// ObserveRequest is the body of POST /v1/observe: one run-time QoS
+// measurement of a deployed variant, folded into the daemon's deferred
+// net-commit layer.
+type ObserveRequest struct {
+	Client   string            `json:"client"`
+	Type     uint16            `json:"type"`
+	Impl     uint16            `json:"impl"`
+	Measured []MeasurementJSON `json:"measured"`
+}
+
+// DecodeObserveRequest reads one strict ObserveRequest from r with the
+// same discipline as DecodeAllocRequest: size-bounded body, unknown
+// fields, trailing data and semantic violations all fail with an error
+// wrapping ErrBadRequest.
+func DecodeObserveRequest(r io.Reader) (*ObserveRequest, error) {
+	dec := json.NewDecoder(io.LimitReader(r, MaxRequestBytes))
+	dec.DisallowUnknownFields()
+	var req ObserveRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("%w: trailing data after request object", ErrBadRequest)
+	}
+	if err := req.validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return &req, nil
+}
+
+func (o *ObserveRequest) validate() error {
+	if o.Client == "" {
+		return errors.New("missing client")
+	}
+	if o.Impl == 0 {
+		return errors.New("missing impl")
+	}
+	if len(o.Measured) == 0 {
+		return errors.New("no measurements")
+	}
+	if len(o.Measured) > MaxConstraints {
+		return fmt.Errorf("%d measurements exceeds the limit of %d", len(o.Measured), MaxConstraints)
+	}
+	seen := make(map[uint16]bool, len(o.Measured))
+	for _, m := range o.Measured {
+		if seen[m.ID] {
+			return fmt.Errorf("duplicate measurement of attribute %d", m.ID)
+		}
+		seen[m.ID] = true
+	}
+	return nil
+}
+
+// Observation converts a decoded request to the learn shape.
+func (o *ObserveRequest) Observation() learn.Observation {
+	ms := make([]attr.Pair, 0, len(o.Measured))
+	for _, m := range o.Measured {
+		ms = append(ms, attr.Pair{ID: attr.ID(m.ID), Value: attr.Value(m.Value)})
+	}
+	return learn.Observation{
+		Type: casebase.TypeID(o.Type), Impl: casebase.ImplID(o.Impl), Measured: ms,
+	}
+}
+
+// ObserveResponse is the body of a successful /v1/observe.
+type ObserveResponse struct {
+	Epoch       uint64 `json:"epoch"`        // epoch committed after the observation
+	PendingRevs int64  `json:"pending_revs"` // LSB-visible revisions still pending
+	PendingObs  int64  `json:"pending_obs"`  // observations still pending
+}
+
+// FootprintJSON is a resource footprint on the wire.
+type FootprintJSON struct {
+	Slices      int `json:"slices,omitempty"`
+	BRAMs       int `json:"brams,omitempty"`
+	Multipliers int `json:"multipliers,omitempty"`
+	CPULoad     int `json:"cpu_load,omitempty"`
+	MemBytes    int `json:"mem_bytes,omitempty"`
+	PowerMW     int `json:"power_mw,omitempty"`
+	ConfigBytes int `json:"config_bytes,omitempty"`
+}
+
+// Footprint converts to the casebase shape.
+func (f FootprintJSON) Footprint() casebase.Footprint {
+	return casebase.Footprint{
+		Slices: f.Slices, BRAMs: f.BRAMs, Multipliers: f.Multipliers,
+		CPULoad: f.CPULoad, MemBytes: f.MemBytes, PowerMW: f.PowerMW,
+		ConfigBytes: f.ConfigBytes,
+	}
+}
+
+// ParseTarget parses the conventional short target name emitted by
+// casebase.Target.String ("FPGA", "DSP", "GP-Proc").
+func ParseTarget(s string) (casebase.Target, error) {
+	switch s {
+	case "FPGA":
+		return casebase.TargetFPGA, nil
+	case "DSP":
+		return casebase.TargetDSP, nil
+	case "GP-Proc":
+		return casebase.TargetGPP, nil
+	}
+	return 0, fmt.Errorf("unknown target %q (want FPGA, DSP or GP-Proc)", s)
+}
+
+// RetainRequest is the body of POST /v1/retain: a new implementation
+// variant for the run-time repository, committed through the epoch
+// snapshot pipeline.
+type RetainRequest struct {
+	Client string `json:"client"`
+	Type   uint16 `json:"type"`
+	// Impl 0 asks the daemon to assign the type's next free ID.
+	Impl   uint16            `json:"impl,omitempty"`
+	Name   string            `json:"name,omitempty"`
+	Target string            `json:"target"`
+	Attrs  []MeasurementJSON `json:"attrs"`
+	Foot   FootprintJSON     `json:"footprint"`
+	// AtEpoch optimistically conditions the commit on the committed
+	// epoch (0 commits unconditionally); a mismatch fails with
+	// CodeStaleEpoch.
+	AtEpoch uint64 `json:"at_epoch,omitempty"`
+}
+
+// DecodeRetainRequest reads one strict RetainRequest from r (same
+// discipline as DecodeAllocRequest).
+func DecodeRetainRequest(r io.Reader) (*RetainRequest, error) {
+	dec := json.NewDecoder(io.LimitReader(r, MaxRequestBytes))
+	dec.DisallowUnknownFields()
+	var req RetainRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("%w: trailing data after request object", ErrBadRequest)
+	}
+	if err := req.validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return &req, nil
+}
+
+func (rr *RetainRequest) validate() error {
+	if rr.Client == "" {
+		return errors.New("missing client")
+	}
+	if _, err := ParseTarget(rr.Target); err != nil {
+		return err
+	}
+	if len(rr.Attrs) == 0 {
+		return errors.New("no attributes")
+	}
+	if len(rr.Attrs) > MaxConstraints {
+		return fmt.Errorf("%d attributes exceeds the limit of %d", len(rr.Attrs), MaxConstraints)
+	}
+	seen := make(map[uint16]bool, len(rr.Attrs))
+	for _, a := range rr.Attrs {
+		if seen[a.ID] {
+			return fmt.Errorf("duplicate attribute %d", a.ID)
+		}
+		seen[a.ID] = true
+	}
+	f := rr.Foot
+	for _, v := range []int{f.Slices, f.BRAMs, f.Multipliers, f.CPULoad, f.MemBytes, f.PowerMW, f.ConfigBytes} {
+		if v < 0 {
+			return errors.New("negative footprint field")
+		}
+	}
+	return nil
+}
+
+// Implementation converts a decoded request to the casebase shape
+// (attributes sorted by ID, as the builder requires).
+func (rr *RetainRequest) Implementation() casebase.Implementation {
+	t, _ := ParseTarget(rr.Target) // validated by decode
+	attrs := make([]attr.Pair, 0, len(rr.Attrs))
+	for _, a := range rr.Attrs {
+		attrs = append(attrs, attr.Pair{ID: attr.ID(a.ID), Value: attr.Value(a.Value)})
+	}
+	sort.Slice(attrs, func(i, j int) bool { return attrs[i].ID < attrs[j].ID })
+	return casebase.Implementation{
+		ID: casebase.ImplID(rr.Impl), Name: rr.Name, Target: t,
+		Attrs: attrs, Foot: rr.Foot.Footprint(),
+	}
+}
+
+// RetainResponse is the body of a successful /v1/retain.
+type RetainResponse struct {
+	Type  uint16 `json:"type"`
+	Impl  uint16 `json:"impl"`  // assigned ID
+	Epoch uint64 `json:"epoch"` // epoch the variant is committed in
+}
+
+// RetireRequest is the body of POST /v1/retire.
+type RetireRequest struct {
+	Client  string `json:"client"`
+	Type    uint16 `json:"type"`
+	Impl    uint16 `json:"impl"`
+	AtEpoch uint64 `json:"at_epoch,omitempty"` // see RetainRequest.AtEpoch
+}
+
+// DecodeRetireRequest reads one strict RetireRequest from r (same
+// discipline as DecodeAllocRequest).
+func DecodeRetireRequest(r io.Reader) (*RetireRequest, error) {
+	dec := json.NewDecoder(io.LimitReader(r, MaxRequestBytes))
+	dec.DisallowUnknownFields()
+	var req RetireRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("%w: trailing data after request object", ErrBadRequest)
+	}
+	if req.Client == "" {
+		return nil, fmt.Errorf("%w: missing client", ErrBadRequest)
+	}
+	if req.Impl == 0 {
+		return nil, fmt.Errorf("%w: missing impl", ErrBadRequest)
+	}
+	return &req, nil
+}
+
+// RetireResponse is the body of a successful /v1/retire.
+type RetireResponse struct {
+	Type  uint16 `json:"type"`
+	Impl  uint16 `json:"impl"`
+	Epoch uint64 `json:"epoch"` // epoch the variant is gone from
+}
+
 // ErrorResponse is the body of every non-2xx qosd reply. Code is a
 // stable machine-readable slug (see the Code* constants); RetryAfterUS
 // carries the typed hint in sim microseconds when the error class has
@@ -174,4 +413,10 @@ const (
 	// resource budget (admit.ErrBudgetExceeded); Retry-After is set only
 	// for the bandwidth dimension, where waiting accrues headroom.
 	CodeBudgetExceeded = "budget_exceeded"
+	// CodeLearningOff (403) reports a mutation request to a daemon whose
+	// case base is frozen (started without -learn).
+	CodeLearningOff = "learning_off"
+	// CodeStaleEpoch (409) reports a mutation conditioned on an epoch a
+	// commit has since retired (wire at_epoch vs. committed epoch).
+	CodeStaleEpoch = "stale_epoch"
 )

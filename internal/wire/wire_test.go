@@ -156,3 +156,150 @@ func TestDecodeBenchReportStrict(t *testing.T) {
 		t.Fatalf("unknown field: %v, want ErrBadReport", err)
 	}
 }
+
+const goodObserve = `{
+  "client": "c1",
+  "type": 2,
+  "impl": 3,
+  "measured": [
+    {"id": 4, "value": 17},
+    {"id": 1, "value": 9}
+  ]
+}`
+
+func TestDecodeObserveRequestGood(t *testing.T) {
+	req, err := DecodeObserveRequest(strings.NewReader(goodObserve))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Client != "c1" || req.Type != 2 || req.Impl != 3 || len(req.Measured) != 2 {
+		t.Fatalf("decoded %+v", req)
+	}
+	o := req.Observation()
+	if uint16(o.Type) != 2 || uint16(o.Impl) != 3 || len(o.Measured) != 2 {
+		t.Fatalf("Observation() = %+v", o)
+	}
+	// Conversion preserves wire order and values verbatim.
+	if uint16(o.Measured[0].ID) != 4 || o.Measured[0].Value != 17 {
+		t.Fatalf("measured[0] = %+v", o.Measured[0])
+	}
+}
+
+func TestDecodeObserveRequestRejections(t *testing.T) {
+	cases := map[string]string{
+		"empty body":      ``,
+		"not json":        `{`,
+		"unknown field":   `{"client":"c","type":1,"impl":1,"measured":[{"id":1,"value":2}],"bogus":1}`,
+		"trailing data":   `{"client":"c","type":1,"impl":1,"measured":[{"id":1,"value":2}]} x`,
+		"missing client":  `{"type":1,"impl":1,"measured":[{"id":1,"value":2}]}`,
+		"missing impl":    `{"client":"c","type":1,"measured":[{"id":1,"value":2}]}`,
+		"no measurements": `{"client":"c","type":1,"impl":1,"measured":[]}`,
+		"dup measurement": `{"client":"c","type":1,"impl":1,"measured":[{"id":1,"value":2},{"id":1,"value":3}]}`,
+	}
+	for name, body := range cases {
+		got, err := DecodeObserveRequest(strings.NewReader(body))
+		if err == nil {
+			t.Errorf("%s: decoded %+v, want error", name, got)
+			continue
+		}
+		if !errors.Is(err, ErrBadRequest) {
+			t.Errorf("%s: error %v does not wrap ErrBadRequest", name, err)
+		}
+	}
+}
+
+const goodRetain = `{
+  "client": "c1",
+  "type": 2,
+  "name": "fir-v9",
+  "target": "FPGA",
+  "attrs": [
+    {"id": 5, "value": 20},
+    {"id": 2, "value": 11}
+  ],
+  "footprint": {"slices": 120, "brams": 2, "config_bytes": 4096},
+  "at_epoch": 7
+}`
+
+func TestDecodeRetainRequestGood(t *testing.T) {
+	req, err := DecodeRetainRequest(strings.NewReader(goodRetain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Client != "c1" || req.Type != 2 || req.Impl != 0 || req.AtEpoch != 7 {
+		t.Fatalf("decoded %+v", req)
+	}
+	im := req.Implementation()
+	if im.Name != "fir-v9" || im.Target.String() != "FPGA" {
+		t.Fatalf("Implementation() = %+v", im)
+	}
+	// Attributes come back sorted by ID, as the case-base builder needs.
+	if len(im.Attrs) != 2 || im.Attrs[0].ID != 2 || im.Attrs[1].ID != 5 {
+		t.Fatalf("attrs not sorted: %+v", im.Attrs)
+	}
+	if im.Foot.Slices != 120 || im.Foot.ConfigBytes != 4096 {
+		t.Fatalf("footprint = %+v", im.Foot)
+	}
+}
+
+func TestDecodeRetainRequestRejections(t *testing.T) {
+	cases := map[string]string{
+		"empty body":         ``,
+		"unknown field":      `{"client":"c","type":1,"target":"FPGA","attrs":[{"id":1,"value":2}],"bogus":1}`,
+		"trailing data":      `{"client":"c","type":1,"target":"FPGA","attrs":[{"id":1,"value":2}]} x`,
+		"missing client":     `{"type":1,"target":"FPGA","attrs":[{"id":1,"value":2}]}`,
+		"bad target":         `{"client":"c","type":1,"target":"ASIC","attrs":[{"id":1,"value":2}]}`,
+		"missing target":     `{"client":"c","type":1,"attrs":[{"id":1,"value":2}]}`,
+		"no attrs":           `{"client":"c","type":1,"target":"FPGA","attrs":[]}`,
+		"dup attr":           `{"client":"c","type":1,"target":"FPGA","attrs":[{"id":1,"value":2},{"id":1,"value":3}]}`,
+		"negative footprint": `{"client":"c","type":1,"target":"FPGA","attrs":[{"id":1,"value":2}],"footprint":{"slices":-1}}`,
+	}
+	for name, body := range cases {
+		got, err := DecodeRetainRequest(strings.NewReader(body))
+		if err == nil {
+			t.Errorf("%s: decoded %+v, want error", name, got)
+			continue
+		}
+		if !errors.Is(err, ErrBadRequest) {
+			t.Errorf("%s: error %v does not wrap ErrBadRequest", name, err)
+		}
+	}
+}
+
+func TestDecodeRetireRequest(t *testing.T) {
+	req, err := DecodeRetireRequest(strings.NewReader(
+		`{"client":"c1","type":2,"impl":4,"at_epoch":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Client != "c1" || req.Type != 2 || req.Impl != 4 || req.AtEpoch != 3 {
+		t.Fatalf("decoded %+v", req)
+	}
+	cases := map[string]string{
+		"empty body":     ``,
+		"unknown field":  `{"client":"c","type":1,"impl":1,"bogus":1}`,
+		"trailing data":  `{"client":"c","type":1,"impl":1} x`,
+		"missing client": `{"type":1,"impl":1}`,
+		"missing impl":   `{"client":"c","type":1}`,
+	}
+	for name, body := range cases {
+		if _, err := DecodeRetireRequest(strings.NewReader(body)); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("%s: %v, want ErrBadRequest", name, err)
+		}
+	}
+}
+
+func TestParseTarget(t *testing.T) {
+	for _, name := range []string{"FPGA", "DSP", "GP-Proc"} {
+		tgt, err := ParseTarget(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if tgt.String() != name {
+			t.Fatalf("ParseTarget(%q).String() = %q", name, tgt.String())
+		}
+	}
+	if _, err := ParseTarget("asic"); err == nil {
+		t.Fatal("accepted an unknown target")
+	}
+}

@@ -1,0 +1,228 @@
+package qosalloc
+
+// Live-mutation serving benchmark (DESIGN.md §14). BenchmarkServeUnderChurn
+// reports the batched read path frozen, with learning enabled but idle,
+// and under a steady mutation/commit load, all under the normal -bench
+// flow. TestServeLearnReadPathNoRegression is the `make bench-learn` CI
+// gate — it measures the frozen and learning-idle read paths with
+// testing.Benchmark, FAILS if enabling the epoch-snapshot layer slows
+// the read path beyond noise, and refreshes BENCH_learn_churn.json when
+// pointed at an output file.
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"os"
+	"testing"
+
+	"qosalloc/internal/attr"
+	"qosalloc/internal/casebase"
+	"qosalloc/internal/device"
+	"qosalloc/internal/learn"
+	"qosalloc/internal/rtsys"
+	"qosalloc/internal/serve"
+	"qosalloc/internal/workload"
+)
+
+// learnBenchFixtures is the Table-3 capacity point with the repeat-heavy
+// stream BenchmarkServeBatch uses (internal/serve), rebuilt here against
+// the public service constructor path.
+func learnBenchFixtures(b *testing.B) (*casebase.CaseBase, []casebase.Request) {
+	b.Helper()
+	cb, reg, err := workload.GenCaseBase(workload.PaperScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs, err := workload.GenRequests(cb, reg, workload.RequestStreamSpec{
+		N: 512, ConstraintsPer: 5, RepeatFraction: 0.5, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cb, reqs
+}
+
+func learnBenchService(b *testing.B, cb *casebase.CaseBase, lc serve.LearnConfig) *serve.Service {
+	b.Helper()
+	repo := device.NewRepository(64)
+	if err := repo.PopulateFromCaseBase(cb); err != nil {
+		b.Fatal(err)
+	}
+	sys := rtsys.NewSystem(repo,
+		device.NewFPGA("fpga0", []device.Slot{
+			{Slices: 1500, BRAMs: 8, Multipliers: 16},
+			{Slices: 1500, BRAMs: 8, Multipliers: 16},
+		}, 66),
+		device.NewProcessor("dsp0", casebase.TargetDSP, 2000, 1<<20),
+		device.NewProcessor("gpp0", casebase.TargetGPP, 2000, 1<<21),
+	)
+	return serve.New(cb, sys, serve.Config{Shards: 8, MaxBatch: 64, Learning: lc})
+}
+
+// streamOnce pushes the whole 512-request stream through the service as
+// 64-request micro-batches — one benchmark op.
+func streamOnce(b *testing.B, s *serve.Service, reqs []casebase.Request) {
+	ctx := context.Background()
+	for lo := 0; lo < len(reqs); lo += 64 {
+		out, err := s.RetrieveBatch(ctx, reqs[lo:lo+64])
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, o := range out {
+			if o.Err != nil {
+				b.Fatal(o.Err)
+			}
+		}
+	}
+}
+
+// churnOnce lands 16 observations and forces one commit — the steady
+// mutation load riding along with each streamed op.
+func churnOnce(b *testing.B, s *serve.Service, cb *casebase.CaseBase, rng *rand.Rand) {
+	types := cb.Types()
+	for i := 0; i < 16; i++ {
+		ft := types[rng.Intn(len(types))]
+		im := ft.Impls[rng.Intn(len(ft.Impls))]
+		p := im.Attrs[rng.Intn(len(im.Attrs))]
+		err := s.Observe(learn.Observation{Type: ft.ID, Impl: im.ID,
+			Measured: []attr.Pair{{ID: p.ID, Value: p.Value + attr.Value(rng.Intn(3))}}})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := s.CommitNow(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// idleLearn enables the mutation API without tripping any commit: the
+// read path pays only the epoch-snapshot indirection.
+func idleLearn() serve.LearnConfig {
+	return serve.LearnConfig{Enabled: true, Alpha: 0.5, FoldThreshold: 1 << 20}
+}
+
+// BenchmarkServeUnderChurn: the BenchmarkServeBatch stream frozen, with
+// the mutation API enabled but idle, and with a 16-observation commit
+// riding along every op. One op = the whole 512-request stream.
+func BenchmarkServeUnderChurn(b *testing.B) {
+	b.Run("frozen", func(b *testing.B) {
+		cb, reqs := learnBenchFixtures(b)
+		s := learnBenchService(b, cb, serve.LearnConfig{})
+		defer s.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			streamOnce(b, s, reqs)
+		}
+	})
+	b.Run("learn-idle", func(b *testing.B) {
+		cb, reqs := learnBenchFixtures(b)
+		s := learnBenchService(b, cb, idleLearn())
+		defer s.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			streamOnce(b, s, reqs)
+		}
+	})
+	b.Run("churn", func(b *testing.B) {
+		cb, reqs := learnBenchFixtures(b)
+		s := learnBenchService(b, cb, idleLearn())
+		defer s.Close()
+		rng := rand.New(rand.NewSource(5))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			streamOnce(b, s, reqs)
+			churnOnce(b, s, cb, rng)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(s.EpochStats().Commits)/float64(b.N), "commits/op")
+	})
+}
+
+// learnBenchReport is the BENCH_learn_churn.json schema.
+type learnBenchReport struct {
+	Benchmark     string  `json:"benchmark"`
+	Requests      int     `json:"requests"`
+	Shards        int     `json:"shards"`
+	FrozenNsPerOp int64   `json:"frozen_ns_per_op"`
+	IdleNsPerOp   int64   `json:"learn_idle_ns_per_op"`
+	ChurnNsPerOp  int64   `json:"churn_ns_per_op"`
+	IdleOverhead  float64 `json:"idle_overhead"`  // idle / frozen
+	ChurnOverhead float64 `json:"churn_overhead"` // churn / frozen
+	ObsPerChurnOp int     `json:"observations_per_churn_op"`
+	CommitsPerOp  float64 `json:"commits_per_churn_op"`
+	MaxIdleRatio  float64 `json:"max_idle_ratio"` // the gate
+}
+
+// TestServeLearnReadPathNoRegression is the bench-learn gate. It is
+// skipped unless QOS_BENCH_LEARN=1 so the regular suite stays fast and
+// timing-independent; `make bench-learn` sets the variable. With
+// QOS_BENCH_OUT set the measured report is written there
+// (BENCH_learn_churn.json at the repo root is the committed copy).
+func TestServeLearnReadPathNoRegression(t *testing.T) {
+	if os.Getenv("QOS_BENCH_LEARN") != "1" {
+		t.Skip("set QOS_BENCH_LEARN=1 (make bench-learn) to run the timing gate")
+	}
+	const maxIdleRatio = 1.25 // noise allowance for the snapshot indirection
+
+	frozen := testing.Benchmark(func(b *testing.B) {
+		cb, reqs := learnBenchFixtures(b)
+		s := learnBenchService(b, cb, serve.LearnConfig{})
+		defer s.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			streamOnce(b, s, reqs)
+		}
+	})
+	idle := testing.Benchmark(func(b *testing.B) {
+		cb, reqs := learnBenchFixtures(b)
+		s := learnBenchService(b, cb, idleLearn())
+		defer s.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			streamOnce(b, s, reqs)
+		}
+	})
+	var commits float64
+	churn := testing.Benchmark(func(b *testing.B) {
+		cb, reqs := learnBenchFixtures(b)
+		s := learnBenchService(b, cb, idleLearn())
+		defer s.Close()
+		rng := rand.New(rand.NewSource(5))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			streamOnce(b, s, reqs)
+			churnOnce(b, s, cb, rng)
+		}
+		b.StopTimer()
+		commits = float64(s.EpochStats().Commits) / float64(b.N)
+	})
+
+	frozenNs, idleNs, churnNs := frozen.NsPerOp(), idle.NsPerOp(), churn.NsPerOp()
+	if frozenNs <= 0 || idleNs <= 0 || churnNs <= 0 {
+		t.Fatalf("degenerate timings: frozen %d, idle %d, churn %d ns/op", frozenNs, idleNs, churnNs)
+	}
+	rep := learnBenchReport{
+		Benchmark: "learn_churn", Requests: 512, Shards: 8,
+		FrozenNsPerOp: frozenNs, IdleNsPerOp: idleNs, ChurnNsPerOp: churnNs,
+		IdleOverhead:  float64(idleNs) / float64(frozenNs),
+		ChurnOverhead: float64(churnNs) / float64(frozenNs),
+		ObsPerChurnOp: 16, CommitsPerOp: commits,
+		MaxIdleRatio: maxIdleRatio,
+	}
+	t.Logf("frozen %d ns/op, learn-idle %d ns/op (%.2fx), churn %d ns/op (%.2fx, %.1f commits/op)",
+		frozenNs, idleNs, rep.IdleOverhead, churnNs, rep.ChurnOverhead, commits)
+	if out := os.Getenv("QOS_BENCH_OUT"); out != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if float64(idleNs) > float64(frozenNs)*maxIdleRatio {
+		t.Fatalf("learning-idle read path (%d ns/op) regressed beyond noise over frozen (%d ns/op, limit %.2fx)",
+			idleNs, frozenNs, maxIdleRatio)
+	}
+}

@@ -106,6 +106,26 @@ func WithBypassTokens(use bool) Option {
 // candidates (zero keeps the paper's pure-similarity ranking).
 func WithPowerWeight(w float64) Option { return func(c *config) { c.serve.Manager.PowerWeight = w } }
 
+// WithLearning turns on live case-base mutation (service only): the
+// Service's Observe/Retain/Retire/CommitNow commit through the epoch
+// snapshot pipeline while readers keep retrieving. alpha is the EWMA
+// weight of new observations in (0, 1] (out of range falls back to the
+// default 0.5); foldThreshold trips a commit once that many attribute
+// values carry pending LSB-visible revisions (<= 0 falls back to 64);
+// maxAge trips a commit once the oldest pending observation is that old
+// on the sim clock (0 disables the age bound). Without this option the
+// case base is frozen and mutation calls return ErrLearningOff.
+func WithLearning(alpha float64, foldThreshold int, maxAge Micros) Option {
+	return func(c *config) {
+		c.serve.Learning = serve.LearnConfig{
+			Enabled:       true,
+			Alpha:         alpha,
+			FoldThreshold: foldThreshold,
+			MaxAge:        maxAge,
+		}
+	}
+}
+
 // WithRegistry instruments the constructed component on reg — the
 // service wires its own metrics plus every shard engine and the
 // manager; engines, pools and managers wire their layer's bundle.

@@ -22,6 +22,7 @@ import (
 	"qosalloc/internal/retrieval"
 	"qosalloc/internal/rtl"
 	"qosalloc/internal/rtsys"
+	"qosalloc/internal/serve"
 	"qosalloc/internal/similarity"
 	"qosalloc/internal/swret"
 	"qosalloc/internal/synth"
@@ -516,17 +517,41 @@ func NewRetrievalMetrics(reg *ObsRegistry) *RetrievalMetrics { return retrieval.
 
 // --- Learning: the fig. 2 CBR cycle ------------------------------------------
 
-// Run-time case-base revision and retention (§5 future work).
+// Run-time case-base revision and retention (§5 future work). The
+// first-class path is the Service mutation API — build the service with
+// WithLearning and call Observe/Retain/Retire/CommitNow while it
+// serves; every commit installs a fresh epoch snapshot without pausing
+// readers (DESIGN.md §14).
 type (
 	// Learner accumulates revisions/retentions over a case base.
+	//
+	// Deprecated: the manual Learner → Rebuild → construct-new-service
+	// flow is the v1 shim. Use WithLearning plus the Service mutation
+	// API, which folds observations off the read path and swaps epochs
+	// without a service restart. Learner remains for offline batch
+	// revision of a case base at rest.
 	Learner = learn.Learner
 	// Observation is one run-time QoS measurement of a deployed
-	// variant.
+	// variant (also the Service.Observe payload).
 	Observation = learn.Observation
+	// EpochStats snapshots the Service's mutation-side counters:
+	// committed epoch, commits by cause, pending delta state.
+	EpochStats = serve.EpochStats
+	// ErrStaleEpoch reports work prepared against an epoch a commit has
+	// since retired; the caller re-reads the committed state (Epoch)
+	// and retries.
+	ErrStaleEpoch = serve.ErrStaleEpoch
 )
+
+// ErrLearningOff reports a Service mutation call without WithLearning:
+// the case base is frozen for the process lifetime.
+var ErrLearningOff = serve.ErrLearningOff
 
 // NewLearner returns a learner over base with EWMA weight alpha in
 // (0, 1].
+//
+// Deprecated: see Learner. New code passes WithLearning to NewService
+// and mutates through Service.Observe/Retain/Retire/CommitNow.
 func NewLearner(base *CaseBase, alpha float64) (*Learner, error) {
 	return learn.NewLearner(base, alpha)
 }

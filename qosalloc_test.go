@@ -189,8 +189,8 @@ func TestFacadeMeasureLookups(t *testing.T) {
 
 func TestFacadeExperiments(t *testing.T) {
 	all := qosalloc.Experiments()
-	if len(all) != 20 {
-		t.Fatalf("experiments = %d, want 20", len(all))
+	if len(all) != 21 {
+		t.Fatalf("experiments = %d, want 21", len(all))
 	}
 	e, ok := qosalloc.ExperimentByID("table1")
 	if !ok {

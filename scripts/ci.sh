@@ -21,6 +21,10 @@ go test -run xxx -bench . -benchtime 1x ./...
 # baseline (PR 7 gate; the committed BENCH_compact_retrieval.json is
 # refreshed deliberately with `make bench-compact OUT=...`).
 QOS_BENCH_COMPACT=1 go test -run TestCompactRetrievalSpeedup -count=1 .
+# Enabling the live-mutation layer must not slow the batched read path
+# beyond noise (PR 9 gate; the committed BENCH_learn_churn.json is
+# refreshed deliberately with `make bench-learn OUT=...`).
+QOS_BENCH_LEARN=1 go test -run TestServeLearnReadPathNoRegression -count=1 .
 # API-surface gate: the exported facade must match the committed
 # snapshot. Regenerate deliberately with `make api` after an intended
 # surface change.
@@ -32,6 +36,12 @@ go doc -all . | diff -u api.txt - || {
 # the degraded tenant's recovery identical to the no-neighbor baseline
 # and reproduce the pinned fleet journal hash (mirrors `make fleetcheck`).
 go test -run 'TestFleetNoisyNeighborIsolation|TestFleetCheckGolden|TestFleetReplayBitIdentical' -count=1 ./internal/fleet/
+# Live case-base mutation gate (mirrors `make learncheck`): the pinned
+# E21 epoch journal replays bit-identically at any shard count, retiring
+# a tokenized variant never serves a stale bypass, and the churn stress
+# passes under the race detector.
+go test -run 'TestLearnChurnGoldenReplay|TestLearnChurnShardInvariance' -count=1 ./internal/experiments/
+go test -race -run 'TestReplayShardInvariant|TestRetireInvalidatesBypassTokens|TestSwapMatchesFromScratchRebuild|TestLearnChurnRaceStress' -count=1 ./internal/serve/
 # qosd/qosload end-to-end smoke: scenario reports validate against the
 # wire schema, lockstep replay is outcome-identical, SIGTERM drains
 # cleanly. Writes its reports to a temp dir (the committed

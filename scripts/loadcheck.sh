@@ -69,6 +69,26 @@ run_scenario zipf "$TMP/BENCH_qosd_zipf_replay.json"
 stop
 ./bin/qosload -compare "$OUT/BENCH_qosd_zipf.json,$TMP/BENCH_qosd_zipf_replay.json"
 
+# Churn determinism: the same zipf schedule with a 20% mutation mix
+# interleaved (-churn) against a learning daemon must also replay to
+# identical per-request outcomes — fold-point commits are part of the
+# deterministic pipeline, not a source of divergence. Reports go to
+# $TMP: churn runs are a gate, not a committed artifact.
+run_churn() { # $1 = output file
+	./bin/qosload -addr "$URL" -scenario zipf -mode lockstep \
+		-seed "$SEED" -requests "$REQS" -churn 20 -out "$1"
+	./bin/qosload -validate "$1"
+}
+DAEMON_FLAGS="$DAEMON_FLAGS -learn -learn-fold 32"
+boot
+run_churn "$TMP/BENCH_qosd_churn.json"
+stop
+boot
+run_churn "$TMP/BENCH_qosd_churn_replay.json"
+stop
+./bin/qosload -compare "$TMP/BENCH_qosd_churn.json,$TMP/BENCH_qosd_churn_replay.json"
+DAEMON_FLAGS="-lockstep -rate 500 -burst 50"
+
 # Drain acceptance: SIGTERM with traffic just behind it must exit 0
 # within the drain deadline (stop() already asserts the exit status),
 # and the daemon must log its final metrics snapshot.
