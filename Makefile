@@ -14,13 +14,17 @@ vet:
 	$(GO) vet ./...
 
 # qosvet is the project-specific invariant suite (internal/lint):
-# determinism, Q15 saturation, obs naming, error wrapping. lint runs it
-# through the standard vet driver so diagnostics carry file:line and
-# the run is cached per package.
-qosvet:
+# determinism, Q15 saturation, obs naming, error wrapping, lock order,
+# goroutine lifecycles. bin/qosvet is a real file target so lint reuses
+# the cached binary when neither the analyzers nor the driver changed;
+# lint runs it through the standard vet driver so diagnostics carry
+# file:line and the run is cached per package.
+bin/qosvet: $(wildcard internal/lint/*.go cmd/qosvet/*.go) go.mod
 	$(GO) build -o bin/qosvet ./cmd/qosvet
 
-lint: qosvet
+qosvet: bin/qosvet
+
+lint: bin/qosvet
 	$(GO) vet -vettool=$(CURDIR)/bin/qosvet ./...
 
 test:

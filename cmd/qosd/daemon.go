@@ -951,6 +951,11 @@ func (d *daemon) writeOK(w http.ResponseWriter, body any) {
 func (d *daemon) run(ln net.Listener, sig <-chan os.Signal, snap io.Writer) error {
 	srv := &http.Server{Handler: d.mux}
 	errCh := make(chan error, 1)
+	// The acceptor goroutine has no WaitGroup/context tie by design: it
+	// lives exactly as long as the listener, and run's drain path below
+	// closes the listener (srv.Close), which makes Serve return and the
+	// buffered errCh send complete.
+	//qosvet:ignore leaklint acceptor lifetime is bounded by the listener; srv.Close in the drain path unblocks Serve
 	go func() { errCh <- srv.Serve(ln) }()
 
 	select {

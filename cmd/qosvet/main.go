@@ -1,5 +1,6 @@
 // Qosvet is the repo's invariant checker: a go vet tool bundling the
-// internal/lint analyzer suite (detlint, q15lint, obslint, errlint).
+// internal/lint analyzer suite (detlint, q15lint, obslint, errlint,
+// locklint, leaklint).
 //
 // Build it once and hand it to go vet:
 //
@@ -7,10 +8,16 @@
 //	go vet -vettool=$(pwd)/bin/qosvet ./...
 //
 // or simply `make lint`. Individual analyzers can be selected with
-// their flag names (`-detlint`), and intentional violations are
-// suppressed in source with `//qosvet:ignore <analyzer> <reason>`.
-// See the internal/lint package documentation and DESIGN.md §10 for
-// the invariants each analyzer guards.
+// their flag names (`-detlint`), `-json` emits the machine-readable
+// diagnostic stream documented in internal/lint/doc.go, and
+// intentional violations are suppressed in source with
+// `//qosvet:ignore <analyzer> <reason>` (full-suite runs audit the
+// directives and report stale ones; `-audit=false` disables that).
+// locklint and leaklint are interprocedural: acquired-lock summaries
+// travel between packages as vetx facts, so the declared
+// //qosvet:lockorder hierarchy is enforced across package boundaries.
+// See the internal/lint package documentation and DESIGN.md §10 and
+// §15 for the invariants each analyzer guards.
 package main
 
 import "qosalloc/internal/lint"

@@ -22,6 +22,10 @@ type Analyzer struct {
 	Doc string
 	// Run inspects one package and reports findings on pass.
 	Run func(*Pass)
+	// FactTypes declares the concrete fact types this analyzer exports
+	// and imports (see facts.go). An analyzer with fact types also runs
+	// on dependency-only units so its facts flow downstream.
+	FactTypes []Fact
 }
 
 // Pass carries one type-checked package through one analyzer.
@@ -32,6 +36,7 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	facts *FactSet
 	diags *[]Diagnostic
 }
 
@@ -40,6 +45,10 @@ type Diagnostic struct {
 	Analyzer string
 	Pos      token.Pos
 	Message  string
+	// Suppressed marks a finding covered by a //qosvet:ignore
+	// directive: excluded from text output and the exit code, but kept
+	// for -json consumers and the stale-suppression audit.
+	Suppressed bool
 }
 
 // Reportf records a finding at pos. The analyzer name is prefixed onto
@@ -52,9 +61,11 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// All returns the full qosvet suite in reporting order.
+// All returns the full qosvet suite in registration order. Output
+// order is positional, not registrational: analyzePackage sorts merged
+// diagnostics by (file, line, column, analyzer).
 func All() []*Analyzer {
-	return []*Analyzer{DetLint, Q15Lint, ObsLint, ErrLint}
+	return []*Analyzer{DetLint, Q15Lint, ObsLint, ErrLint, LockLint, LeakLint}
 }
 
 // IgnoreDirective is the comment prefix of an in-source suppression:
@@ -69,6 +80,7 @@ type suppression struct {
 	analyzer string // analyzer name or "all"
 	ok       bool   // well-formed: has analyzer and a non-empty reason
 	pos      token.Pos
+	used     bool // matched at least one diagnostic (audit mode)
 }
 
 // fileLine keys a suppression or diagnostic to a source line.
@@ -81,8 +93,8 @@ type fileLine struct {
 // Malformed directives (missing analyzer or reason) are returned
 // separately so the driver can report them: a silent bad suppression
 // would look like an active one.
-func collectSuppressions(fset *token.FileSet, files []*ast.File) (map[fileLine][]suppression, []Diagnostic) {
-	sup := make(map[fileLine][]suppression)
+func collectSuppressions(fset *token.FileSet, files []*ast.File) (map[fileLine][]*suppression, []Diagnostic) {
+	sup := make(map[fileLine][]*suppression)
 	var bad []Diagnostic
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -92,7 +104,7 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) (map[fileLine][
 				}
 				rest := strings.TrimPrefix(c.Text, IgnoreDirective)
 				fields := strings.Fields(rest)
-				s := suppression{pos: c.Pos()}
+				s := &suppression{pos: c.Pos()}
 				if len(fields) >= 2 { // analyzer + at least one reason word
 					s.analyzer = fields[0]
 					s.ok = true
@@ -114,25 +126,56 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) (map[fileLine][
 
 // suppressed reports whether a diagnostic from analyzer at pos is
 // covered by a well-formed ignore directive on the same line or the
-// line immediately above.
-func suppressed(fset *token.FileSet, sup map[fileLine][]suppression, d Diagnostic) bool {
+// line immediately above, marking the directive used for the audit.
+func suppressed(fset *token.FileSet, sup map[fileLine][]*suppression, d Diagnostic) bool {
 	p := fset.Position(d.Pos)
+	hit := false
 	for _, line := range []int{p.Line, p.Line - 1} {
 		for _, s := range sup[fileLine{p.Filename, line}] {
 			if s.ok && (s.analyzer == d.Analyzer || s.analyzer == "all") {
-				return true
+				s.used = true
+				hit = true
 			}
 		}
 	}
-	return false
+	return hit
 }
 
 // RunPackage runs analyzers over one type-checked package and returns
-// the surviving diagnostics sorted by position. Test files (*_test.go)
-// are excluded: the invariants gate production code, and go vet hands
-// the tool test-augmented package variants whose prod files it has
-// already analyzed.
+// the surviving (unsuppressed) diagnostics in position order. It is
+// the facts-blind convenience wrapper; drivers that thread
+// cross-package facts or want suppressed findings call analyzePackage.
 func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) []Diagnostic {
+	return Keep(analyzePackage(fset, files, pkg, info, analyzers, NewFactSet(), false))
+}
+
+// Keep filters a full diagnostic list down to the findings that gate:
+// everything not covered by a suppression.
+func Keep(diags []Diagnostic) []Diagnostic {
+	var kept []Diagnostic
+	for _, d := range diags {
+		if !d.Suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// analyzePackage runs analyzers over one type-checked package with the
+// given fact store and returns every diagnostic — suppressed findings
+// marked, not dropped — sorted by (file, line, column, analyzer,
+// message) so merged multi-analyzer output is stable and diffable
+// regardless of analyzer registration order.
+//
+// Test files (*_test.go) are excluded: the invariants gate production
+// code, and go vet hands the tool test-augmented package variants
+// whose prod files it has already analyzed.
+//
+// With audit set, every well-formed suppression that matched no
+// finding is itself reported: the suppression set can only shrink.
+// Audit requires the full suite — under a subset a directive for an
+// unselected analyzer would look stale.
+func analyzePackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer, facts *FactSet, audit bool) []Diagnostic {
 	var prod []*ast.File
 	for _, f := range files {
 		name := fset.Position(f.Pos()).Filename
@@ -155,24 +198,66 @@ func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info
 			Files:     prod,
 			Pkg:       pkg,
 			TypesInfo: info,
+			facts:     facts,
 			diags:     &diags,
 		}
 		a.Run(pass)
 	}
 
-	kept := bad
+	all := bad
 	for _, d := range diags {
-		if !suppressed(fset, sup, d) {
-			kept = append(kept, d)
+		d.Suppressed = suppressed(fset, sup, d)
+		all = append(all, d)
+	}
+	if audit {
+		var lines []fileLine
+		for k := range sup {
+			lines = append(lines, k)
+		}
+		sort.Slice(lines, func(i, j int) bool {
+			if lines[i].file != lines[j].file {
+				return lines[i].file < lines[j].file
+			}
+			return lines[i].line < lines[j].line
+		})
+		for _, k := range lines {
+			for _, s := range sup[k] {
+				if s.ok && !s.used {
+					all = append(all, Diagnostic{
+						Analyzer: "qosvet",
+						Pos:      s.pos,
+						Message: fmt.Sprintf(
+							"qosvet: stale suppression: no %s finding left on this line; delete the //qosvet:ignore directive",
+							s.analyzer),
+					})
+				}
+			}
 		}
 	}
-	sort.Slice(kept, func(i, j int) bool {
-		if kept[i].Pos != kept[j].Pos {
-			return kept[i].Pos < kept[j].Pos
+	sortDiagnostics(fset, all)
+	return all
+}
+
+// sortDiagnostics orders findings by (file, line, column, analyzer,
+// message) — the merged-output contract S6 pins: vet output must not
+// depend on which analyzer happened to be registered first.
+func sortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
 		}
-		return kept[i].Message < kept[j].Message
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		return diags[i].Message < diags[j].Message
 	})
-	return kept
 }
 
 // ---- shared type-inspection helpers ----

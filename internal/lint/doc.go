@@ -34,15 +34,68 @@
 //     never ==/!=, and an error passed to fmt.Errorf must be wrapped
 //     with %w so callers can still match it after wrapping.
 //
+//   - locklint: the serving core's deadlock discipline is declared once
+//     in source with a directive,
+//
+//     //qosvet:lockorder commitMu < learnStripe.mu < shard.mu < allocMu
+//
+//     read left to right as outermost to innermost (commitMu is
+//     acquired before the stripe mutexes, and so on). Tokens name lock
+//     classes by trailing key components: a class is "pkg.Type.field"
+//     for a struct-field mutex, "pkg.var" for a package-level one, so
+//     the token shard.mu matches serve.shard.mu while commitMu matches
+//     serve.Service.commitMu. The order is exported as a package fact
+//     and inherited by importing packages; a per-function "may acquire"
+//     summary (a LockSet object fact, propagated through vetx files and
+//     a same-package call-graph fixpoint) lets the analyzer flag an
+//     inversion even when the offending acquisition is buried behind
+//     calls in another package. It also reports mutex-containing values
+//     copied (parameters, receivers, assignments, range values, call
+//     arguments) and Unlock/RUnlock calls with no matching acquisition
+//     on the path. Acquiring equally-ranked instances (stripes/shards
+//     in index order) is sanctioned.
+//
+//   - leaklint: go statements in the deterministic packages and
+//     cmd/qosd must be tied to a tracked lifecycle: a WaitGroup.Add
+//     earlier in the same function, a consulted context.Context in the
+//     goroutine body, a channel receive/select/range, or a
+//     WaitGroup.Done/Wait call. Same-package named callees are
+//     inspected one hop deep; for out-of-package callees a context or
+//     channel argument counts as the wiring. Untracked goroutines are
+//     the raw material of drain/Close leaks.
+//
 // The suite runs as a standard vet tool: build cmd/qosvet and pass it
-// to go vet -vettool (see make lint). Intentional, documented
-// exceptions are suppressed in place with a comment on, or immediately
-// above, the offending line:
+// to go vet -vettool (see make lint). locklint's facts make the run
+// interprocedural: each dependency unit exports a JSON vetx payload
+// ({"version":1,"facts":[{"pkg","obj","analyzer","type","fact"}...]},
+// object facts keyed by "FuncName" or "Type.Method" paths) that
+// downstream units decode against their import graph — see facts.go
+// and unitchecker.go.
+//
+// Intentional, documented exceptions are suppressed in place with a
+// comment on, or immediately above, the offending line:
 //
 //	//qosvet:ignore <analyzer> <reason>
 //
-// The reason is mandatory; a bare ignore is itself reported.
+// The reason is mandatory; a bare ignore is itself reported. In
+// full-suite runs the suppression set is audited: a well-formed
+// directive that no longer matches any finding is reported as stale,
+// so the set can only shrink (disable with -audit=false).
+//
+// The -json flag switches output to a machine-readable stream for
+// editor integrations: a flat JSON array, one element per diagnostic,
+//
+//	[{"analyzer": "locklint",
+//	  "posn": "internal/serve/learn.go:212:2",
+//	  "message": "locklint: ...",
+//	  "suppressed": false}, ...]
+//
+// sorted by (file, line, column, analyzer). Suppressed findings are
+// included with "suppressed": true so tools can render them dimmed;
+// only unsuppressed findings affect the text-mode exit code.
+//
 // Test files (*_test.go) are exempt from all analyzers: tests may
-// legitimately use wall-clock deadlines and identity assertions, and
-// the invariants gate the production pipeline that golden tests replay.
+// legitimately use wall-clock deadlines, identity assertions and
+// short-lived goroutines, and the invariants gate the production
+// pipeline that golden tests replay.
 package lint

@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// leaklint polices goroutine lifecycles in the deterministic packages
+// and the qosd daemon: the places where drain/Close correctness depends
+// on knowing every goroutine will stop. A `go` statement there must be
+// tied to a tracked lifecycle, meaning at least one of:
+//
+//   - a sync.WaitGroup.Add call earlier in the same function (the
+//     wg.Add(1); go ... idiom — Close can Wait for it),
+//   - the goroutine body consults a context.Context (cancellation
+//     reaches it),
+//   - the goroutine body blocks on a channel receive, select, or
+//     range-over-channel (a close can signal it),
+//   - the goroutine body calls WaitGroup.Done or WaitGroup.Wait.
+//
+// For `go f(...)` where f is declared in the same package, f's body is
+// inspected directly. For a callee outside the package the arguments
+// stand in for the body: passing a context.Context or a channel is
+// taken as wiring up a lifecycle; passing neither is a leak.
+//
+// Everything else — a bare `go func() { ... }()` with no signal in
+// scope — is exactly the shape drain bugs are made of: the goroutine
+// outlives Close, and the leak is invisible until a test hangs.
+var LeakLint = &Analyzer{
+	Name: "leaklint",
+	Doc: "require goroutines in deterministic packages and cmd/qosd to be tied to a " +
+		"tracked lifecycle (WaitGroup.Add, consulted context, or channel signal)",
+	Run: runLeakLint,
+}
+
+// leakPoliced reports whether pkg is in the goroutine-discipline set:
+// the deterministic packages plus the qosd daemon (package main, so
+// matched by import path).
+func leakPoliced(pkg *types.Package) bool {
+	if deterministicPkgs[pkg.Name()] {
+		return true
+	}
+	return strings.HasSuffix(pkg.Path(), "/qosd") || pkg.Path() == "qosd"
+}
+
+func runLeakLint(pass *Pass) {
+	if !leakPoliced(pass.Pkg) {
+		return
+	}
+	info := pass.TypesInfo
+
+	// Same-package function bodies, for `go f(...)` with a named callee.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, isFunc := decl.(*ast.FuncDecl); isFunc && fd.Body != nil {
+				if fn, isFn := info.Defs[fd.Name].(*types.Func); isFn {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			if !isFunc || fd.Body == nil {
+				continue
+			}
+			// Positions of WaitGroup.Add calls in this function: a go
+			// statement after one is accounted for.
+			var addPos []token.Pos
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if call, isCall := n.(*ast.CallExpr); isCall && isWaitGroupMethod(info, call, "Add") {
+					addPos = append(addPos, call.Pos())
+				}
+				return true
+			})
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				gs, isGo := n.(*ast.GoStmt)
+				if !isGo {
+					return true
+				}
+				for _, p := range addPos {
+					if p < gs.Pos() {
+						return true
+					}
+				}
+				if goStmtTracked(info, gs, decls) {
+					return true
+				}
+				pass.Reportf(gs.Pos(), "goroutine is not tied to a tracked lifecycle "+
+					"(WaitGroup.Add before the go statement, a consulted context.Context, or a channel signal)")
+				return true
+			})
+		}
+	}
+}
+
+// goStmtTracked reports whether the goroutine launched by gs has a
+// visible lifecycle signal.
+func goStmtTracked(info *types.Info, gs *ast.GoStmt, decls map[*types.Func]*ast.FuncDecl) bool {
+	if lit, isLit := gs.Call.Fun.(*ast.FuncLit); isLit {
+		return bodyTracked(info, lit.Body)
+	}
+	if callee := calleeFunc(info, gs.Call); callee != nil {
+		if fd, samePkg := decls[callee]; samePkg {
+			return bodyTracked(info, fd.Body)
+		}
+	}
+	// Callee body out of reach: the arguments are the interface. A
+	// context or channel handed in counts as a wired-up lifecycle.
+	for _, arg := range gs.Call.Args {
+		if t := typeOf(info, arg); t != nil {
+			if isContextType(t) {
+				return true
+			}
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// bodyTracked scans a goroutine body for a lifecycle signal.
+func bodyTracked(info *types.Info, body *ast.BlockStmt) bool {
+	tracked := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if tracked {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				tracked = true // channel receive
+			}
+		case *ast.SelectStmt:
+			tracked = true
+		case *ast.RangeStmt:
+			if t := typeOf(info, n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					tracked = true
+				}
+			}
+		case *ast.CallExpr:
+			if isWaitGroupMethod(info, n, "Done", "Wait") {
+				tracked = true
+			}
+		case *ast.Ident:
+			if t := typeOf(info, n); t != nil && isContextType(t) {
+				tracked = true
+			}
+		}
+		return !tracked
+	})
+	return tracked
+}
+
+// isWaitGroupMethod reports whether call invokes one of the named
+// sync.WaitGroup methods.
+func isWaitGroupMethod(info *types.Info, call *ast.CallExpr, names ...string) bool {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn {
+		return false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil || !namedFrom(sig.Recv().Type(), "sync", "WaitGroup") {
+		return false
+	}
+	for _, name := range names {
+		if fn.Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	return namedFrom(t, "context", "Context")
+}

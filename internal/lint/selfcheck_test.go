@@ -99,6 +99,126 @@ func Stamp() int64 {
 	}
 }
 
+// TestSeededLockInversionFails seeds the exact deadlock ISSUE 10 names
+// — commitMu acquired after allocMu — split across two packages so the
+// inversion is only visible through the vetx facts go vet threads
+// between units: the caller package never touches CommitMu directly,
+// it calls into core while holding the later-ranked lock.
+func TestSeededLockInversionFails(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the vettool and runs go vet on a scratch module")
+	}
+	bin := buildQosvet(t, t.TempDir())
+
+	scratch := t.TempDir()
+	writeFile(t, filepath.Join(scratch, "go.mod"), "module scratch\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(scratch, "core", "core.go"), `// Package core declares the hierarchy (commitMu before allocMu) and a
+// helper acquiring the outer lock.
+package core
+
+import "sync"
+
+//qosvet:lockorder CommitMu < AllocMu
+
+type Guard struct {
+	CommitMu sync.Mutex
+	AllocMu  sync.Mutex
+}
+
+// WithCommit runs f under CommitMu.
+func WithCommit(g *Guard, f func()) {
+	g.CommitMu.Lock()
+	defer g.CommitMu.Unlock()
+	f()
+}
+`)
+	writeFile(t, filepath.Join(scratch, "caller", "caller.go"), `// Package caller seeds the commitMu-after-allocMu inversion one call
+// deep: only core's exported facts can reveal it.
+package caller
+
+import "scratch/core"
+
+func Bad(g *core.Guard) {
+	g.AllocMu.Lock()
+	defer g.AllocMu.Unlock()
+	core.WithCommit(g, func() {})
+}
+`)
+
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = scratch
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet passed over a seeded cross-package lock-order inversion:\n%s", out)
+	}
+	if !strings.Contains(string(out), "locklint") ||
+		!strings.Contains(string(out), `"CommitMu"`) ||
+		!strings.Contains(string(out), `"AllocMu"`) {
+		t.Fatalf("diagnostic does not name locklint/CommitMu/AllocMu:\n%s", out)
+	}
+}
+
+// TestSeededGoroutineLeakFails proves the leaklint half of the gate: an
+// untracked go statement in a deterministic-set package fails go vet.
+func TestSeededGoroutineLeakFails(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the vettool and runs go vet on a scratch module")
+	}
+	bin := buildQosvet(t, t.TempDir())
+
+	scratch := t.TempDir()
+	writeFile(t, filepath.Join(scratch, "go.mod"), "module scratch\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(scratch, "serve", "serve.go"), `package serve
+
+// Run launches a goroutine with no WaitGroup, context, or channel tie
+// — the seeded leak.
+func Run() {
+	go func() {
+		for {
+		}
+	}()
+}
+`)
+
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = scratch
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet passed over a seeded untracked goroutine:\n%s", out)
+	}
+	if !strings.Contains(string(out), "leaklint") {
+		t.Fatalf("diagnostic does not name leaklint:\n%s", out)
+	}
+}
+
+// TestStaleSuppressionFailsGate proves the audit has teeth end to end:
+// a //qosvet:ignore that suppresses nothing fails the full-suite run.
+func TestStaleSuppressionFailsGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the vettool and runs go vet on a scratch module")
+	}
+	bin := buildQosvet(t, t.TempDir())
+
+	scratch := t.TempDir()
+	writeFile(t, filepath.Join(scratch, "go.mod"), "module scratch\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(scratch, "serve", "serve.go"), `package serve
+
+// N is clean; the directive above it suppresses nothing.
+//qosvet:ignore detlint stale on purpose: nothing here trips detlint
+var N = 1
+`)
+
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = scratch
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet passed over a stale suppression:\n%s", out)
+	}
+	if !strings.Contains(string(out), "stale suppression") {
+		t.Fatalf("diagnostic does not name the stale suppression:\n%s", out)
+	}
+}
+
 func writeFile(t *testing.T, path, content string) {
 	t.Helper()
 	if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {

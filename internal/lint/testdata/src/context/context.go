@@ -1,0 +1,17 @@
+// Package context is a minimal stand-in for the real context package:
+// leaklint only needs the named Context type and a constructor.
+package context
+
+// Context carries a cancelation signal.
+type Context interface {
+	Done() <-chan struct{}
+	Err() error
+}
+
+type emptyCtx struct{}
+
+func (emptyCtx) Done() <-chan struct{} { return nil }
+func (emptyCtx) Err() error            { return nil }
+
+// Background returns an empty root Context.
+func Background() Context { return emptyCtx{} }

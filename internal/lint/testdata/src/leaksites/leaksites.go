@@ -1,0 +1,70 @@
+// Package serve (under the leaksites fixture path) exercises leaklint:
+// the package name puts it in the policed deterministic set, and the
+// cases cover each tracked-lifecycle shape against the leaked ones.
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// TrackedByWaitGroup: Add precedes the go statement.
+func TrackedByWaitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		wg.Done()
+	}()
+}
+
+// TrackedByContext: the body consults its context.
+func TrackedByContext(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// TrackedByChannel: a close-signaled channel bounds the body.
+func TrackedByChannel(stop chan struct{}) {
+	go func() {
+		for range stop {
+		}
+	}()
+}
+
+// worker blocks on its jobs channel; callees one hop away are
+// inspected for go statements naming them.
+func worker(jobs chan int) {
+	for range jobs {
+	}
+}
+
+// TrackedByCallee launches a same-package function whose body is
+// channel-bound.
+func TrackedByCallee(jobs chan int) {
+	go worker(jobs)
+}
+
+// spin has no lifecycle signal at all.
+func spin() {
+	for {
+	}
+}
+
+// Leaked: an anonymous goroutine nothing can stop or wait for.
+func Leaked() {
+	go func() { // want `leaklint: goroutine is not tied to a tracked lifecycle`
+		for {
+		}
+	}()
+}
+
+// LeakedNamed: a named same-package callee with no signal.
+func LeakedNamed() {
+	go spin() // want `leaklint: goroutine is not tied to a tracked lifecycle`
+}
+
+// SuppressedLeak documents the escape hatch: a reasoned ignore.
+func SuppressedLeak() {
+	//qosvet:ignore leaklint fixture pins that reasoned suppressions are honored
+	go spin()
+}

@@ -1,0 +1,29 @@
+// Package core declares a lock hierarchy and a helper that acquires
+// the outermost lock. Importing packages must inherit the order (a
+// LockOrder package fact) and see through WithCommit (a LockSet object
+// fact) — the cross-package half of locklint.
+package core
+
+import "sync"
+
+//qosvet:lockorder CommitMu < AllocMu
+
+// Guard owns the two ranked mutexes.
+type Guard struct {
+	CommitMu sync.Mutex
+	AllocMu  sync.Mutex
+}
+
+// WithCommit runs f under CommitMu.
+func WithCommit(g *Guard, f func()) {
+	g.CommitMu.Lock()
+	defer g.CommitMu.Unlock()
+	f()
+}
+
+// LockAlloc acquires the innermost lock; a second summary for the
+// round-trip test.
+func LockAlloc(g *Guard) {
+	g.AllocMu.Lock()
+	g.AllocMu.Unlock()
+}

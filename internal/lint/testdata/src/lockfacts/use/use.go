@@ -1,0 +1,30 @@
+// Package use imports core's hierarchy and helpers: the inversion here
+// is invisible without imported facts — no lock is acquired directly
+// out of order, the conflict only exists through core.WithCommit's
+// acquisition summary.
+package use
+
+import "lockfacts/core"
+
+// Bad calls into core while holding the later-ranked lock.
+func Bad(g *core.Guard) {
+	g.AllocMu.Lock()
+	defer g.AllocMu.Unlock()
+	core.WithCommit(g, func() {}) // want `locklint: call to WithCommit acquires "CommitMu" \(rank 0\) while holding "AllocMu" \(rank 1\)`
+}
+
+// Good nests the locks in declared order through the same helper.
+func Good(g *core.Guard) {
+	core.WithCommit(g, func() {
+		g.AllocMu.Lock()
+		g.AllocMu.Unlock()
+	})
+}
+
+// Direct inherits the imported order for directly-acquired locks too.
+func Direct(g *core.Guard) {
+	g.AllocMu.Lock()
+	defer g.AllocMu.Unlock()
+	g.CommitMu.Lock() // want `locklint: .*acquires "CommitMu" \(rank 0\) while holding "AllocMu" \(rank 1\)`
+	g.CommitMu.Unlock()
+}

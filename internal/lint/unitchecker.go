@@ -14,6 +14,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 )
 
@@ -31,9 +32,19 @@ import (
 //     dependency, so type checking needs no network, no GOPATH scan
 //     and no second build.
 //
-// The suite carries no cross-package facts, so units whose cfg says
-// VetxOnly (dependencies vetted only for their facts) are satisfied
-// with an empty facts file.
+// Facts make the suite interprocedural. cmd/go schedules every
+// dependency of a vetted package as a VetxOnly unit first; for
+// module-internal dependencies this driver type-checks the unit, runs
+// the fact-bearing analyzers (diagnostics discarded), and serializes
+// the resulting FactSet to cfg.VetxOutput. When the package itself is
+// vetted, the vetx files of its dependencies (cfg.PackageVetx) are
+// decoded back against the type-checked import graph, so an analyzer
+// looking at a call into another package sees the callee's facts —
+// locklint's acquired-locks summaries cross package boundaries this
+// way. Standard-library VetxOnly units are answered with an empty
+// facts payload without type-checking them: no analyzer here exports
+// facts about the standard library, and skipping them keeps the vet
+// pass fast.
 
 // vetConfig mirrors the JSON object cmd/go writes for each vetted
 // package unit. Unknown fields are ignored by encoding/json, which
@@ -56,11 +67,15 @@ type vetConfig struct {
 	SucceedOnTypecheckFailure bool
 }
 
-// jsonDiagnostic is the wire shape of one finding in -json mode,
-// matching the unitchecker output consumed by editor integrations.
+// jsonDiagnostic is the wire shape of one finding in -json mode; the
+// schema is documented in doc.go. Suppressed findings are included so
+// editor integrations can render them dimmed; only unsuppressed ones
+// affect the text-mode exit code.
 type jsonDiagnostic struct {
-	Posn    string `json:"posn"`
-	Message string `json:"message"`
+	Analyzer   string `json:"analyzer"`
+	Posn       string `json:"posn"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
 }
 
 // Main is the entry point of cmd/qosvet. It never returns.
@@ -76,10 +91,11 @@ func Main(analyzers []*Analyzer) {
 	}
 
 	fs := flag.NewFlagSet(progname, flag.ExitOnError)
-	jsonFlag := fs.Bool("json", false, "emit JSON output")
+	jsonFlag := fs.Bool("json", false, "emit machine-readable JSON diagnostics (schema in internal/lint/doc.go)")
 	_ = fs.Int("c", -1, "display offending line with this many lines of context (ignored)")
 	flagsFlag := fs.Bool("flags", false, "print analyzer flags in JSON")
 	vFlag := fs.String("V", "", "print version and exit")
+	auditFlag := fs.Bool("audit", true, "report stale //qosvet:ignore directives (full-suite runs only)")
 	enable := make(map[string]*bool, len(analyzers))
 	for _, a := range analyzers {
 		enable[a.Name] = fs.Bool(a.Name, false, "enable only the "+a.Name+" analyzer (default: all)")
@@ -120,12 +136,17 @@ func Main(analyzers []*Analyzer) {
 		}
 	}
 
+	// The stale-suppression audit is only meaningful when every
+	// analyzer runs: under a subset, a directive for an unselected
+	// analyzer would look stale and fail a clean tree.
+	audit := *auditFlag && !any
+
 	if fs.NArg() != 1 || !strings.HasSuffix(fs.Arg(0), ".cfg") {
 		fs.Usage()
 		os.Exit(1)
 	}
 
-	diags, err := runUnit(fs.Arg(0), selected)
+	diags, err := runUnit(fs.Arg(0), selected, audit)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
 		os.Exit(1)
@@ -173,11 +194,41 @@ func printFlags(fs *flag.FlagSet) {
 type unitDiagnostics struct {
 	cfg   *vetConfig
 	fset  *token.FileSet
-	diags []Diagnostic
+	diags []Diagnostic // full list, suppressed findings marked
+}
+
+// needsFacts reports whether any selected analyzer declares fact
+// types; without one, dependency units have nothing to export.
+func needsFacts(analyzers []*Analyzer) bool {
+	for _, a := range analyzers {
+		if len(a.FactTypes) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// writeVetx writes the unit's facts file. cmd/go requires the file to
+// exist even when there is nothing to say.
+func writeVetx(cfg *vetConfig, fs *FactSet) error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	var data []byte
+	if fs != nil {
+		var err error
+		if data, err = EncodeFacts(fs); err != nil {
+			return fmt.Errorf("encoding facts for %s: %w", cfg.ImportPath, err)
+		}
+	}
+	if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
+		return fmt.Errorf("writing facts: %w", err)
+	}
+	return nil
 }
 
 // runUnit analyzes the package unit described by cfgFile.
-func runUnit(cfgFile string, analyzers []*Analyzer) (*unitDiagnostics, error) {
+func runUnit(cfgFile string, analyzers []*Analyzer, audit bool) (*unitDiagnostics, error) {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
 		return nil, err
@@ -187,17 +238,12 @@ func runUnit(cfgFile string, analyzers []*Analyzer) (*unitDiagnostics, error) {
 		return nil, fmt.Errorf("parsing %s: %w", cfgFile, err)
 	}
 
-	// The facts file must exist for cmd/go's bookkeeping even though
-	// this suite records none.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			return nil, fmt.Errorf("writing facts: %w", err)
-		}
-	}
-	if cfg.VetxOnly {
-		// This unit is a dependency of the vetted packages; it was
-		// scheduled only to export facts.
-		return &unitDiagnostics{cfg: cfg}, nil
+	// Dependency-only units exist to export facts. The standard
+	// library never carries any of ours, and a suite with no
+	// fact-bearing analyzer has none to record anywhere — both get an
+	// empty payload without the cost of a type-check.
+	if cfg.VetxOnly && (cfg.Standard[cfg.ImportPath] || !needsFacts(analyzers)) {
+		return &unitDiagnostics{cfg: cfg}, writeVetx(cfg, nil)
 	}
 
 	fset := token.NewFileSet()
@@ -205,12 +251,17 @@ func runUnit(cfgFile string, analyzers []*Analyzer) (*unitDiagnostics, error) {
 	for _, name := range cfg.GoFiles {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
-			if cfg.SucceedOnTypecheckFailure {
-				return &unitDiagnostics{cfg: cfg}, nil
+			if cfg.VetxOnly || cfg.SucceedOnTypecheckFailure {
+				// A dependency that fails to parse degrades to missing
+				// facts, not a failed vet run.
+				return &unitDiagnostics{cfg: cfg}, writeVetx(cfg, nil)
 			}
 			return nil, err
 		}
 		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return &unitDiagnostics{cfg: cfg}, writeVetx(cfg, nil)
 	}
 
 	// Type-check against the export data cmd/go already compiled: the
@@ -243,42 +294,98 @@ func runUnit(cfgFile string, analyzers []*Analyzer) (*unitDiagnostics, error) {
 	}
 	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
-		if cfg.SucceedOnTypecheckFailure {
-			return &unitDiagnostics{cfg: cfg}, nil
+		if cfg.VetxOnly || cfg.SucceedOnTypecheckFailure {
+			return &unitDiagnostics{cfg: cfg}, writeVetx(cfg, nil)
 		}
 		return nil, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
 	}
 
-	return &unitDiagnostics{
-		cfg:   cfg,
-		fset:  fset,
-		diags: RunPackage(fset, files, pkg, info, analyzers),
-	}, nil
+	// Rehydrate dependency facts against the materialized import
+	// graph. Vetx payloads name packages by path; resolve them through
+	// everything reachable from this unit so facts of indirect
+	// dependencies (re-exported by intermediates) land too.
+	facts := NewFactSet()
+	pkgs := reachablePackages(pkg)
+	var vetxPaths []string
+	for _, p := range cfg.PackageVetx {
+		vetxPaths = append(vetxPaths, p)
+	}
+	sort.Strings(vetxPaths)
+	for _, p := range vetxPaths {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			continue // missing dependency facts degrade precision, not correctness
+		}
+		if err := DecodeFacts(facts, raw, pkgs, analyzers); err != nil {
+			return nil, fmt.Errorf("decoding facts for %s: %w", cfg.ImportPath, err)
+		}
+	}
+
+	if cfg.VetxOnly {
+		// Dependency unit: run only the fact-bearing analyzers and keep
+		// nothing but their exports.
+		var factful []*Analyzer
+		for _, a := range analyzers {
+			if len(a.FactTypes) > 0 {
+				factful = append(factful, a)
+			}
+		}
+		analyzePackage(fset, files, pkg, info, factful, facts, false)
+		return &unitDiagnostics{cfg: cfg}, writeVetx(cfg, facts)
+	}
+
+	diags := analyzePackage(fset, files, pkg, info, analyzers, facts, audit)
+	if err := writeVetx(cfg, facts); err != nil {
+		return nil, err
+	}
+	return &unitDiagnostics{cfg: cfg, fset: fset, diags: diags}, nil
+}
+
+// reachablePackages collects every package visible from root through
+// the import graph, keyed by path. Vetx keys may carry test-variant
+// suffixes ("pkg [m.test]"); the payloads inside use plain paths, so
+// plain paths are what this map holds.
+func reachablePackages(root *types.Package) map[string]*types.Package {
+	out := make(map[string]*types.Package)
+	var visit func(p *types.Package)
+	visit = func(p *types.Package) {
+		if p == nil || out[p.Path()] == p {
+			return
+		}
+		out[p.Path()] = p
+		for _, im := range p.Imports() {
+			visit(im)
+		}
+	}
+	visit(root)
+	return out
 }
 
 // emit writes the unit's findings and returns the process exit code:
 // 0 for clean (or JSON mode, whose consumers read the stream), 2 when
 // plain-text diagnostics were printed — the unitchecker convention
-// go vet translates into its own failure.
+// go vet translates into its own failure. Suppressed findings are
+// carried in JSON output but never gate.
 func emit(stdout, stderr io.Writer, u *unitDiagnostics, asJSON bool) int {
 	if asJSON {
-		byAnalyzer := make(map[string][]jsonDiagnostic)
+		out := make([]jsonDiagnostic, 0, len(u.diags))
 		for _, d := range u.diags {
-			name := d.Analyzer
-			byAnalyzer[name] = append(byAnalyzer[name], jsonDiagnostic{
-				Posn:    u.fset.Position(d.Pos).String(),
-				Message: d.Message,
+			out = append(out, jsonDiagnostic{
+				Analyzer:   d.Analyzer,
+				Posn:       u.fset.Position(d.Pos).String(),
+				Message:    d.Message,
+				Suppressed: d.Suppressed,
 			})
 		}
-		out := map[string]map[string][]jsonDiagnostic{u.cfg.ID: byAnalyzer}
 		data, _ := json.MarshalIndent(out, "", "\t")
 		fmt.Fprintf(stdout, "%s\n", data)
 		return 0
 	}
-	for _, d := range u.diags {
+	gating := Keep(u.diags)
+	for _, d := range gating {
 		fmt.Fprintf(stderr, "%s: %s\n", u.fset.Position(d.Pos), d.Message)
 	}
-	if len(u.diags) > 0 {
+	if len(gating) > 0 {
 		return 2
 	}
 	return 0

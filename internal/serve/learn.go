@@ -11,12 +11,16 @@ package serve
 // fence: cycling each one after the pointer store guarantees no reader
 // still works on the retired epoch.
 //
-// Lock order (deadlock discipline): commitMu → every stripe mutex in
-// index order (held across fold, swap and rebase) → each shard mutex in
-// turn → allocMu. Observe takes only its stripe mutex, and never while
-// holding commitMu; the sim-time age bound is evaluated at mutation
-// entry points and CommitNow, never from the tick path (which runs
-// under allocMu).
+// The deadlock discipline is declared below and machine-checked by
+// qosvet's locklint (see internal/lint/locklint.go): commitMu is
+// acquired before every stripe mutex (taken in index order, held
+// across fold, swap and rebase), which come before each shard mutex in
+// turn, which come before allocMu. Observe takes only its stripe
+// mutex, and never while holding commitMu; the sim-time age bound is
+// evaluated at mutation entry points and CommitNow, never from the
+// tick path (which runs under allocMu).
+//
+//qosvet:lockorder commitMu < learnStripe.mu < shard.mu < allocMu
 
 import (
 	"fmt"

@@ -8,8 +8,12 @@ set -eux
 go build ./...
 go vet ./...
 # qosvet: the project invariant suite (internal/lint) run through the
-# standard vet driver. Gates determinism (wall-clock/map-order),
-# Q15 saturation, obs metric conventions, and error wrapping.
+# standard vet driver, before the race pass — deadlocks and goroutine
+# leaks are exactly what -race can't see. Gates determinism
+# (wall-clock/map-order), Q15 saturation, obs metric conventions, error
+# wrapping, the declared lock hierarchy (locklint, cross-package via
+# vetx facts), goroutine lifecycle discipline (leaklint), and stale
+# //qosvet:ignore directives (audit mode).
 go build -o bin/qosvet ./cmd/qosvet
 go vet -vettool="$(pwd)/bin/qosvet" ./...
 go test -race ./...
